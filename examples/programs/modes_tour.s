@@ -1,0 +1,42 @@
+; A hand-written two-core Voltron program exercising both execution modes
+; (the assembly twin of examples/modes_tour.ml). Core 0 spawns a worker,
+; both enter coupled mode, a value crosses the direct-mode network with a
+; same-cycle PUT/GET, a branch condition is broadcast, and the result
+; returns over the queue network after both drop back to decoupled mode.
+;
+;     dune exec bin/voltron_sim.exe -- asm --file examples/programs/modes_tour.s --cores 2
+
+.memory 64
+
+=== core 0 ===
+    spawn c1, worker
+    mode_switch coupled
+    mov r1 = #21
+    put.e r1
+    cmp.gt r2 = r1, #10
+    pbr b0 = join0
+    bcast r2
+    nop
+    br b0 if r2
+    mov r9 = #999          ; skipped by the taken branch
+join0:
+    mode_switch decoupled
+    recv r3 = c1
+    store [#0 + #0] = r3
+    halt
+
+=== core 1 ===
+worker:
+    mode_switch coupled
+    nop
+    get.w r5
+    mul r6 = r5, #2
+    pbr b0 = join1
+    nop
+    getb r7
+    br b0 if r7
+    mov r6 = #0            ; skipped by the taken branch
+join1:
+    mode_switch decoupled
+    send c0, r6
+    sleep
