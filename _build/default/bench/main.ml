@@ -1,0 +1,128 @@
+(* The benchmark harness: regenerates every figure of the paper's
+   evaluation (§5.2) as printed series, plus Bechamel micro-benchmarks of
+   the toolchain itself (one Test.make per figure pipeline).
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig10 fig13  # specific figures
+     dune exec bench/main.exe -- quick        # reduced-scale, no bechamel
+     dune exec bench/main.exe -- bechamel     # toolchain timing only
+
+   Shape targets (paper): 2-core averages ILP 1.23 / TLP 1.16 / LLP 1.18,
+   hybrid 1.46; 4-core 1.33 / 1.23 / 1.37, hybrid 1.83; decoupled mode
+   well below coupled mode on cache-miss stalls (Fig. 12); hybrid at least
+   the best single strategy per benchmark (Fig. 13). Measured numbers are
+   recorded in EXPERIMENTS.md. *)
+
+module E = Voltron.Experiments
+
+let line () = print_endline (String.make 78 '=')
+
+let run_figure ~scale name =
+  line ();
+  (match name with
+  | "fig3" -> E.print_fig3 (E.fig3 ~scale ())
+  | "fig10" -> E.print_fig10 (E.fig10 ~scale ())
+  | "fig11" -> E.print_fig11 (E.fig11 ~scale ())
+  | "fig12" -> E.print_fig12 (E.fig12 ~scale ())
+  | "fig13" -> E.print_fig13 (E.fig13 ~scale ())
+  | "fig14" -> E.print_fig14 (E.fig14 ~scale ())
+  | "micro" -> E.print_micro (E.micro ~scale ())
+  | other -> Printf.printf "unknown figure: %s\n" other);
+  print_newline ()
+
+let run_ablations ~scale () =
+  line ();
+  print_endline "Ablations (design-choice studies beyond the paper's figures)";
+  E.print_ablations ~title:"A1: dual-mode value — hybrid vs committing to one mode (4 cores)"
+    (E.ablation_modes ~scale ());
+  print_newline ();
+  E.print_ablations ~title:"A2: queue channel capacity (epic, forced TLP, 4 cores)"
+    (E.ablation_capacity ~scale ());
+  print_newline ();
+  E.print_ablations
+    ~title:"A3: main-memory latency — decoupled tolerance vs coupled fragility (179.art, 4 cores)"
+    (E.ablation_memlat ~scale ());
+  print_newline ();
+  E.print_ablations
+    ~title:"A4: TM mis-speculation — profiled clean, run with collisions (scatter RMW, 4 cores)"
+    (E.ablation_tm ~scale ());
+  print_newline ();
+  E.print_ablations ~title:"A5: core scaling, hybrid (coupled groups capped at 4)"
+    (E.ablation_scaling ~scale ());
+  print_newline ();
+  E.print_ablations
+    ~title:"A6: if-conversion — predicating away a strand loop's branch (forced TLP, 4 cores)"
+    (E.ablation_ifconv ~scale ());
+  print_newline ();
+  E.print_ablations
+    ~title:"A7: energy and EDP — 4-core hybrid vs 1-core baseline (first-order model)"
+    (E.ablation_energy ~scale ());
+  print_newline ();
+  E.print_ablations
+    ~title:"A8: one wide-issue core vs four simple Voltron cores (speedup over 1-issue serial)"
+    (E.ablation_issue_width ~scale ());
+  print_newline ()
+
+let figures = [ "fig3"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "micro" ]
+
+(* --- Bechamel: wall-clock cost of each figure's pipeline ------------------- *)
+
+let bechamel_tests =
+  let open Bechamel in
+  let slice = [ "cjpeg" ] in
+  Test.make_grouped ~name:"figures"
+    [
+      Test.make ~name:"fig3" (Staged.stage (fun () -> E.fig3 ~scale:0.2 ~benches:slice ()));
+      Test.make ~name:"fig10" (Staged.stage (fun () -> E.fig10 ~scale:0.2 ~benches:slice ()));
+      Test.make ~name:"fig11" (Staged.stage (fun () -> E.fig11 ~scale:0.2 ~benches:slice ()));
+      Test.make ~name:"fig12" (Staged.stage (fun () -> E.fig12 ~scale:0.2 ~benches:slice ()));
+      Test.make ~name:"fig13" (Staged.stage (fun () -> E.fig13 ~scale:0.2 ~benches:slice ()));
+      Test.make ~name:"fig14" (Staged.stage (fun () -> E.fig14 ~scale:0.2 ~benches:slice ()));
+      Test.make ~name:"micro" (Staged.stage (fun () -> E.micro ~scale:0.2 ()));
+    ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  line ();
+  print_endline
+    "Bechamel: time per figure pipeline (compile + simulate, cjpeg slice at scale 0.2)";
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances bechamel_tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> rows := (name, est /. 1e6) :: !rows
+      | Some _ | None -> ())
+    results;
+  List.iter
+    (fun (name, ms) -> Printf.printf "  %-20s %8.1f ms/run\n" name ms)
+    (List.sort compare !rows);
+  print_newline ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let scale = if List.mem "quick" args then 0.25 else 1.0 in
+  let wanted = List.filter (fun a -> List.mem a figures) args in
+  let wanted = if wanted = [] then figures else wanted in
+  let t0 = Unix.gettimeofday () in
+  if args = [ "bechamel" ] then run_bechamel ()
+  else if args = [ "ablations" ] then run_ablations ~scale:1.0 ()
+  else begin
+    Printf.printf
+      "Voltron evaluation harness — reproducing the paper's figures (scale %.2f)\n"
+      scale;
+    List.iter (run_figure ~scale) wanted;
+    if not (List.mem "quick" args) then begin
+      run_ablations ~scale ();
+      run_bechamel ()
+    end
+  end;
+  line ();
+  Printf.printf "total harness time: %.1fs\n" (Unix.gettimeofday () -. t0)

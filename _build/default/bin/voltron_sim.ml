@@ -1,0 +1,252 @@
+(* Command-line driver: run a workload on a simulated Voltron, inspect the
+   compiler's plan, or disassemble the generated per-core code.
+
+     voltron_sim run --bench 164.gzip --cores 4 --strategy hybrid
+     voltron_sim plan --bench cjpeg --cores 4
+     voltron_sim disasm --bench micro:gsm_llp --cores 2 --strategy llp
+     voltron_sim list *)
+
+module Suite = Voltron_workloads.Suite
+module Stats = Voltron_machine.Stats
+module Select = Voltron_compiler.Select
+module Driver = Voltron_compiler.Driver
+module Config = Voltron_machine.Config
+
+let program_of_name name scale =
+  match name with
+  | "micro:gsm_llp" -> Suite.micro_gsm_llp ~scale ()
+  | "micro:gzip_strands" -> Suite.micro_gzip_strands ~scale ()
+  | "micro:gsm_ilp" -> Suite.micro_gsm_ilp ~scale ()
+  | _ -> (
+    match Suite.by_name name with
+    | b -> b.Suite.build ~scale ()
+    | exception Not_found ->
+      Printf.eprintf
+        "unknown benchmark %s (try `voltron_sim list`, or micro:gsm_llp, \
+         micro:gzip_strands, micro:gsm_ilp)\n"
+        name;
+      exit 2)
+
+(* Either a named benchmark or a VC source file. *)
+let resolve_program bench file scale =
+  match (bench, file) with
+  | Some name, None -> (name, program_of_name name scale)
+  | None, Some path -> (
+    match Voltron_lang.Frontend.parse_file path with
+    | p -> (path, p)
+    | exception e -> (
+      match Voltron_lang.Frontend.error_to_string e with
+      | Some msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 2
+      | None -> raise e))
+  | Some _, Some _ ->
+    Printf.eprintf "--bench and --file are mutually exclusive\n";
+    exit 2
+  | None, None ->
+    Printf.eprintf "one of --bench or --file is required\n";
+    exit 2
+
+let choice_of_string = function
+  | "seq" -> `Seq
+  | "ilp" -> `Ilp
+  | "tlp" -> `Tlp
+  | "llp" -> `Llp
+  | "hybrid" -> `Hybrid
+  | s ->
+    Printf.eprintf "unknown strategy %s (seq|ilp|tlp|llp|hybrid)\n" s;
+    exit 2
+
+open Cmdliner
+
+let bench_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Benchmark name (see $(b,list)).")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"FILE.vc" ~doc:"Compile a VC source file instead.")
+
+let cores_arg =
+  Arg.(value & opt int 4 & info [ "c"; "cores" ] ~docv:"N" ~doc:"Number of cores.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt string "hybrid"
+    & info [ "s"; "strategy" ] ~docv:"S" ~doc:"seq, ilp, tlp, llp or hybrid.")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "scale" ] ~docv:"F" ~doc:"Workload size multiplier.")
+
+let unroll_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "unroll" ] ~docv:"U" ~doc:"Unroll counted loops by this factor.")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ]
+        ~doc:"Apply the HIR optimisation passes (if-conversion, DCE).")
+
+let apply_opts optimize unroll p =
+  if (not optimize) && unroll <= 1 then p
+  else
+    let base =
+      if optimize then Voltron_compiler.Opt.default else Voltron_compiler.Opt.none
+    in
+    Voltron_compiler.Opt.program
+      ~options:{ base with Voltron_compiler.Opt.unroll = max 1 unroll }
+      p
+
+let run_cmd =
+  let run bench file cores strategy scale optimize unroll =
+    let name, p = resolve_program bench file scale in
+    let p = apply_opts optimize unroll p in
+    let choice = choice_of_string strategy in
+    let base = Voltron.Run.baseline_cycles p in
+    let m = Voltron.Run.run ~choice ~n_cores:cores p in
+    Printf.printf "benchmark  : %s\n" name;
+    Printf.printf "strategy   : %s on %d cores\n" strategy cores;
+    Printf.printf "verified   : %b (memory matches the reference interpreter)\n"
+      m.Voltron.Run.verified;
+    Printf.printf "baseline   : %d cycles (1 core, sequential)\n" base;
+    Printf.printf "cycles     : %d\n" m.Voltron.Run.cycles;
+    Printf.printf "speedup    : %.2fx\n"
+      (float_of_int base /. float_of_int m.Voltron.Run.cycles);
+    Format.printf "%a" Stats.pp_summary m.Voltron.Run.stats;
+    Format.printf "%a@." Voltron_machine.Energy.pp m.Voltron.Run.energy;
+    if not m.Voltron.Run.verified then exit 1
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and simulate a benchmark or VC file.")
+    Term.(
+      const run $ bench_arg $ file_arg $ cores_arg $ strategy_arg $ scale_arg
+      $ optimize_arg $ unroll_arg)
+
+let plan_cmd =
+  let plan bench file cores scale =
+    let _, p = resolve_program bench file scale in
+    let machine = Config.default ~n_cores:cores in
+    let profile = Voltron_analysis.Profile.collect p in
+    let regions = Select.plan ~machine ~profile `Hybrid p in
+    Voltron_util.Table.print
+      ~header:[ "region"; "strategy"; "dyn weight" ]
+      (List.map
+         (fun (r : Select.planned_region) ->
+           [
+             r.Select.pr_name;
+             Select.strategy_name r.Select.pr_strategy;
+             string_of_int r.Select.pr_weight;
+           ])
+         regions)
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Show the hybrid compiler's per-region strategy choices.")
+    Term.(const plan $ bench_arg $ file_arg $ cores_arg $ scale_arg)
+
+let disasm_cmd =
+  let disasm bench file cores strategy scale =
+    let _, p = resolve_program bench file scale in
+    let machine = Config.default ~n_cores:cores in
+    let compiled = Driver.compile ~machine ~choice:(choice_of_string strategy) p in
+    Format.printf "%a" Voltron_isa.Program.pp compiled.Driver.executable
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble the generated per-core code.")
+    Term.(const disasm $ bench_arg $ file_arg $ cores_arg $ strategy_arg $ scale_arg)
+
+let asm_cmd =
+  let asm file cores =
+    let prog =
+      match Voltron_isa.Asm.parse_file file with
+      | p -> p
+      | exception Voltron_isa.Asm.Error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" file line msg;
+        exit 2
+    in
+    let machine = Config.default ~n_cores:cores in
+    let m = Voltron_machine.Machine.create machine prog in
+    let result = Voltron_machine.Machine.run m in
+    (match result.Voltron_machine.Machine.outcome with
+    | Voltron_machine.Machine.Finished ->
+      Printf.printf "finished in %d cycles\n" result.Voltron_machine.Machine.cycles
+    | Voltron_machine.Machine.Out_of_cycles ->
+      Printf.eprintf "out of cycles\n";
+      exit 1
+    | Voltron_machine.Machine.Deadlock d ->
+      Printf.eprintf "deadlock:\n%s\n" d;
+      exit 1);
+    Format.printf "%a" Stats.pp_summary (Voltron_machine.Machine.stats m);
+    (* Show the first few data words, the usual place for results. *)
+    let mem = Voltron_machine.Machine.memory m in
+    let n = min 8 (Voltron_mem.Memory.size mem) in
+    Printf.printf "mem[0..%d] =" (n - 1);
+    for i = 0 to n - 1 do
+      Printf.printf " %d" (Voltron_mem.Memory.read mem i)
+    done;
+    print_newline ()
+  in
+  let file_req =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE.s" ~doc:"Assembly source.")
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble and run a hand-written Voltron program.")
+    Term.(const asm $ file_req $ cores_arg)
+
+let trace_cmd =
+  let trace bench file cores strategy scale limit timeline =
+    let _, p = resolve_program bench file scale in
+    let machine = Config.default ~n_cores:cores in
+    let compiled = Driver.compile ~machine ~choice:(choice_of_string strategy) p in
+    let m = Voltron_machine.Machine.create machine compiled.Driver.executable in
+    let tracer = Voltron_machine.Trace.create ~limit () in
+    Voltron_machine.Machine.set_tracer m tracer;
+    let result = Voltron_machine.Machine.run m in
+    (match result.Voltron_machine.Machine.outcome with
+    | Voltron_machine.Machine.Finished -> ()
+    | Voltron_machine.Machine.Out_of_cycles -> prerr_endline "out of cycles"
+    | Voltron_machine.Machine.Deadlock d -> prerr_endline ("deadlock: " ^ d));
+    Voltron_machine.Trace.report ~timeline Format.std_formatter tracer
+      compiled.Driver.executable
+  in
+  let limit_arg =
+    Arg.(value & opt int 100_000 & info [ "limit" ] ~docv:"N" ~doc:"Events to keep.")
+  in
+  let timeline_arg =
+    Arg.(value & opt int 60 & info [ "timeline" ] ~docv:"N" ~doc:"Events to print.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run with a structured tracer: event timeline plus per-label hotspots.")
+    Term.(
+      const trace $ bench_arg $ file_arg $ cores_arg $ strategy_arg $ scale_arg
+      $ limit_arg $ timeline_arg)
+
+let list_cmd =
+  let list () =
+    List.iter
+      (fun (b : Suite.benchmark) ->
+        Printf.printf "%-12s (ilp %d%% / tlp %d%% / llp %d%% / seq %d%%)\n"
+          b.Suite.bench_name b.Suite.bench_mix.Suite.ilp b.Suite.bench_mix.Suite.tlp
+          b.Suite.bench_mix.Suite.llp b.Suite.bench_mix.Suite.seq)
+      Suite.all;
+    print_endline "micro:gsm_llp micro:gzip_strands micro:gsm_ilp"
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available benchmarks.") Term.(const list $ const ())
+
+let () =
+  let info =
+    Cmd.info "voltron_sim" ~version:"1.0"
+      ~doc:"Voltron dual-mode multicore simulator and compiler"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; plan_cmd; disasm_cmd; asm_cmd; trace_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/doall_gsm.mli:

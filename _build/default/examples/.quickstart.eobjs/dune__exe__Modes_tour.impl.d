@@ -1,0 +1,1 @@
+examples/modes_tour.ml: List Printf Voltron_isa Voltron_machine Voltron_mem

@@ -1,0 +1,1 @@
+examples/modes_tour.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Voltron Voltron_compiler Voltron_ir Voltron_isa

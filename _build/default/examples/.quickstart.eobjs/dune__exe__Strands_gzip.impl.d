@@ -1,0 +1,1 @@
+examples/strands_gzip.ml: List Printf Voltron Voltron_analysis Voltron_machine Voltron_workloads

@@ -1,0 +1,1 @@
+examples/strands_gzip.mli:

@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Hashtbl Int List Map Voltron_ir Voltron_isa

@@ -1,0 +1,1 @@
+lib/analysis/depgraph.ml: Array Hashtbl List Memdep Option Voltron_ir Voltron_isa

@@ -1,0 +1,1 @@
+lib/analysis/depgraph.mli: Hashtbl Memdep Voltron_ir Voltron_isa

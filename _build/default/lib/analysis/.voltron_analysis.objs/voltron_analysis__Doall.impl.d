@@ -1,0 +1,1 @@
+lib/analysis/doall.ml: Affine Hashtbl Int List Printf Profile Set Voltron_ir Voltron_isa

@@ -1,0 +1,1 @@
+lib/analysis/doall.mli: Profile Voltron_ir

@@ -1,0 +1,1 @@
+lib/analysis/memdep.ml: Affine Hashtbl List Voltron_ir

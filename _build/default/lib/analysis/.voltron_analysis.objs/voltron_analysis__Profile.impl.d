@@ -1,0 +1,1 @@
+lib/analysis/profile.ml: Hashtbl List Option Voltron_ir Voltron_mem

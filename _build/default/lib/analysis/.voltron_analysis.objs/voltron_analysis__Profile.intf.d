@@ -1,0 +1,1 @@
+lib/analysis/profile.mli: Voltron_ir Voltron_mem

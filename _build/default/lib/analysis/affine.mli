@@ -1,0 +1,42 @@
+(** Affine (linear) analysis of array index expressions.
+
+    The paper's DOALL extraction relies on classic affine dependence
+    testing for counted loops; this module computes, for each memory access
+    in a loop body, the index as a linear expression over the enclosing
+    loop's induction variables where possible. Everything it cannot prove
+    linear is [None] and falls back to memory profiling (the "statistical
+    DOALL" path, §2). *)
+
+type linexpr = {
+  const : int;
+  terms : (Voltron_ir.Hir.vreg * int) list;  (** loop-var -> coefficient; sorted, no zeros *)
+}
+
+val const_ : int -> linexpr
+val var_ : Voltron_ir.Hir.vreg -> linexpr
+val add : linexpr -> linexpr -> linexpr
+val sub : linexpr -> linexpr -> linexpr
+val scale : int -> linexpr -> linexpr
+val coeff : linexpr -> Voltron_ir.Hir.vreg -> int
+val is_const : linexpr -> int option
+val equal : linexpr -> linexpr -> bool
+
+val index_forms :
+  loop_vars:Voltron_ir.Hir.vreg list -> Voltron_ir.Hir.stmt list -> (int, linexpr option) Hashtbl.t
+(** [index_forms ~loop_vars body] maps each memory access site (the [sid]
+    of a [Load] assignment or a [Store]) in [body] — including nested
+    statements — to the linear form of its index, if provable.
+    Assignments under conditional or nested-loop control taint their
+    destination. [loop_vars] are treated as symbolic variables (innermost
+    first is not required; any order). *)
+
+type alias_verdict = Never | Same_iteration_only | May_cross | Unknown
+
+val cross_iteration_alias :
+  var:Voltron_ir.Hir.vreg -> linexpr option -> linexpr option -> alias_verdict
+(** Can two accesses with the given index forms touch the same address in
+    {e different} iterations of the loop over [var]?
+    - [Never]: provably disjoint at every pair of iterations;
+    - [Same_iteration_only]: can collide only within one iteration;
+    - [May_cross]: provably collides across iterations;
+    - [Unknown]: analysis cannot tell. *)

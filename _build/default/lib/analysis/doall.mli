@@ -1,0 +1,33 @@
+(** DOALL classification of counted loops (paper §2, §4.1).
+
+    A loop is parallelisable across cores when its iterations carry no
+    dependences. Three outcomes:
+
+    - [Proven]: affine dependence testing shows no iteration ever touches
+      an address another iteration touches with a write, and every scalar
+      is private, an induction variable, or a recognised accumulator. Runs
+      in parallel without speculation.
+    - [Speculative]: scalars are clean but some memory pairs could not be
+      proven independent — yet profiling observed no cross-iteration RAW
+      ("statistical DOALL"). Runs under the transactional memory, which
+      also covers unproven WAR/WAW by write buffering and in-order commit.
+    - [Rejected]: a scalar or memory dependence (or observed RAW) makes
+      chunked execution unprofitable/incorrect.
+
+    Accumulators: a register updated exactly once per iteration as
+    [acc <- acc + e] (or [Fadd]), unconditionally at the loop body's top
+    level, and read nowhere else in the body. The DOALL codegen expands
+    them into per-core partials with a reduction at the join (§4.1
+    "accumulator expansion"). *)
+
+type accumulator = {
+  acc_vreg : Voltron_ir.Hir.vreg;
+  acc_sid : int;  (** the updating Assign's site *)
+}
+
+type verdict =
+  | Proven of accumulator list
+  | Speculative of accumulator list
+  | Rejected of string
+
+val classify : Voltron_ir.Hir.for_loop -> profile:Profile.t -> loop_sid:int -> verdict

@@ -1,0 +1,73 @@
+type t = {
+  cfg : Voltron_ir.Cfg.t;
+  forms : (int, Affine.linexpr option) Hashtbl.t;  (** HIR sid -> index form *)
+  loop_vars : Voltron_ir.Hir.vreg list;
+}
+
+let create ~region_stmts cfg =
+  let loop_vars = ref [] in
+  Voltron_ir.Hir.iter_stmts
+    (fun ({ Voltron_ir.Hir.node; _ } : Voltron_ir.Hir.stmt) ->
+      match node with
+      | Voltron_ir.Hir.For { var; _ } -> loop_vars := var :: !loop_vars
+      | Voltron_ir.Hir.Assign _ | Voltron_ir.Hir.Store _ | Voltron_ir.Hir.If _ | Voltron_ir.Hir.Do_while _ -> ())
+    region_stmts;
+  {
+    cfg;
+    forms = Affine.index_forms ~loop_vars:[] region_stmts;
+    loop_vars = !loop_vars;
+  }
+
+let mem_ref t (op : Voltron_ir.Cfg.lop) = Hashtbl.find_opt t.cfg.Voltron_ir.Cfg.mem_refs op.Voltron_ir.Cfg.oid
+
+let is_mem t op = mem_ref t op <> None
+
+let is_write t op =
+  match mem_ref t op with Some r -> r.Voltron_ir.Cfg.m_write | None -> false
+
+let form_of t (op : Voltron_ir.Cfg.lop) =
+  if op.Voltron_ir.Cfg.hir_sid < 0 then None
+  else
+    match Hashtbl.find_opt t.forms op.Voltron_ir.Cfg.hir_sid with
+    | Some f -> f
+    | None -> None
+
+let same_instance_alias t a b =
+  match (mem_ref t a, mem_ref t b) with
+  | None, _ | _, None -> false
+  | Some ra, Some rb ->
+    ra.Voltron_ir.Cfg.m_arr = rb.Voltron_ir.Cfg.m_arr
+    && (match (form_of t a, form_of t b) with
+       | Some fa, Some fb -> (
+         match Affine.is_const (Affine.sub fa fb) with
+         | Some d -> d = 0
+         | None -> true)
+       | _ -> true)
+
+let ever_alias t a b =
+  match (mem_ref t a, mem_ref t b) with
+  | None, _ | _, None -> false
+  | Some ra, Some rb ->
+    ra.Voltron_ir.Cfg.m_arr = rb.Voltron_ir.Cfg.m_arr
+    &&
+    let fa = form_of t a and fb = form_of t b in
+    (match (fa, fb) with
+    | Some ea, Some eb -> (
+      match Affine.is_const (Affine.sub ea eb) with
+      | Some d when Affine.is_const ea <> None && Affine.is_const eb <> None ->
+        (* Both indices constant: collide iff equal. *)
+        d = 0
+      | Some _ | None ->
+        (* Linear in loop variables: disjoint only when some common
+           variable provably separates every pair of instances. *)
+        let separated =
+          List.exists
+            (fun var ->
+              match Affine.cross_iteration_alias ~var fa fb with
+              | Affine.Never -> true
+              | Affine.Same_iteration_only | Affine.May_cross | Affine.Unknown ->
+                false)
+            t.loop_vars
+        in
+        not separated)
+    | _ -> true)

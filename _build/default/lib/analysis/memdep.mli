@@ -1,0 +1,25 @@
+(** Memory-dependence queries over a lowered region.
+
+    Plays the role of the paper's pointer analysis [18]: symbolic arrays
+    never alias each other, and affine index forms disambiguate accesses
+    within an array. Two query strengths:
+
+    - [same_instance_alias]: can the two operations touch the same address
+      in the {e same} dynamic execution of their (common) control context?
+      Used for intra-block scheduling edges.
+    - [ever_alias]: can any two dynamic instances collide? Used by the
+      decoupled partitioners, which must keep possibly-dependent memory
+      operations on one core (paper §3.3/§4.1 — dependent memory
+      operations are placed on the same core so queue-based dummy
+      synchronisation is not needed on the fast path). *)
+
+type t
+
+val create : region_stmts:Voltron_ir.Hir.stmt list -> Voltron_ir.Cfg.t -> t
+
+val mem_ref : t -> Voltron_ir.Cfg.lop -> Voltron_ir.Cfg.mem_ref option
+val is_mem : t -> Voltron_ir.Cfg.lop -> bool
+val is_write : t -> Voltron_ir.Cfg.lop -> bool
+
+val same_instance_alias : t -> Voltron_ir.Cfg.lop -> Voltron_ir.Cfg.lop -> bool
+val ever_alias : t -> Voltron_ir.Cfg.lop -> Voltron_ir.Cfg.lop -> bool

@@ -1,0 +1,128 @@
+module Cache = Voltron_mem.Cache
+
+type loop_stat = {
+  mutable entered : int;
+  mutable total_trips : int;
+}
+
+type site_stat = {
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+(* One active loop instance on the interpreter's loop stack. *)
+type active = {
+  a_sid : int;
+  mutable a_iter : int;
+  last_write : (int, int) Hashtbl.t;  (** address -> iteration that wrote it *)
+}
+
+type t = {
+  loops : (int, loop_stat) Hashtbl.t;
+  cross_raw : (int, unit) Hashtbl.t;
+  sites : (int, site_stat) Hashtbl.t;
+  dyn : (int, int) Hashtbl.t;
+  mutable total : int;
+}
+
+let loop_stat t sid =
+  match Hashtbl.find_opt t.loops sid with
+  | Some s -> s
+  | None ->
+    let s = { entered = 0; total_trips = 0 } in
+    Hashtbl.replace t.loops sid s;
+    s
+
+let site_stat t sid =
+  match Hashtbl.find_opt t.sites sid with
+  | Some s -> s
+  | None ->
+    let s = { accesses = 0; misses = 0 } in
+    Hashtbl.replace t.sites sid s;
+    s
+
+let collect ?(cache = Voltron_mem.Coherence.default_config) (p : Voltron_ir.Hir.program) =
+  let t =
+    {
+      loops = Hashtbl.create 32;
+      cross_raw = Hashtbl.create 8;
+      sites = Hashtbl.create 64;
+      dyn = Hashtbl.create 128;
+      total = 0;
+    }
+  in
+  let l1 = Cache.create ~sets:cache.l1d_sets ~ways:cache.l1d_ways in
+  let stack : active list ref = ref [] in
+  let touch_cache sid addr =
+    let s = site_stat t sid in
+    s.accesses <- s.accesses + 1;
+    let line = addr / cache.line_words in
+    match Cache.find l1 line with
+    | Some _ -> Cache.touch l1 line
+    | None ->
+      s.misses <- s.misses + 1;
+      ignore (Cache.insert l1 line Cache.E)
+  in
+  let on_load ~sid ~arr:_ ~addr =
+    touch_cache sid addr;
+    List.iter
+      (fun a ->
+        match Hashtbl.find_opt a.last_write addr with
+        | Some w when w <> a.a_iter -> Hashtbl.replace t.cross_raw a.a_sid ()
+        | Some _ | None -> ())
+      !stack
+  in
+  let on_store ~sid ~arr:_ ~addr =
+    touch_cache sid addr;
+    List.iter (fun a -> Hashtbl.replace a.last_write addr a.a_iter) !stack
+  in
+  let events =
+    {
+      Voltron_ir.Interp.on_stmt =
+        (fun ~sid ->
+          t.total <- t.total + 1;
+          Hashtbl.replace t.dyn sid
+            (1 + Option.value ~default:0 (Hashtbl.find_opt t.dyn sid)));
+      on_load;
+      on_store;
+      on_loop_enter =
+        (fun ~sid ->
+          (loop_stat t sid).entered <- (loop_stat t sid).entered + 1;
+          stack := { a_sid = sid; a_iter = 0; last_write = Hashtbl.create 64 } :: !stack);
+      on_loop_iter =
+        (fun ~sid ~iter ->
+          match !stack with
+          | a :: _ when a.a_sid = sid -> a.a_iter <- iter
+          | _ -> ());
+      on_loop_exit =
+        (fun ~sid ~trips ->
+          (loop_stat t sid).total_trips <- (loop_stat t sid).total_trips + trips;
+          match !stack with
+          | a :: rest when a.a_sid = sid -> stack := rest
+          | _ -> ());
+    }
+  in
+  let (_ : Voltron_ir.Interp.result) = Voltron_ir.Interp.run ~events p in
+  t
+
+let instances t sid =
+  match Hashtbl.find_opt t.loops sid with Some s -> s.entered | None -> 0
+
+let avg_trip t sid =
+  match Hashtbl.find_opt t.loops sid with
+  | Some s when s.entered > 0 -> float_of_int s.total_trips /. float_of_int s.entered
+  | Some _ | None -> 0.
+
+let has_cross_raw t sid = Hashtbl.mem t.cross_raw sid
+
+let miss_rate t sid =
+  match Hashtbl.find_opt t.sites sid with
+  | Some s when s.accesses > 0 -> float_of_int s.misses /. float_of_int s.accesses
+  | Some _ | None -> 0.
+
+let access_count t sid =
+  match Hashtbl.find_opt t.sites sid with Some s -> s.accesses | None -> 0
+
+let dyn_count t sid = Option.value ~default:0 (Hashtbl.find_opt t.dyn sid)
+
+let total_dyn t = t.total

@@ -1,0 +1,38 @@
+(** Profiling, via the reference interpreter's event hooks.
+
+    Collects what the paper's compiler gets from its profiling runs (§4.1):
+    - loop trip counts (DOALL profitability threshold);
+    - observed cross-iteration read-after-write dependences per loop — a
+      loop with none is a {e statistical DOALL} candidate (§2);
+    - per-site load/store miss rates from a single-core cache simulation —
+      eBUG's "likely missing loads" and the selection heuristic's
+      miss-stall estimate;
+    - dynamic execution counts per site (region weights). *)
+
+type t
+
+val collect : ?cache:Voltron_mem.Coherence.config -> Voltron_ir.Hir.program -> t
+(** Runs the program once under the interpreter with profiling hooks. *)
+
+val instances : t -> int -> int
+(** How many times loop [sid] was entered. *)
+
+val avg_trip : t -> int -> float
+(** Mean iterations per entry of loop [sid]; 0 if never entered. *)
+
+val has_cross_raw : t -> int -> bool
+(** Was a cross-iteration read-after-write observed in loop [sid]?
+    (Cross-iteration WAR/WAW do not disqualify speculative DOALL under the
+    TM's in-order chunk commit — see [lib/mem/tm.mli].) *)
+
+val miss_rate : t -> int -> float
+(** Fraction of accesses at memory site [sid] that missed the profiling
+    cache; 0 for unexecuted sites. *)
+
+val access_count : t -> int -> int
+(** Dynamic executions of memory site [sid]. *)
+
+val dyn_count : t -> int -> int
+(** Dynamic executions of any statement site. *)
+
+val total_dyn : t -> int

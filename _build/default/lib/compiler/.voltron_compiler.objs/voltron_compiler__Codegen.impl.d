@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Array Lazy List Partition Printf Sched String Synth Voltron_analysis Voltron_ir Voltron_isa Voltron_machine

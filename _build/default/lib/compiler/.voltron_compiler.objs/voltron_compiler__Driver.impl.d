@@ -1,0 +1,1 @@
+lib/compiler/driver.ml: Codegen List Printf Select Voltron_analysis Voltron_ir Voltron_isa Voltron_machine Voltron_mem

@@ -1,0 +1,1 @@
+lib/compiler/driver.mli: Select Voltron_analysis Voltron_ir Voltron_isa Voltron_machine

@@ -1,0 +1,1 @@
+lib/compiler/opt.ml: Hashtbl List Option Voltron_ir Voltron_isa

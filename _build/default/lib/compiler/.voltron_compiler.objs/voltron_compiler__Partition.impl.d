@@ -1,0 +1,1 @@
+lib/compiler/partition.ml: Array Hashtbl List Option Voltron_analysis Voltron_ir Voltron_isa Voltron_util

@@ -1,0 +1,1 @@
+lib/compiler/partition.mli: Voltron_analysis Voltron_ir

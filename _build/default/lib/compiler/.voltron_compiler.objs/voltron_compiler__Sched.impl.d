@@ -1,0 +1,1 @@
+lib/compiler/sched.ml: Array Hashtbl List Option Partition Voltron_analysis Voltron_ir Voltron_isa Voltron_machine Voltron_net Voltron_util

@@ -1,0 +1,1 @@
+lib/compiler/select.ml: Array Codegen List Partition Printf Voltron_analysis Voltron_ir Voltron_machine

@@ -1,0 +1,1 @@
+lib/compiler/select.mli: Codegen Voltron_analysis Voltron_ir Voltron_machine

@@ -1,0 +1,1 @@
+lib/compiler/synth.ml: List Voltron_ir

@@ -1,0 +1,1 @@
+lib/compiler/synth.mli: Voltron_ir Voltron_isa

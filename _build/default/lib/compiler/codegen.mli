@@ -1,0 +1,49 @@
+(** Region code generation and whole-program assembly.
+
+    Core 0 is the master: it runs the sequential glue and orchestrates
+    every parallel region — spawning workers, entering/leaving coupled
+    mode, joining decoupled threads, committing DOALL rounds, and reducing
+    expanded accumulators (paper §3.2: "core0 behaves as the master,
+    spawning jobs... the general strategy used by our compiler").
+
+    Per-region strategies:
+    - [Seq]: everything on the master.
+    - [Coupled_ilp]: BUG partition over all cores, coupled mode, direct
+      network (§4.1 "Compiling for ILP").
+    - [Strands]: eBUG partition, decoupled fine-grain threads (§4.1
+      "Extracting strands using eBUG").
+    - [Dswp]: pipeline-stage partition, decoupled (§4.1); falls back to
+      [Strands] when no pipeline exists.
+    - [Doall]: chunked loop over all cores, speculative chunks running
+      under the transactional memory, accumulator expansion + reduction
+      (§4.1 "Extracting LLP from DOALL loops"). *)
+
+type strategy =
+  | Seq
+  | Coupled_ilp
+  | Strands
+  | Dswp
+  | Doall of doall_plan
+
+and doall_plan = {
+  dp_prefix : Voltron_ir.Hir.stmt list;  (** replicated on every core *)
+  dp_loop : Voltron_ir.Hir.for_loop;
+  dp_suffix : Voltron_ir.Hir.stmt list;  (** master only, after the join *)
+  dp_accumulators : Voltron_analysis.Doall.accumulator list;
+  dp_speculative : bool;  (** wrap chunks in TM transactions *)
+}
+
+type t
+
+val create : Voltron_machine.Config.t -> Voltron_ir.Hir.program -> t
+
+val layout : t -> Voltron_ir.Layout.t
+
+val emit_region : t -> name:string -> Voltron_ir.Hir.stmt list -> strategy -> unit
+(** Raises [Invalid_argument] if the region reads registers it does not
+    define (regions must be register-closed; pass data between regions
+    through memory). *)
+
+val finalize : t -> Voltron_isa.Program.t
+(** Appends the master's HALT, closes worker images, and packages the
+    executable with the data layout (arrays + compiler scratch). *)

@@ -1,0 +1,55 @@
+module Config = Voltron_machine.Config
+module Machine = Voltron_machine.Machine
+module Hir = Voltron_ir.Hir
+
+type compiled = {
+  executable : Voltron_isa.Program.t;
+  plan : Select.planned_region list;
+  oracle_checksum : int;
+  array_footprint : int;
+}
+
+let compile ~machine ?(choice = `Hybrid) ?profile (p : Hir.program) =
+  let profile =
+    match profile with
+    | Some pr -> pr
+    | None -> Voltron_analysis.Profile.collect p
+  in
+  let oracle = Voltron_ir.Interp.run p in
+  let array_footprint = Voltron_ir.Layout.mem_size oracle.Voltron_ir.Interp.layout in
+  let plan = Select.plan ~machine ~profile choice p in
+  let cg = Codegen.create machine p in
+  List.iter
+    (fun (pr : Select.planned_region) ->
+      Codegen.emit_region cg ~name:pr.Select.pr_name pr.Select.pr_stmts
+        pr.Select.pr_strategy)
+    plan;
+  let executable = Codegen.finalize cg in
+  {
+    executable;
+    plan;
+    oracle_checksum =
+      Voltron_mem.Memory.checksum_prefix oracle.Voltron_ir.Interp.memory
+        array_footprint;
+    array_footprint;
+  }
+
+let compile_baseline p =
+  compile ~machine:(Config.default ~n_cores:1) ~choice:`Seq p
+
+let verify machine compiled =
+  let m = Machine.create machine compiled.executable in
+  let result = Machine.run m in
+  match result.Machine.outcome with
+  | Machine.Out_of_cycles -> Error "out of cycles"
+  | Machine.Deadlock d -> Error ("deadlock: " ^ d)
+  | Machine.Finished ->
+    let sum =
+      Voltron_mem.Memory.checksum_prefix (Machine.memory m)
+        compiled.array_footprint
+    in
+    if sum = compiled.oracle_checksum then Ok result.Machine.cycles
+    else
+      Error
+        (Printf.sprintf "checksum mismatch: oracle %x, machine %x"
+           compiled.oracle_checksum sum)

@@ -1,0 +1,25 @@
+(** Top-level compilation entry points. *)
+
+type compiled = {
+  executable : Voltron_isa.Program.t;
+  plan : Select.planned_region list;
+  oracle_checksum : int;  (** reference interpreter's memory checksum *)
+  array_footprint : int;  (** words to compare (arrays only, no scratch) *)
+}
+
+val compile :
+  machine:Voltron_machine.Config.t ->
+  ?choice:Select.choice ->
+  ?profile:Voltron_analysis.Profile.t ->
+  Voltron_ir.Hir.program ->
+  compiled
+(** Profiles (unless given), selects a strategy per region ([`Hybrid] by
+    default), generates per-core code, and records the oracle checksum
+    over the array footprint for verification. *)
+
+val compile_baseline : Voltron_ir.Hir.program -> compiled
+(** Single-core sequential build (the paper's baseline). *)
+
+val verify : Voltron_machine.Config.t -> compiled -> (int, string) result
+(** Run the compiled program and compare its array-footprint checksum to
+    the oracle; [Ok cycles] on success. *)

@@ -1,0 +1,290 @@
+module Hir = Voltron_ir.Hir
+
+type options = {
+  if_convert : bool;
+  if_limit : int;
+  unroll : int;
+  dce : bool;
+}
+
+let default = { if_convert = true; if_limit = 4; unroll = 1; dce = true }
+
+let none = { if_convert = false; if_limit = 0; unroll = 1; dce = false }
+
+(* Fresh names shared by all passes over one program. *)
+type ctx = {
+  mutable next_vreg : int;
+  mutable next_sid : int;
+}
+
+let fresh_vreg ctx =
+  let v = ctx.next_vreg in
+  ctx.next_vreg <- v + 1;
+  v
+
+let mk ctx node =
+  let sid = ctx.next_sid in
+  ctx.next_sid <- sid + 1;
+  { Hir.sid; node }
+
+(* --- Substitution of operands (virtual-register renaming) ------------------- *)
+
+let sub_operand env (o : Hir.operand) =
+  match o with
+  | Hir.Imm _ -> o
+  | Hir.Reg r -> ( match List.assoc_opt r env with Some o' -> o' | None -> o)
+
+let sub_expr env (e : Hir.expr) : Hir.expr =
+  let s = sub_operand env in
+  match e with
+  | Hir.Alu (op, a, b) -> Hir.Alu (op, s a, s b)
+  | Hir.Fpu (op, a, b) -> Hir.Fpu (op, s a, s b)
+  | Hir.Cmp (op, a, b) -> Hir.Cmp (op, s a, s b)
+  | Hir.Select (p, a, b) -> Hir.Select (s p, s a, s b)
+  | Hir.Load (arr, i) -> Hir.Load (arr, s i)
+  | Hir.Operand o -> Hir.Operand (s o)
+
+let rec sub_stmt ctx env ({ Hir.node; _ } : Hir.stmt) : Hir.stmt =
+  match node with
+  | Hir.Assign (v, e) -> mk ctx (Hir.Assign (v, sub_expr env e))
+  | Hir.Store (a, i, x) ->
+    mk ctx (Hir.Store (a, sub_operand env i, sub_operand env x))
+  | Hir.If (c, t, e) ->
+    mk ctx
+      (Hir.If (sub_operand env c, List.map (sub_stmt ctx env) t, List.map (sub_stmt ctx env) e))
+  | Hir.For { var; init; limit; step; body } ->
+    mk ctx
+      (Hir.For
+         {
+           var;
+           init = sub_operand env init;
+           limit = sub_operand env limit;
+           step;
+           body = List.map (sub_stmt ctx env) body;
+         })
+  | Hir.Do_while { body; cond } ->
+    mk ctx
+      (Hir.Do_while
+         { body = List.map (sub_stmt ctx env) body; cond = sub_operand env cond })
+
+(* --- If-conversion ------------------------------------------------------------ *)
+
+(* A branch is convertible when it holds only register-pure assignments. *)
+let pure_assigns limit stmts =
+  List.length stmts <= limit
+  && List.for_all
+       (fun ({ Hir.node; _ } : Hir.stmt) ->
+         match node with
+         | Hir.Assign (_, (Hir.Alu _ | Hir.Fpu _ | Hir.Cmp _ | Hir.Select _ | Hir.Operand _)) ->
+           true
+         | Hir.Assign (_, Hir.Load _) | Hir.Store _ | Hir.If _ | Hir.For _
+         | Hir.Do_while _ ->
+           false)
+       stmts
+
+(* Rewrite the branch body into temporaries: returns the new statements and
+   the final (var -> temp operand) bindings. *)
+let predicate_branch ctx (stmts : Hir.stmt list) =
+  List.fold_left
+    (fun (acc, env) ({ Hir.node; _ } : Hir.stmt) ->
+      match node with
+      | Hir.Assign (v, e) ->
+        let tmp = fresh_vreg ctx in
+        let stmt = mk ctx (Hir.Assign (tmp, sub_expr env e)) in
+        (stmt :: acc, (v, Hir.Reg tmp) :: List.remove_assoc v env)
+      | Hir.Store _ | Hir.If _ | Hir.For _ | Hir.Do_while _ -> assert false)
+    ([], []) stmts
+  |> fun (acc, env) -> (List.rev acc, env)
+
+(* Use counts over a statement list, nested included. *)
+let use_counts stmts =
+  let table = Hashtbl.create 32 in
+  let note vs =
+    List.iter
+      (fun v ->
+        Hashtbl.replace table v (1 + Option.value ~default:0 (Hashtbl.find_opt table v)))
+      vs
+  in
+  Hir.iter_stmts
+    (fun ({ Hir.node; _ } : Hir.stmt) ->
+      match node with
+      | Hir.Assign (_, e) -> note (Hir.expr_uses e)
+      | Hir.Store (_, i, x) -> note (Hir.operand_uses i @ Hir.operand_uses x)
+      | Hir.If (c, _, _) -> note (Hir.operand_uses c)
+      | Hir.For { init; limit; _ } ->
+        note (Hir.operand_uses init @ Hir.operand_uses limit)
+      | Hir.Do_while { cond; _ } -> note (Hir.operand_uses cond))
+    stmts;
+  table
+
+(* [region_uses] counts uses across the whole region: a variable assigned
+   in a branch gets a merge SELECT only when it is read outside this If —
+   merging a branch-local temporary would fabricate a self-referencing
+   select ([x = c ? x' : x]) whose old-value read looks like a
+   cross-iteration dependence and poisons DOALL classification. *)
+let rec if_convert ctx limit region_uses (stmts : Hir.stmt list) : Hir.stmt list =
+  List.concat_map
+    (fun ({ Hir.node; _ } as stmt : Hir.stmt) ->
+      match node with
+      | Hir.If (c, then_, else_)
+        when pure_assigns limit then_ && pure_assigns limit else_ ->
+        let inner = use_counts [ stmt ] in
+        let live_outside v =
+          let total = Option.value ~default:0 (Hashtbl.find_opt region_uses v) in
+          let here = Option.value ~default:0 (Hashtbl.find_opt inner v) in
+          total > here
+        in
+        let t_stmts, t_env = predicate_branch ctx then_ in
+        let e_stmts, e_env = predicate_branch ctx else_ in
+        let assigned =
+          List.sort_uniq compare (List.map fst t_env @ List.map fst e_env)
+          |> List.filter live_outside
+        in
+        let merges =
+          List.map
+            (fun v ->
+              let t_val =
+                Option.value ~default:(Hir.Reg v) (List.assoc_opt v t_env)
+              in
+              let e_val =
+                Option.value ~default:(Hir.Reg v) (List.assoc_opt v e_env)
+              in
+              mk ctx (Hir.Assign (v, Hir.Select (c, t_val, e_val))))
+            assigned
+        in
+        t_stmts @ e_stmts @ merges
+      | Hir.If (c, then_, else_) ->
+        [
+          mk ctx
+            (Hir.If
+               ( c,
+                 if_convert ctx limit region_uses then_,
+                 if_convert ctx limit region_uses else_ ));
+        ]
+      | Hir.For f ->
+        [ mk ctx (Hir.For { f with Hir.body = if_convert ctx limit region_uses f.Hir.body }) ]
+      | Hir.Do_while { body; cond } ->
+        [ mk ctx (Hir.Do_while { body = if_convert ctx limit region_uses body; cond }) ]
+      | Hir.Assign _ | Hir.Store _ -> [ stmt ])
+    stmts
+
+(* --- Unrolling ----------------------------------------------------------------- *)
+
+let has_inner_loop stmts =
+  let found = ref false in
+  Hir.iter_stmts
+    (fun ({ Hir.node; _ } : Hir.stmt) ->
+      match node with
+      | Hir.For _ | Hir.Do_while _ -> found := true
+      | Hir.Assign _ | Hir.Store _ | Hir.If _ -> ())
+    stmts;
+  !found
+
+let rec unroll ctx factor (stmts : Hir.stmt list) : Hir.stmt list =
+  List.map
+    (fun ({ Hir.node; _ } as stmt : Hir.stmt) ->
+      match node with
+      | Hir.For { var; init = Hir.Imm lo; limit = Hir.Imm hi; step; body }
+        when factor > 1
+             && (not (has_inner_loop body))
+             &&
+             let trips = max 0 ((hi - lo + step - 1) / step) in
+             trips > 0 && trips mod factor = 0 ->
+        (* Copy k of the body sees var + k*step through a renamed temp. *)
+        let copies =
+          List.concat_map
+            (fun k ->
+              if k = 0 then List.map (sub_stmt ctx []) body
+              else begin
+                let shifted = fresh_vreg ctx in
+                let bind =
+                  mk ctx
+                    (Hir.Assign
+                       ( shifted,
+                         Hir.Alu (Voltron_isa.Inst.Add, Hir.Reg var, Hir.Imm (k * step)) ))
+                in
+                bind :: List.map (sub_stmt ctx [ (var, Hir.Reg shifted) ]) body
+              end)
+            (List.init factor (fun k -> k))
+        in
+        mk ctx
+          (Hir.For
+             {
+               var;
+               init = Hir.Imm lo;
+               limit = Hir.Imm hi;
+               step = step * factor;
+               body = copies;
+             })
+      | Hir.For f -> mk ctx (Hir.For { f with Hir.body = unroll ctx factor f.Hir.body })
+      | Hir.Do_while { body; cond } ->
+        mk ctx (Hir.Do_while { body = unroll ctx factor body; cond })
+      | Hir.If (c, t, e) -> mk ctx (Hir.If (c, unroll ctx factor t, unroll ctx factor e))
+      | Hir.Assign _ | Hir.Store _ -> stmt)
+    stmts
+
+(* --- Dead code elimination -------------------------------------------------------- *)
+
+let dce (stmts : Hir.stmt list) : Hir.stmt list =
+  (* Fixpoint: a register is live if any surviving statement reads it. *)
+  let rec pass stmts =
+    let used = Hashtbl.create 64 in
+    let note vs = List.iter (fun v -> Hashtbl.replace used v ()) vs in
+    Hir.iter_stmts
+      (fun ({ Hir.node; _ } : Hir.stmt) ->
+        match node with
+        | Hir.Assign (_, e) -> note (Hir.expr_uses e)
+        | Hir.Store (_, i, x) -> note (Hir.operand_uses i @ Hir.operand_uses x)
+        | Hir.If (c, _, _) -> note (Hir.operand_uses c)
+        | Hir.For { init; limit; _ } ->
+          note (Hir.operand_uses init @ Hir.operand_uses limit)
+        | Hir.Do_while { cond; _ } -> note (Hir.operand_uses cond))
+      stmts;
+    let changed = ref false in
+    let rec sweep stmts =
+      List.filter_map
+        (fun ({ Hir.node; _ } as stmt : Hir.stmt) ->
+          match node with
+          | Hir.Assign (v, _) when not (Hashtbl.mem used v) ->
+            changed := true;
+            None
+          | Hir.Assign _ | Hir.Store _ -> Some stmt
+          | Hir.If (c, t, e) ->
+            Some { stmt with Hir.node = Hir.If (c, sweep t, sweep e) }
+          | Hir.For f ->
+            Some { stmt with Hir.node = Hir.For { f with Hir.body = sweep f.Hir.body } }
+          | Hir.Do_while { body; cond } ->
+            Some { stmt with Hir.node = Hir.Do_while { body = sweep body; cond } })
+        stmts
+    in
+    let swept = sweep stmts in
+    if !changed then pass swept else swept
+  in
+  pass stmts
+
+(* --- Driver -------------------------------------------------------------------- *)
+
+let max_sid (p : Hir.program) =
+  let m = ref 0 in
+  List.iter
+    (fun (r : Hir.region) -> Hir.iter_stmts (fun s -> m := max !m s.Hir.sid) r.Hir.stmts)
+    p.Hir.regions;
+  !m
+
+let program ?(options = default) (p : Hir.program) =
+  let ctx = { next_vreg = p.Hir.n_vregs; next_sid = max_sid p + 1 } in
+  let apply stmts =
+    let stmts =
+      if options.if_convert then
+        if_convert ctx options.if_limit (use_counts stmts) stmts
+      else stmts
+    in
+    let stmts = if options.unroll > 1 then unroll ctx options.unroll stmts else stmts in
+    if options.dce then dce stmts else stmts
+  in
+  let regions =
+    List.map
+      (fun (r : Hir.region) -> { r with Hir.stmts = apply r.Hir.stmts })
+      p.Hir.regions
+  in
+  { p with Hir.regions; n_vregs = ctx.next_vreg }

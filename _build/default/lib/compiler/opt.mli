@@ -1,0 +1,39 @@
+(** HIR-to-HIR optimisation passes, applied before profiling/compilation:
+
+    - {b If-conversion}: small, pure (register-only) conditionals become
+      straight-line predicated code — each branch computes into fresh
+      temporaries and a SELECT merges per assigned variable. This is the
+      classic VLIW transformation the HPL-PD target invites; in decoupled
+      mode it also deletes the branch's cross-core predicate traffic.
+      Applied when both branches hold at most [if_limit] pure ALU
+      assignments (loads/stores never move: they could fault or reorder).
+
+    - {b Loop unrolling}: counted loops with known bounds whose trip count
+      is a multiple of [unroll] are rewritten to take [unroll] iterations
+      per trip, exposing more ILP per block and amortising the latch.
+      Bodies containing inner loops are left alone. Note the classic
+      phase-ordering hazard: unrolling duplicates accumulator updates,
+      which can demote a DOALL loop (accumulator recognition wants exactly
+      one update) — it is a user-directed pass, not part of the default
+      pipeline.
+
+    - {b Dead-code elimination}: assignments whose destination is never
+      read (transitively) are dropped. Loads count as removable: in a
+      valid program they are side-effect-free.
+
+    Every pass preserves the reference interpreter's memory image — a
+    property the test suite checks on random programs. *)
+
+type options = {
+  if_convert : bool;
+  if_limit : int;  (** max statements per converted branch *)
+  unroll : int;  (** 1 = off *)
+  dce : bool;
+}
+
+val default : options
+(** if-conversion on (limit 4), unrolling off, DCE on. *)
+
+val none : options
+
+val program : ?options:options -> Voltron_ir.Hir.program -> Voltron_ir.Hir.program

@@ -1,0 +1,505 @@
+module Inst = Voltron_isa.Inst
+module Bundle = Voltron_isa.Bundle
+module Cfg = Voltron_ir.Cfg
+module Depgraph = Voltron_analysis.Depgraph
+module Config = Voltron_machine.Config
+module Mesh = Voltron_net.Mesh
+module Vec = Voltron_util.Vec
+
+type result = {
+  block_code : Bundle.t list array array;
+  participants : int list;
+}
+
+(* A schedulable node: one or two (core, op) slots issued in the same
+   cycle (two for a coupled-mode PUT/GET move). *)
+type node = {
+  nid : int;
+  slots : (int * Inst.t) list;
+  is_comm : bool;
+  out_lat : int;
+  is_br : bool;
+}
+
+type builder = {
+  nodes : node Vec.t;
+  mutable edges : (int * int * int) list;  (* pred, succ, lat *)
+}
+
+let new_node b ?(is_comm = false) ?(is_br = false) ~out_lat slots =
+  let nid = Vec.length b.nodes in
+  Vec.push b.nodes { nid; slots; is_comm; out_lat; is_br };
+  nid
+
+let add_edge b p s lat = b.edges <- (p, s, lat) :: b.edges
+
+let schedule_region ~machine ~cfg ~(dg : Depgraph.t) ~(partition : Partition.t)
+    ~mode =
+  let mesh = Config.mesh machine in
+  let n_cores = machine.Config.n_cores in
+  let coupled = mode = Inst.Coupled in
+  let participants =
+    if coupled then List.init n_cores (fun c -> c) else partition.participants
+  in
+  let n_blocks = Array.length cfg.Cfg.blocks in
+  let n_ops = Array.length dg.Depgraph.ops in
+  let core_of i = partition.core_of.(i) in
+  let replicable i = core_of i = -1 in
+  (* Ops of each block, in program order, as dg indices. *)
+  let block_ops = Array.make n_blocks [] in
+  for i = n_ops - 1 downto 0 do
+    let bi = dg.Depgraph.block_of.(i) in
+    block_ops.(bi) <- i :: block_ops.(bi)
+  done;
+  (* Terminator-condition consumers: vreg -> block indices whose Branch
+     reads it. *)
+  let branch_conds : (Voltron_ir.Hir.vreg, int list) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri
+    (fun bi (block : Cfg.block) ->
+      match block.Cfg.b_term with
+      | Cfg.Branch { cond; _ } ->
+        Hashtbl.replace branch_conds cond
+          (bi :: Option.value ~default:[] (Hashtbl.find_opt branch_conds cond))
+      | Cfg.Jump _ | Cfg.Stop -> ())
+    cfg.Cfg.blocks;
+  let def_of_vreg v =
+    match Hashtbl.find_opt dg.Depgraph.defs_of v with
+    | Some (d :: _) -> Some d
+    | Some [] | None -> None
+  in
+  (* Consumer cores of op [i]'s defined value, excluding its home core. *)
+  let consumers_of i =
+    let home = core_of i in
+    let cores = Hashtbl.create 4 in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun u ->
+            if not (replicable u) then begin
+              let c = core_of u in
+              if c <> home then Hashtbl.replace cores c ()
+            end)
+          (Option.value ~default:[] (Hashtbl.find_opt dg.Depgraph.uses_of v));
+        (* Branch conditions are consumed by the replicated BR on every
+           participating core — but when the branch sits in the defining
+           op's own block, the terminator plan distributes it (BCAST or
+           pred-SEND) instead, so skip it here to avoid double delivery. *)
+        let def_block = dg.Depgraph.block_of.(i) in
+        let cond_blocks =
+          Option.value ~default:[] (Hashtbl.find_opt branch_conds v)
+        in
+        if List.exists (fun bb -> bb <> def_block) cond_blocks then
+          List.iter
+            (fun c -> if c <> home then Hashtbl.replace cores c ())
+            participants)
+      (Inst.defs dg.Depgraph.ops.(i).Cfg.inst);
+    Hashtbl.fold (fun c () acc -> c :: acc) cores [] |> List.sort compare
+  in
+  let out = Array.make_matrix n_cores n_blocks [] in
+  (* ----- per block ----- *)
+  Array.iteri
+    (fun bi (block : Cfg.block) ->
+      let b = { nodes = Vec.create (); edges = [] } in
+      (* node ids for (op, core); replicable ops get one per participant. *)
+      let op_node : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+      let lat_of i = dg.Depgraph.weight.(i) in
+      List.iter
+        (fun i ->
+          let op = dg.Depgraph.ops.(i) in
+          if replicable i then
+            List.iter
+              (fun c ->
+                let nid = new_node b ~out_lat:(lat_of i) [ (c, op.Cfg.inst) ] in
+                Hashtbl.replace op_node (i, c) nid)
+              participants
+          else begin
+            let c = core_of i in
+            let nid = new_node b ~out_lat:(lat_of i) [ (c, op.Cfg.inst) ] in
+            Hashtbl.replace op_node (i, c) nid
+          end)
+        block_ops.(bi);
+      (* Intra-block dependence edges, mapped through replication. *)
+      List.iter
+        (fun { Depgraph.e_src = p; e_dst = q; e_lat } ->
+          if
+            dg.Depgraph.block_of.(p) = bi
+            && dg.Depgraph.block_of.(q) = bi
+          then begin
+            match (replicable p, replicable q) with
+            | false, false ->
+              add_edge b
+                (Hashtbl.find op_node (p, core_of p))
+                (Hashtbl.find op_node (q, core_of q))
+                e_lat
+            | true, false ->
+              let c = core_of q in
+              (match Hashtbl.find_opt op_node (p, c) with
+              | Some np -> add_edge b np (Hashtbl.find op_node (q, c)) e_lat
+              | None -> ())
+            | false, true ->
+              let c = core_of p in
+              (match Hashtbl.find_opt op_node (q, c) with
+              | Some nq -> add_edge b (Hashtbl.find op_node (p, c)) nq e_lat
+              | None -> ())
+            | true, true ->
+              List.iter
+                (fun c ->
+                  match
+                    (Hashtbl.find_opt op_node (p, c), Hashtbl.find_opt op_node (q, c))
+                  with
+                  | Some np, Some nq -> add_edge b np nq e_lat
+                  | _ -> ())
+                participants
+          end)
+        dg.Depgraph.edges;
+      (* Value communication: deliveries for defs in this block, plus the
+         branch-condition distribution for this block's own terminator. *)
+      let fifo : (int * int, int list) Hashtbl.t = Hashtbl.create 8 in
+      (* (src,dst) -> send node ids in insertion (program) order, and the
+         matching receive nodes mirror the same order. *)
+      let fifo_recv : (int * int, int list) Hashtbl.t = Hashtbl.create 8 in
+      let chain tbl key nid =
+        let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+        (match prev with last :: _ -> add_edge b last nid 0 | [] -> ());
+        Hashtbl.replace tbl key (nid :: prev)
+      in
+      (* Wire a delivery node that writes [v] on core [c] into local uses
+         inside this block. *)
+      let wire_local_uses i v c delivery =
+        List.iter
+          (fun u ->
+            if (not (replicable u)) && dg.Depgraph.block_of.(u) = bi && core_of u = c
+            then begin
+              let nu = Hashtbl.find op_node (u, c) in
+              let uses_v = List.mem v (Inst.uses dg.Depgraph.ops.(u).Cfg.inst) in
+              let defines_v = List.mem v (Inst.defs dg.Depgraph.ops.(u).Cfg.inst) in
+              if uses_v || defines_v then
+                if u > i then add_edge b delivery nu 1
+                else add_edge b nu delivery 0
+            end)
+          (Option.value ~default:[]
+             (Hashtbl.find_opt dg.Depgraph.uses_of v))
+      in
+      let deliver_value i v dst =
+        let home = core_of i in
+        let def_node = Hashtbl.find op_node (i, home) in
+        if coupled then begin
+          (* Chain of same-cycle PUT/GET moves along the mesh route. *)
+          let path = Mesh.path_cores mesh ~src:home ~dst in
+          let rec hop prev_node = function
+            | a :: c :: rest ->
+              let dir =
+                List.find
+                  (fun d -> Mesh.neighbour mesh a d = Some c)
+                  [ Inst.North; Inst.South; Inst.East; Inst.West ]
+              in
+              let mv =
+                new_node b ~is_comm:true ~out_lat:1
+                  [
+                    (a, Inst.Put { dir; src = Inst.Reg v });
+                    (c, Inst.Get { dir = Inst.opposite dir; dst = v });
+                  ]
+              in
+              let lat = if prev_node = def_node then lat_of i else 1 in
+              add_edge b prev_node mv lat;
+              wire_local_uses i v c mv;
+              hop mv (c :: rest)
+            | [ _ ] | [] -> ()
+          in
+          hop def_node path
+        end
+        else begin
+          let send =
+            new_node b ~is_comm:true ~out_lat:1
+              [ (home, Inst.Send { target = dst; src = Inst.Reg v }) ]
+          in
+          add_edge b def_node send (lat_of i);
+          chain fifo (home, dst) send;
+          let kind =
+            if Hashtbl.mem branch_conds v then Inst.Rv_pred else Inst.Rv_data
+          in
+          let recv =
+            new_node b ~is_comm:true ~out_lat:1
+              [ (dst, Inst.Recv { sender = home; dst = v; kind }) ]
+          in
+          add_edge b send recv (1 + Mesh.hops mesh home dst);
+          chain fifo_recv (home, dst) recv;
+          wire_local_uses i v dst recv
+        end
+      in
+      List.iter
+        (fun i ->
+          if not (replicable i) then
+            List.iter
+              (fun dst ->
+                List.iter
+                  (fun v -> deliver_value i v dst)
+                  (Inst.defs dg.Depgraph.ops.(i).Cfg.inst))
+              (consumers_of i))
+        block_ops.(bi);
+      (* ----- terminator ----- *)
+      let next_label =
+        if bi + 1 < n_blocks then Some cfg.Cfg.blocks.(bi + 1).Cfg.b_label else None
+      in
+      let term_plan =
+        match block.Cfg.b_term with
+        | Cfg.Stop -> None
+        | Cfg.Jump l when Some l = next_label -> None
+        | Cfg.Jump l -> Some (l, None)
+        | Cfg.Branch { cond; invert; target } -> Some (target, Some (cond, invert))
+      in
+      let br_nodes = ref [] in
+      (match term_plan with
+      | None -> ()
+      | Some (target, cond_info) ->
+        (* Branch-condition availability per core. *)
+        let cond_dep_of_core =
+          match cond_info with
+          | None -> fun _ -> None
+          | Some (cond, _) -> (
+            match def_of_vreg cond with
+            | None -> fun _ -> None
+            | Some d ->
+              if replicable d then fun c ->
+                if dg.Depgraph.block_of.(d) = bi then
+                  Hashtbl.find_opt op_node (d, c)
+                else None
+              else if dg.Depgraph.block_of.(d) <> bi then (fun _ -> None)
+                (* delivered in the defining block; interlock covers *)
+              else begin
+                let home = core_of d in
+                let def_node = Hashtbl.find op_node (d, home) in
+                if coupled then begin
+                  (* BCAST/GETB distribution (Fig. 5(b)). *)
+                  let others = List.filter (fun c -> c <> home) participants in
+                  if others = [] then fun c ->
+                    if c = home then Some def_node else None
+                  else begin
+                    let bcast =
+                      new_node b ~is_comm:true ~out_lat:0
+                        [ (home, Inst.Bcast { src = Inst.Reg cond }) ]
+                    in
+                    add_edge b def_node bcast (lat_of d);
+                    let getb_of =
+                      List.map
+                        (fun c ->
+                          let g =
+                            new_node b ~is_comm:true ~out_lat:1
+                              [ (c, Inst.Getb { dst = cond }) ]
+                          in
+                          add_edge b bcast g (Mesh.hops mesh home c);
+                          (c, g))
+                        others
+                    in
+                    fun c ->
+                      if c = home then Some def_node else List.assoc_opt c getb_of
+                  end
+                end
+                else begin
+                  (* SEND/RECV(pred) distribution. *)
+                  let others = List.filter (fun c -> c <> home) participants in
+                  let recv_of =
+                    List.map
+                      (fun c ->
+                        let send =
+                          new_node b ~is_comm:true ~out_lat:1
+                            [ (home, Inst.Send { target = c; src = Inst.Reg cond }) ]
+                        in
+                        add_edge b def_node send (lat_of d);
+                        chain fifo (home, c) send;
+                        let recv =
+                          new_node b ~is_comm:true ~out_lat:1
+                            [ (c, Inst.Recv { sender = home; dst = cond; kind = Inst.Rv_pred }) ]
+                        in
+                        add_edge b send recv (1 + Mesh.hops mesh home c);
+                        chain fifo_recv (home, c) recv;
+                        (c, recv))
+                      others
+                  in
+                  fun c -> if c = home then Some def_node else List.assoc_opt c recv_of
+                end
+              end)
+        in
+        List.iter
+          (fun c ->
+            let pbr = new_node b ~out_lat:1 [ (c, Inst.Pbr { btr = 0; target }) ] in
+            let br_inst =
+              match cond_info with
+              | None -> Inst.Br { btr = 0; pred = None; invert = false }
+              | Some (cond, invert) ->
+                Inst.Br { btr = 0; pred = Some (Inst.Reg cond); invert }
+            in
+            let br = new_node b ~is_br:true ~out_lat:0 [ (c, br_inst) ] in
+            add_edge b pbr br 1;
+            (match cond_dep_of_core c with
+            | Some dep -> add_edge b dep br 1
+            | None -> ());
+            br_nodes := br :: !br_nodes)
+          participants);
+      (* ----- list scheduling ----- *)
+      let nodes = Vec.to_array b.nodes in
+      let n = Array.length nodes in
+      let succs = Array.make n [] and preds = Array.make n [] in
+      List.iter
+        (fun (p, s, lat) ->
+          succs.(p) <- (s, lat) :: succs.(p);
+          preds.(s) <- (p, lat) :: preds.(s))
+        b.edges;
+      (* Critical-path priorities (graph is a DAG; compute via memo DFS). *)
+      let prio = Array.make n (-1) in
+      let rec cp i =
+        if prio.(i) >= 0 then prio.(i)
+        else begin
+          let best =
+            List.fold_left (fun acc (j, lat) -> max acc (lat + cp j)) 0 succs.(i)
+          in
+          prio.(i) <- nodes.(i).out_lat + best;
+          prio.(i)
+        end
+      in
+      for i = 0 to n - 1 do
+        ignore (cp i)
+      done;
+      let cycle = Array.make n (-1) in
+      let main_used : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+      let comm_used : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+      let slot_count tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+      let fits node t =
+        List.for_all
+          (fun (c, _) ->
+            if node.is_comm then
+              slot_count comm_used (c, t) < machine.Config.comm_width
+            else slot_count main_used (c, t) < machine.Config.issue_width)
+          node.slots
+      in
+      let occupy node t =
+        List.iter
+          (fun (c, _) ->
+            let tbl = if node.is_comm then comm_used else main_used in
+            Hashtbl.replace tbl (c, t) (slot_count tbl (c, t) + 1))
+          node.slots
+      in
+      let unsched = ref 0 in
+      let n_real = ref 0 in
+      Array.iter (fun nd -> if not nd.is_br then incr n_real) nodes;
+      unsched := !n_real;
+      while !unsched > 0 do
+        (* Ready non-branch nodes. *)
+        let best = ref None in
+        Array.iter
+          (fun nd ->
+            if (not nd.is_br) && cycle.(nd.nid) < 0 then begin
+              let ready =
+                List.for_all (fun (p, _) -> nodes.(p).is_br || cycle.(p) >= 0) preds.(nd.nid)
+              in
+              if ready then
+                match !best with
+                | Some (bn, _) when prio.(bn) >= prio.(nd.nid) -> ()
+                | Some _ | None -> best := Some (nd.nid, nd)
+            end)
+          nodes;
+        match !best with
+        | None -> failwith "Sched: dependence cycle in block graph"
+        | Some (nid, nd) ->
+          let earliest =
+            List.fold_left
+              (fun acc (p, lat) ->
+                if nodes.(p).is_br then acc else max acc (cycle.(p) + lat))
+              0 preds.(nid)
+          in
+          let t = ref earliest in
+          while not (fits nd !t) do
+            incr t
+          done;
+          cycle.(nid) <- !t;
+          occupy nd !t;
+          decr unsched
+      done;
+      (* Branch placement. *)
+      let max_cycle =
+        Array.fold_left
+          (fun acc nd -> if nd.is_br then acc else max acc cycle.(nd.nid))
+          (-1) nodes
+      in
+      let brs = List.rev !br_nodes in
+      if brs <> [] then begin
+        let dep_ready nid =
+          List.fold_left
+            (fun acc (p, lat) -> max acc (cycle.(p) + lat))
+            0 preds.(nid)
+        in
+        if coupled then begin
+          (* All BRs in the same cycle, as the last bundle of the block. *)
+          let beta = ref (max 0 max_cycle) in
+          List.iter (fun nid -> beta := max !beta (dep_ready nid)) brs;
+          let fits_all t =
+            List.for_all (fun nid -> fits nodes.(nid) t) brs
+          in
+          while not (fits_all !beta) do
+            incr beta
+          done;
+          List.iter
+            (fun nid ->
+              cycle.(nid) <- !beta;
+              occupy nodes.(nid) !beta)
+            brs
+        end
+        else
+          List.iter
+            (fun nid ->
+              let nd = nodes.(nid) in
+              let core = match nd.slots with (c, _) :: _ -> c | [] -> assert false in
+              (* The branch must close its core's block: after every other
+                 op this core runs in the block. *)
+              let last_here =
+                Array.fold_left
+                  (fun acc other ->
+                    if other.is_br then acc
+                    else if List.exists (fun (c, _) -> c = core) other.slots then
+                      max acc cycle.(other.nid)
+                    else acc)
+                  (-1) nodes
+              in
+              let t = ref (max (dep_ready nid) (max 0 last_here)) in
+              while not (fits nd !t) do
+                incr t
+              done;
+              cycle.(nid) <- !t;
+              occupy nd !t)
+            brs
+      end;
+      (* ----- emission ----- *)
+      let total_len =
+        Array.fold_left (fun acc nd -> max acc (cycle.(nd.nid) + 1)) 0 nodes
+      in
+      List.iter
+        (fun c ->
+          (* Gather (cycle, inst) for this core. *)
+          let by_cycle : (int, Inst.t list) Hashtbl.t = Hashtbl.create 16 in
+          Array.iter
+            (fun nd ->
+              List.iter
+                (fun (core, inst) ->
+                  if core = c then
+                    Hashtbl.replace by_cycle cycle.(nd.nid)
+                      (inst
+                      :: Option.value ~default:[]
+                           (Hashtbl.find_opt by_cycle cycle.(nd.nid))))
+                nd.slots)
+            nodes;
+          let bundles =
+            if coupled then
+              List.init total_len (fun t ->
+                  Option.value ~default:[] (Hashtbl.find_opt by_cycle t))
+            else begin
+              let cycles =
+                Hashtbl.fold (fun t _ acc -> t :: acc) by_cycle []
+                |> List.sort compare
+              in
+              List.map (fun t -> Hashtbl.find by_cycle t) cycles
+            end
+          in
+          out.(c).(bi) <- bundles)
+        participants)
+    cfg.Cfg.blocks;
+  { block_code = out; participants }

@@ -1,0 +1,29 @@
+module Hir = Voltron_ir.Hir
+
+type t = {
+  lctx : Voltron_ir.Lower.ctx;
+  mutable next_sid : int;
+}
+
+let max_sid (p : Hir.program) =
+  let m = ref 0 in
+  List.iter
+    (fun (r : Hir.region) ->
+      Hir.iter_stmts (fun s -> m := max !m s.Hir.sid) r.Hir.stmts)
+    p.regions;
+  !m
+
+let create p lctx = { lctx; next_sid = max_sid p + 1 }
+
+let fresh_vreg t = Voltron_ir.Lower.fresh_vreg t.lctx
+
+let stmt t node =
+  let sid = t.next_sid in
+  t.next_sid <- sid + 1;
+  { Hir.sid; node }
+
+let assign t v e = stmt t (Hir.Assign (v, e))
+
+let bin t op a b =
+  let v = fresh_vreg t in
+  (assign t v (Hir.Alu (op, a, b)), Hir.Reg v)

@@ -1,0 +1,23 @@
+(** Compiler-synthesised HIR fragments (DOALL chunk bounds, accumulator
+    resets, loop-variable fix-ups). Site ids are allocated above the user
+    program's so the analysis tables never collide. *)
+
+type t
+
+val create : Voltron_ir.Hir.program -> Voltron_ir.Lower.ctx -> t
+
+val fresh_vreg : t -> Voltron_ir.Hir.vreg
+
+val stmt : t -> Voltron_ir.Hir.node -> Voltron_ir.Hir.stmt
+
+val assign : t -> Voltron_ir.Hir.vreg -> Voltron_ir.Hir.expr -> Voltron_ir.Hir.stmt
+
+val bin :
+  t ->
+  Voltron_isa.Inst.alu_op ->
+  Voltron_ir.Hir.operand ->
+  Voltron_ir.Hir.operand ->
+  Voltron_ir.Hir.stmt * Voltron_ir.Hir.operand
+(** Emit [fresh <- op a b]; returns the statement and the result operand. *)
+
+val max_sid : Voltron_ir.Hir.program -> int

@@ -1,0 +1,1 @@
+lib/core/run.ml: Voltron_compiler Voltron_machine Voltron_mem

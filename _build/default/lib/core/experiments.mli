@@ -1,0 +1,120 @@
+(** Reproductions of the paper's evaluation figures (§5.2). Each function
+    returns structured data; [print_*] renders the same rows/series the
+    figure plots. See EXPERIMENTS.md for paper-vs-measured numbers.
+
+    All speedups are over the single-core sequential baseline. [scale]
+    shrinks the workloads for quick runs (tests use 0.25). *)
+
+type per_type_speedup = {
+  bench : string;
+  sp_ilp : float;
+  sp_tlp : float;
+  sp_llp : float;
+}
+
+type stall_breakdown = {
+  sb_bench : string;
+  (* Fractions of baseline execution time, averaged over cores, for the
+     coupled-ILP and decoupled-TLP builds respectively. *)
+  coupled_i : float;
+  coupled_d : float;
+  coupled_other : float;
+  decoupled_i : float;
+  decoupled_d : float;
+  decoupled_recv : float;
+  decoupled_pred : float;
+  decoupled_sync : float;
+}
+
+type hybrid_speedup = { hs_bench : string; hs_2core : float; hs_4core : float }
+
+type mode_split = { ms_bench : string; coupled_pct : float; decoupled_pct : float }
+
+type classification = {
+  cl_bench : string;
+  pct_ilp : float;
+  pct_tlp : float;
+  pct_llp : float;
+  pct_single : float;
+}
+
+type micro_result = {
+  mi_name : string;
+  mi_paper : float;  (** the speedup the paper reports for the example *)
+  mi_measured : float;  (** ours, 2 cores, best strategy *)
+}
+
+val fig3 : ?scale:float -> ?benches:string list -> unit -> classification list
+(** Per-region measured classification: each region runs standalone under
+    each forced strategy on 4 cores; the winner's category is credited
+    with the region's dynamic weight (the paper's Fig. 3 methodology). *)
+
+val fig10 : ?scale:float -> ?benches:string list -> unit -> per_type_speedup list
+(** 2-core speedups per parallelism type. *)
+
+val fig11 : ?scale:float -> ?benches:string list -> unit -> per_type_speedup list
+(** 4-core speedups per parallelism type. *)
+
+val fig12 : ?scale:float -> ?benches:string list -> unit -> stall_breakdown list
+(** Stall-cycle breakdown, coupled vs decoupled, 4 cores. *)
+
+val fig13 : ?scale:float -> ?benches:string list -> unit -> hybrid_speedup list
+(** Hybrid (per-region best) speedups on 2 and 4 cores. *)
+
+val fig14 : ?scale:float -> ?benches:string list -> unit -> mode_split list
+(** Share of execution time spent in each mode during the 4-core hybrid
+    runs. *)
+
+val micro : ?scale:float -> unit -> micro_result list
+(** The Figs. 7-9 worked examples on 2 cores. *)
+
+(** {1 Ablations} — design-choice studies beyond the paper's figures
+    (DESIGN.md 4). Each returns printable rows. *)
+
+type ablation_row = { ab_label : string; ab_values : (string * float) list }
+
+val ablation_modes : ?scale:float -> unit -> ablation_row list
+(** Dual-mode value: per benchmark, hybrid vs the best and worst single
+    strategy on 4 cores — what having both modes buys over committing to
+    one. *)
+
+val ablation_capacity : ?scale:float -> unit -> ablation_row list
+(** Queue-mode channel capacity 1/2/4/32: how much decoupled pipelining
+    depends on queue slack (epic, 4 cores, forced TLP). *)
+
+val ablation_memlat : ?scale:float -> unit -> ablation_row list
+(** Main-memory latency 50/100/200 cycles: decoupled mode's miss tolerance
+    grows with latency while coupled ILP's gain shrinks (179.art, 4
+    cores). *)
+
+val ablation_tm : ?scale:float -> unit -> ablation_row list
+(** TM mis-speculation: a scatter loop profiled conflict-free but run with
+    0/4/16/64 colliding iterations — speedup decay and conflict counts as
+    speculation goes wrong. *)
+
+val ablation_scaling : ?scale:float -> unit -> ablation_row list
+(** Hybrid speedup at 2/4/8 cores (coupled groups capped at 4, paper
+    3.2). *)
+
+val ablation_energy : ?scale:float -> unit -> ablation_row list
+(** Energy and energy-delay product of the 4-core hybrid relative to the
+    single-core baseline (first-order model, {!Voltron_machine.Energy}). *)
+
+val ablation_issue_width : ?scale:float -> unit -> ablation_row list
+(** The paper's 1 alternative: one wide-issue core vs four simple coupled/
+    decoupled cores, same total issue slots. *)
+
+val ablation_ifconv : ?scale:float -> unit -> ablation_row list
+(** If-conversion: a strand loop whose small data-dependent conditional
+    costs a cross-core predicate round trip every iteration in decoupled
+    mode; predicating it away (Opt.program) recovers the loss. *)
+
+val print_ablations : title:string -> ablation_row list -> unit
+
+val print_fig3 : classification list -> unit
+val print_fig10 : per_type_speedup list -> unit
+val print_fig11 : per_type_speedup list -> unit
+val print_fig12 : stall_breakdown list -> unit
+val print_fig13 : hybrid_speedup list -> unit
+val print_fig14 : mode_split list -> unit
+val print_micro : micro_result list -> unit

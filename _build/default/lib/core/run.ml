@@ -1,0 +1,43 @@
+module Config = Voltron_machine.Config
+module Machine = Voltron_machine.Machine
+module Driver = Voltron_compiler.Driver
+
+type measurement = {
+  cycles : int;
+  stats : Voltron_machine.Stats.t;
+  verified : bool;
+  plan : Voltron_compiler.Select.planned_region list;
+  energy : Voltron_machine.Energy.report;
+}
+
+let run ?(choice = `Hybrid) ?profile ?(tweak = fun c -> c) ~n_cores program =
+  let machine = tweak (Config.default ~n_cores) in
+  let compiled = Driver.compile ~machine ~choice ?profile program in
+  let m = Machine.create machine compiled.Driver.executable in
+  let result = Machine.run m in
+  (match result.Machine.outcome with
+  | Machine.Finished -> ()
+  | Machine.Out_of_cycles -> failwith "simulation exceeded the cycle cap"
+  | Machine.Deadlock d -> failwith ("simulated deadlock: " ^ d));
+  let sum =
+    Voltron_mem.Memory.checksum_prefix (Machine.memory m)
+      compiled.Driver.array_footprint
+  in
+  {
+    cycles = result.Machine.cycles;
+    stats = Machine.stats m;
+    verified = sum = compiled.Driver.oracle_checksum;
+    plan = compiled.Driver.plan;
+    energy =
+      Voltron_machine.Energy.of_run ~stats:(Machine.stats m)
+        ~coherence:(Machine.coherence m) ~network:(Machine.network m) ();
+  }
+
+let baseline_cycles ?profile program =
+  (run ~choice:`Seq ?profile ~n_cores:1 program).cycles
+
+let speedup ?(choice = `Hybrid) ~n_cores program =
+  let base = baseline_cycles program in
+  let m = run ~choice ~n_cores program in
+  if not m.verified then failwith "speedup: memory image diverged from oracle";
+  float_of_int base /. float_of_int m.cycles

@@ -1,0 +1,32 @@
+(** One-call compile-and-simulate helpers — the facade most users (and the
+    examples, CLI and benchmark harness) go through. *)
+
+type measurement = {
+  cycles : int;
+  stats : Voltron_machine.Stats.t;
+  verified : bool;  (** memory image matched the reference interpreter *)
+  plan : Voltron_compiler.Select.planned_region list;
+  energy : Voltron_machine.Energy.report;
+}
+
+val run :
+  ?choice:Voltron_compiler.Select.choice ->
+  ?profile:Voltron_analysis.Profile.t ->
+  ?tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
+  n_cores:int ->
+  Voltron_ir.Hir.program ->
+  measurement
+(** Compile (default [`Hybrid]) for an [n_cores] Voltron and simulate to
+    completion. [tweak] adjusts the machine configuration (cache
+    latencies, network capacity, ...) before compiling — used by the
+    ablation benches. Raises [Failure] on simulator deadlock/overflow. *)
+
+val baseline_cycles : ?profile:Voltron_analysis.Profile.t -> Voltron_ir.Hir.program -> int
+(** Single-core sequential cycles (the paper's 1.0 reference). *)
+
+val speedup :
+  ?choice:Voltron_compiler.Select.choice ->
+  n_cores:int ->
+  Voltron_ir.Hir.program ->
+  float
+(** [baseline / parallel] cycles; also asserts verification. *)

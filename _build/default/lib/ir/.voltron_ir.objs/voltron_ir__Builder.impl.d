@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Hir List Voltron_isa Voltron_util

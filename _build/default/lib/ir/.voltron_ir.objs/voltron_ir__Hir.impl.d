@@ -1,0 +1,1 @@
+lib/ir/hir.ml: Array Format List Voltron_isa

@@ -1,0 +1,1 @@
+lib/ir/hir.mli: Format Voltron_isa

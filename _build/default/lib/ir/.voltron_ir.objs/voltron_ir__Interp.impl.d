@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Hir Layout List Printf Voltron_isa Voltron_mem

@@ -1,0 +1,1 @@
+lib/ir/interp.mli: Hir Layout Voltron_mem

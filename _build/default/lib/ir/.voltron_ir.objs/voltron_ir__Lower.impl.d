@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Cfg Hashtbl Hir Layout List Printf Voltron_isa Voltron_util

@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Cfg Hir Layout Voltron_isa

@@ -1,0 +1,158 @@
+type vreg = int
+type arr = int
+
+type operand = Reg of vreg | Imm of int
+
+type expr =
+  | Alu of Voltron_isa.Inst.alu_op * operand * operand
+  | Fpu of Voltron_isa.Inst.fpu_op * operand * operand
+  | Cmp of Voltron_isa.Inst.cmp_op * operand * operand
+  | Select of operand * operand * operand
+  | Load of arr * operand
+  | Operand of operand
+
+type stmt = { sid : int; node : node }
+
+and node =
+  | Assign of vreg * expr
+  | Store of arr * operand * operand
+  | If of operand * stmt list * stmt list
+  | For of for_loop
+  | Do_while of { body : stmt list; cond : operand }
+
+and for_loop = {
+  var : vreg;
+  init : operand;
+  limit : operand;
+  step : int;
+  body : stmt list;
+}
+
+type array_decl = {
+  arr_name : string;
+  size : int;
+  init : (int -> int) option;
+}
+
+type region = { region_name : string; stmts : stmt list }
+
+type program = {
+  prog_name : string;
+  arrays : array_decl array;
+  regions : region list;
+  n_vregs : int;
+}
+
+let rec iter_stmts f stmts =
+  List.iter
+    (fun stmt ->
+      f stmt;
+      match stmt.node with
+      | Assign _ | Store _ -> ()
+      | If (_, then_, else_) ->
+        iter_stmts f then_;
+        iter_stmts f else_
+      | For { body; _ } -> iter_stmts f body
+      | Do_while { body; _ } -> iter_stmts f body)
+    stmts
+
+let operand_uses = function Reg r -> [ r ] | Imm _ -> []
+
+let expr_uses = function
+  | Alu (_, a, b) | Fpu (_, a, b) | Cmp (_, a, b) -> operand_uses a @ operand_uses b
+  | Select (p, a, b) -> operand_uses p @ operand_uses a @ operand_uses b
+  | Load (_, idx) -> operand_uses idx
+  | Operand o -> operand_uses o
+
+let defined_vregs stmts =
+  let acc = ref [] in
+  iter_stmts
+    (fun stmt ->
+      match stmt.node with
+      | Assign (v, _) -> acc := v :: !acc
+      | For { var; _ } -> acc := var :: !acc
+      | Store _ | If _ | Do_while _ -> ())
+    stmts;
+  List.sort_uniq compare !acc
+
+let used_vregs stmts =
+  let acc = ref [] in
+  iter_stmts
+    (fun stmt ->
+      match stmt.node with
+      | Assign (_, e) -> acc := expr_uses e @ !acc
+      | Store (_, idx, v) -> acc := operand_uses idx @ operand_uses v @ !acc
+      | If (c, _, _) -> acc := operand_uses c @ !acc
+      | For { init; limit; _ } ->
+        acc := operand_uses init @ operand_uses limit @ !acc
+      | Do_while { cond; _ } -> acc := operand_uses cond @ !acc)
+    stmts;
+  List.sort_uniq compare !acc
+
+(* --- Pretty printing ------------------------------------------------------ *)
+
+let pp_operand ppf = function
+  | Reg r -> Format.fprintf ppf "v%d" r
+  | Imm i -> Format.fprintf ppf "%d" i
+
+let alu_name (op : Voltron_isa.Inst.alu_op) =
+  match op with
+  | Voltron_isa.Inst.Add -> "add" | Voltron_isa.Inst.Sub -> "sub"
+  | Voltron_isa.Inst.Mul -> "mul" | Voltron_isa.Inst.Div -> "div"
+  | Voltron_isa.Inst.Rem -> "rem" | Voltron_isa.Inst.And -> "and"
+  | Voltron_isa.Inst.Or -> "or" | Voltron_isa.Inst.Xor -> "xor"
+  | Voltron_isa.Inst.Shl -> "shl" | Voltron_isa.Inst.Shr -> "shr"
+  | Voltron_isa.Inst.Min -> "min" | Voltron_isa.Inst.Max -> "max"
+
+let pp_expr ppf = function
+  | Alu (op, a, b) ->
+    Format.fprintf ppf "%s(%a, %a)" (alu_name op) pp_operand a pp_operand b
+  | Fpu (op, a, b) ->
+    let name =
+      match op with
+      | Voltron_isa.Inst.Fadd -> "fadd"
+      | Voltron_isa.Inst.Fsub -> "fsub"
+      | Voltron_isa.Inst.Fmul -> "fmul"
+      | Voltron_isa.Inst.Fdiv -> "fdiv"
+    in
+    Format.fprintf ppf "%s(%a, %a)" name pp_operand a pp_operand b
+  | Cmp (op, a, b) ->
+    let name =
+      match op with
+      | Voltron_isa.Inst.Eq -> "==" | Voltron_isa.Inst.Ne -> "!="
+      | Voltron_isa.Inst.Lt -> "<" | Voltron_isa.Inst.Le -> "<="
+      | Voltron_isa.Inst.Gt -> ">" | Voltron_isa.Inst.Ge -> ">="
+    in
+    Format.fprintf ppf "%a %s %a" pp_operand a name pp_operand b
+  | Select (p, a, b) ->
+    Format.fprintf ppf "%a ? %a : %a" pp_operand p pp_operand a pp_operand b
+  | Load (a, idx) -> Format.fprintf ppf "arr%d[%a]" a pp_operand idx
+  | Operand o -> pp_operand ppf o
+
+let rec pp_stmt ppf stmt =
+  match stmt.node with
+  | Assign (v, e) -> Format.fprintf ppf "@[v%d = %a@]" v pp_expr e
+  | Store (a, idx, v) ->
+    Format.fprintf ppf "@[arr%d[%a] = %a@]" a pp_operand idx pp_operand v
+  | If (c, then_, else_) ->
+    Format.fprintf ppf "@[<v 2>if %a {@,%a@]@,}" pp_operand c pp_stmts then_;
+    if else_ <> [] then Format.fprintf ppf "@[<v 2> else {@,%a@]@,}" pp_stmts else_
+  | For { var; init; limit; step; body } ->
+    Format.fprintf ppf "@[<v 2>for v%d = %a; v%d < %a; v%d += %d {@,%a@]@,}" var
+      pp_operand init var pp_operand limit var step pp_stmts body
+  | Do_while { body; cond } ->
+    Format.fprintf ppf "@[<v 2>do {@,%a@]@,} while %a" pp_stmts body pp_operand cond
+
+and pp_stmts ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf stmts
+
+let pp_program ppf p =
+  Format.fprintf ppf "program %s (%d vregs)@." p.prog_name p.n_vregs;
+  Array.iteri
+    (fun i decl -> Format.fprintf ppf "  array %d: %s[%d]@." i decl.arr_name decl.size)
+    p.arrays;
+  List.iter
+    (fun region ->
+      Format.fprintf ppf "@[<v 2>region %s {@,%a@]@,}@." region.region_name pp_stmts
+        region.stmts)
+    p.regions

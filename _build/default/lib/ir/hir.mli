@@ -1,0 +1,79 @@
+(** The structured high-level IR the Voltron compiler consumes.
+
+    Workload kernels are built in this IR (via {!Builder}), interpreted by
+    {!Interp} (the correctness oracle), profiled, analysed for
+    dependences, and compiled down to per-core Voltron machine code.
+
+    Programs are a sequence of named {e regions} — the unit at which the
+    compiler selects a parallelisation strategy (paper §4.2: "the compiler
+    selects the best type of parallelism to exploit for each block in the
+    code"). A region is a list of statements over virtual registers and
+    symbolic arrays. Virtual registers are unbounded and single-assignment
+    {e per static occurrence} (a register may be re-assigned each loop
+    iteration, e.g. induction variables, but two distinct statements never
+    define the same register unless they are re-executions of one site) —
+    the builder enforces fresh names.
+
+    Every statement carries a unique site id ([sid]) used by profiling,
+    dependence analysis and partition maps. *)
+
+type vreg = int
+type arr = int
+
+type operand = Reg of vreg | Imm of int
+
+type expr =
+  | Alu of Voltron_isa.Inst.alu_op * operand * operand
+  | Fpu of Voltron_isa.Inst.fpu_op * operand * operand
+  | Cmp of Voltron_isa.Inst.cmp_op * operand * operand
+  | Select of operand * operand * operand  (** pred, if_true, if_false *)
+  | Load of arr * operand  (** array element read; never nested *)
+  | Operand of operand  (** move *)
+
+type stmt = { sid : int; node : node }
+
+and node =
+  | Assign of vreg * expr
+  | Store of arr * operand * operand  (** array, index, value *)
+  | If of operand * stmt list * stmt list
+  | For of for_loop
+  | Do_while of { body : stmt list; cond : operand }
+      (** [cond] must be assigned inside [body]; loops while truthy. *)
+
+and for_loop = {
+  var : vreg;  (** induction variable, private to the loop *)
+  init : operand;
+  limit : operand;  (** iterates while [var < limit] *)
+  step : int;  (** must be positive *)
+  body : stmt list;
+}
+
+type array_decl = {
+  arr_name : string;
+  size : int;
+  init : (int -> int) option;  (** element initialiser *)
+}
+
+type region = { region_name : string; stmts : stmt list }
+
+type program = {
+  prog_name : string;
+  arrays : array_decl array;
+  regions : region list;
+  n_vregs : int;  (** all vregs are below this bound *)
+}
+
+val iter_stmts : (stmt -> unit) -> stmt list -> unit
+(** Pre-order walk including nested statements. *)
+
+val defined_vregs : stmt list -> vreg list
+(** Registers assigned anywhere in the statements (including loop vars). *)
+
+val used_vregs : stmt list -> vreg list
+(** Registers read anywhere in the statements. *)
+
+val expr_uses : expr -> vreg list
+val operand_uses : operand -> vreg list
+
+val pp_program : Format.formatter -> program -> unit
+val pp_stmt : Format.formatter -> stmt -> unit

@@ -1,0 +1,116 @@
+module Memory = Voltron_mem.Memory
+module Semantics = Voltron_isa.Semantics
+
+type events = {
+  on_stmt : sid:int -> unit;
+  on_load : sid:int -> arr:Hir.arr -> addr:int -> unit;
+  on_store : sid:int -> arr:Hir.arr -> addr:int -> unit;
+  on_loop_enter : sid:int -> unit;
+  on_loop_iter : sid:int -> iter:int -> unit;
+  on_loop_exit : sid:int -> trips:int -> unit;
+}
+
+let null_events =
+  {
+    on_stmt = (fun ~sid:_ -> ());
+    on_load = (fun ~sid:_ ~arr:_ ~addr:_ -> ());
+    on_store = (fun ~sid:_ ~arr:_ ~addr:_ -> ());
+    on_loop_enter = (fun ~sid:_ -> ());
+    on_loop_iter = (fun ~sid:_ ~iter:_ -> ());
+    on_loop_exit = (fun ~sid:_ ~trips:_ -> ());
+  }
+
+type result = {
+  memory : Memory.t;
+  layout : Layout.t;
+  checksum : int;
+  dyn_stmts : int;
+}
+
+exception Step_limit_exceeded
+
+type state = {
+  regs : int array;
+  mem : Memory.t;
+  lay : Layout.t;
+  ev : events;
+  max_steps : int;
+  mutable steps : int;
+}
+
+let read st (o : Hir.operand) =
+  match o with Hir.Imm i -> i | Hir.Reg r -> st.regs.(r)
+
+let element_addr st arr idx =
+  let size = Layout.array_size st.lay arr in
+  if idx < 0 || idx >= size then
+    invalid_arg
+      (Printf.sprintf "Interp: index %d outside array %d of size %d" idx arr size);
+  Layout.base st.lay arr + idx
+
+let eval_expr st sid (e : Hir.expr) =
+  match e with
+  | Hir.Alu (op, a, b) -> Semantics.alu op (read st a) (read st b)
+  | Hir.Fpu (op, a, b) -> Semantics.fpu op (read st a) (read st b)
+  | Hir.Cmp (op, a, b) -> Semantics.cmp op (read st a) (read st b)
+  | Hir.Select (p, a, b) ->
+    if Semantics.truthy (read st p) then read st a else read st b
+  | Hir.Load (arr, idx) ->
+    let addr = element_addr st arr (read st idx) in
+    st.ev.on_load ~sid ~arr ~addr;
+    Memory.read st.mem addr
+  | Hir.Operand o -> read st o
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.max_steps then raise Step_limit_exceeded
+
+let rec exec_stmts st stmts = List.iter (exec_stmt st) stmts
+
+and exec_stmt st ({ Hir.sid; node } : Hir.stmt) =
+  tick st;
+  st.ev.on_stmt ~sid;
+  match node with
+  | Hir.Assign (v, e) -> st.regs.(v) <- eval_expr st sid e
+  | Hir.Store (arr, idx, value) ->
+    let addr = element_addr st arr (read st idx) in
+    st.ev.on_store ~sid ~arr ~addr;
+    Memory.write st.mem addr (read st value)
+  | Hir.If (c, then_, else_) ->
+    if Semantics.truthy (read st c) then exec_stmts st then_ else exec_stmts st else_
+  | Hir.For { var; init; limit; step; body } ->
+    st.ev.on_loop_enter ~sid;
+    let bound = read st limit in
+    st.regs.(var) <- read st init;
+    let iter = ref 0 in
+    while st.regs.(var) < bound do
+      st.ev.on_loop_iter ~sid ~iter:!iter;
+      exec_stmts st body;
+      st.regs.(var) <- st.regs.(var) + step;
+      incr iter
+    done;
+    st.ev.on_loop_exit ~sid ~trips:!iter
+  | Hir.Do_while { body; cond } ->
+    st.ev.on_loop_enter ~sid;
+    let iter = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      st.ev.on_loop_iter ~sid ~iter:!iter;
+      exec_stmts st body;
+      incr iter;
+      continue_ := Semantics.truthy (read st cond);
+      if !continue_ then tick st
+    done;
+    st.ev.on_loop_exit ~sid ~trips:!iter
+
+let run ?(events = null_events) ?(max_steps = 200_000_000) (p : Hir.program) =
+  let lay = Layout.compute p in
+  (* No compiler scratch here: oracle-vs-machine comparisons checksum only
+     the array footprint (Memory.checksum_prefix). *)
+  let mem = Memory.create (max 1 (Layout.mem_size lay)) in
+  Memory.load_init mem (Layout.mem_init lay p);
+  let st =
+    { regs = Array.make (max 1 p.n_vregs) 0; mem; lay; ev = events; max_steps; steps = 0 }
+  in
+  List.iter (fun (r : Hir.region) -> exec_stmts st r.stmts) p.regions;
+  { memory = mem; layout = lay; checksum = Memory.checksum mem; dyn_stmts = st.steps }

@@ -1,0 +1,32 @@
+(** Reference interpreter for {!Hir} programs — the correctness oracle.
+
+    Every compilation strategy must leave data memory in exactly the state
+    this interpreter produces (same layout, same checksum). The interpreter
+    also drives profiling: callers may hook the event callbacks to observe
+    loop trip counts, dynamic statement counts and memory accesses (the
+    profiler in [voltron_analysis] builds the paper's "memory profiling"
+    and "likely missing loads" information this way). *)
+
+type events = {
+  on_stmt : sid:int -> unit;
+  on_load : sid:int -> arr:Hir.arr -> addr:int -> unit;
+  on_store : sid:int -> arr:Hir.arr -> addr:int -> unit;
+  on_loop_enter : sid:int -> unit;
+  on_loop_iter : sid:int -> iter:int -> unit;  (** 0-based iteration index *)
+  on_loop_exit : sid:int -> trips:int -> unit;
+}
+
+val null_events : events
+
+type result = {
+  memory : Voltron_mem.Memory.t;
+  layout : Layout.t;
+  checksum : int;
+  dyn_stmts : int;  (** dynamic statement executions *)
+}
+
+exception Step_limit_exceeded
+
+val run : ?events:events -> ?max_steps:int -> Hir.program -> result
+(** [max_steps] (default 200 million dynamic statements) guards against
+    non-terminating [Do_while] loops. *)

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Bundle Format Image Inst List Printf Program String

@@ -1,0 +1,1 @@
+lib/isa/image.ml: Array Bundle Format Hashtbl Inst List Printf Voltron_util

@@ -1,0 +1,37 @@
+(** Assembler for textual Voltron programs.
+
+    The accepted syntax is exactly what {!Program.pp} prints — every
+    disassembly is reassemblable (a property the tests enforce) — plus two
+    data directives. A program is a sequence of sections:
+
+    {v
+    .memory 1024          ; data words (default 1024)
+    .init 100 41          ; mem[100] = 41 (repeatable)
+
+    === core 0 ===        ; bundle addresses like "12:" are optional
+    start:
+        spawn c1, worker
+        recv.sync r9 = c1
+        halt
+
+    === core 1 ===
+    worker:
+        mov r1 = #42 || send c0, #1
+        sleep
+    v}
+
+    [;] and [#] at line start introduce comments (a [#] {e inside} a line
+    is an immediate operand). Several ops joined by [||] form one bundle.
+    Bundle-width legality is the machine's concern, not the assembler's. *)
+
+exception Error of int * string  (** line number, message *)
+
+val parse : string -> Program.t
+(** Raises {!Error} on malformed input, unknown mnemonics, or a malformed
+    operand. Labels are per-core; [.init] addresses are validated against
+    [.memory]. *)
+
+val parse_file : string -> Program.t
+
+val roundtrip : Program.t -> Program.t
+(** [parse (print p)] — exposed for the tests' convenience. *)

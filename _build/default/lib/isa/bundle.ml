@@ -1,0 +1,44 @@
+type t = Inst.t list
+
+let empty = []
+
+let is_empty t = List.for_all (fun i -> i = Inst.Nop) t
+
+let is_comm inst = Inst.unit_class inst = Inst.Commun
+
+let main_ops t = List.filter (fun i -> not (is_comm i)) t
+
+let comm_ops t = List.filter is_comm t
+
+let branch t = List.find_opt Inst.is_branch t
+
+let count p t = List.length (List.filter p t)
+
+let real_main t =
+  List.filter (fun i -> (not (is_comm i)) && i <> Inst.Nop) t
+
+let legal ~issue_width ~comm_width t =
+  List.length (real_main t) <= issue_width
+  && count is_comm t <= comm_width
+  && count Inst.is_branch t <= 1
+
+let check ~issue_width ~comm_width t =
+  if not (legal ~issue_width ~comm_width t) then
+    invalid_arg
+      (Format.asprintf "Bundle.check: illegal bundle {%a} for widths %d+%d"
+         (Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+            Inst.pp)
+         t issue_width comm_width)
+
+let defs t = List.concat_map Inst.defs t
+
+let uses t = List.concat_map Inst.uses t
+
+let pp ppf t =
+  match t with
+  | [] -> Format.pp_print_string ppf "nop"
+  | ops ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " || ")
+      Inst.pp ppf ops

@@ -1,0 +1,57 @@
+type t = {
+  bundles : Bundle.t array;
+  addr_of_label : (Inst.label, int) Hashtbl.t;
+}
+
+type builder = {
+  buf : Bundle.t Voltron_util.Vec.t;
+  labels : (Inst.label, int) Hashtbl.t;
+}
+
+let builder () = { buf = Voltron_util.Vec.create (); labels = Hashtbl.create 16 }
+
+let next_addr b = Voltron_util.Vec.length b.buf
+
+let place_label b label =
+  if Hashtbl.mem b.labels label then
+    invalid_arg (Printf.sprintf "Image.place_label: duplicate label %s" label);
+  Hashtbl.replace b.labels label (next_addr b)
+
+let emit b bundle = Voltron_util.Vec.push b.buf bundle
+
+let emit_all b bundles = List.iter (emit b) bundles
+
+let finish b =
+  (* A label placed after the last bundle points one past the end; give it a
+     real landing pad so branches to it are well-defined. *)
+  let len = Voltron_util.Vec.length b.buf in
+  let dangling = Hashtbl.fold (fun _ addr acc -> acc || addr >= len) b.labels false in
+  if dangling then Voltron_util.Vec.push b.buf [ Inst.Halt ];
+  { bundles = Voltron_util.Vec.to_array b.buf; addr_of_label = Hashtbl.copy b.labels }
+
+let length t = Array.length t.bundles
+
+let fetch t addr =
+  if addr < 0 || addr >= Array.length t.bundles then
+    invalid_arg (Printf.sprintf "Image.fetch: address %d out of [0,%d)" addr (Array.length t.bundles));
+  t.bundles.(addr)
+
+let resolve t label =
+  match Hashtbl.find_opt t.addr_of_label label with
+  | Some addr -> addr
+  | None -> raise Not_found
+
+let has_label t label = Hashtbl.mem t.addr_of_label label
+
+let labels_at t addr =
+  Hashtbl.fold
+    (fun label a acc -> if a = addr then label :: acc else acc)
+    t.addr_of_label []
+  |> List.sort compare
+
+let pp ppf t =
+  Array.iteri
+    (fun addr bundle ->
+      List.iter (fun l -> Format.fprintf ppf "%s:@." l) (labels_at t addr);
+      Format.fprintf ppf "  %4d: %a@." addr Bundle.pp bundle)
+    t.bundles

@@ -1,0 +1,39 @@
+(** Per-core code images.
+
+    Each Voltron core fetches from its own instruction space (paper §3.2:
+    "the instructions for each core are located in different memory
+    spaces"), so a logical label resolves to a different physical address in
+    every core's image. An image is a flat array of bundles plus the
+    label→address map for that core. *)
+
+type t
+
+type builder
+
+val builder : unit -> builder
+
+val place_label : builder -> Inst.label -> unit
+(** Bind a label to the next emitted bundle's address. Rebinding a label is
+    an error. *)
+
+val emit : builder -> Bundle.t -> unit
+
+val emit_all : builder -> Bundle.t list -> unit
+
+val next_addr : builder -> int
+(** Address the next [emit] will occupy. *)
+
+val finish : builder -> t
+
+val length : t -> int
+val fetch : t -> int -> Bundle.t
+(** Raises [Invalid_argument] outside [0, length). *)
+
+val resolve : t -> Inst.label -> int
+(** Raises [Not_found] for labels absent from this image. *)
+
+val has_label : t -> Inst.label -> bool
+val labels_at : t -> int -> Inst.label list
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing with labels. *)

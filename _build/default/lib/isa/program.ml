@@ -1,0 +1,24 @@
+type t = {
+  images : Image.t array;
+  mem_size : int;
+  mem_init : (int * int) list;
+}
+
+let n_cores t = Array.length t.images
+
+let make ~images ~mem_size ~mem_init =
+  List.iter
+    (fun (addr, _) ->
+      if addr < 0 || addr >= mem_size then
+        invalid_arg
+          (Printf.sprintf "Program.make: init address %d outside memory of %d words"
+             addr mem_size))
+    mem_init;
+  { images; mem_size; mem_init }
+
+let pp ppf t =
+  Array.iteri
+    (fun core image ->
+      Format.fprintf ppf "=== core %d (%d bundles) ===@.%a" core
+        (Image.length image) Image.pp image)
+    t.images

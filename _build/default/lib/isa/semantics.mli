@@ -1,0 +1,15 @@
+(** Arithmetic semantics shared by the cycle simulator and the IR reference
+    interpreter — one definition so the correctness oracle and the machine
+    can never drift apart.
+
+    Total semantics: division/remainder by zero yields 0; shift amounts are
+    masked to [0, 31]. FP opcodes compute on integers (latency class only,
+    see DESIGN.md §2). *)
+
+val alu : Inst.alu_op -> int -> int -> int
+val fpu : Inst.fpu_op -> int -> int -> int
+val cmp : Inst.cmp_op -> int -> int -> int
+(** 1 when the relation holds, else 0. *)
+
+val truthy : int -> bool
+(** Branch-predicate interpretation: non-zero is taken. *)

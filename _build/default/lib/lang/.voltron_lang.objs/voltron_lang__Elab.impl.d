@@ -1,0 +1,1 @@
+lib/lang/elab.ml: Array Ast List Map Printf String Voltron_ir Voltron_isa Voltron_util

@@ -1,0 +1,1 @@
+lib/lang/elab.mli: Ast Voltron_ir

@@ -1,0 +1,1 @@
+lib/lang/frontend.ml: Ast Elab Filename Lexer Parser Printf

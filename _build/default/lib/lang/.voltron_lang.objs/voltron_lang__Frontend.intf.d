@@ -1,0 +1,1 @@
+lib/lang/frontend.mli: Voltron_ir

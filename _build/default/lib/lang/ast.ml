@@ -1,0 +1,99 @@
+type pos = { line : int; col : int }
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor
+
+type expr =
+  | Int of int
+  | Var of string * pos
+  | Index of string * expr * pos
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Ternary of expr * expr * expr
+
+type stmt =
+  | Decl of string * expr * pos
+  | Assign of string * expr * pos
+  | Store of string * expr * expr * pos
+  | If of expr * block * block
+  | For of { var : string; init : expr; limit : expr; step : int; body : block; pos : pos }
+  | DoWhile of block * expr
+
+and block = stmt list
+
+type array_init =
+  | Zero
+  | Random of int * int * int
+  | Fill of expr
+
+type decl = {
+  arr_name : string;
+  arr_size : int;
+  arr_init : array_init;
+  arr_pos : pos;
+}
+
+type region = { reg_name : string; reg_body : block; reg_pos : pos }
+
+type program = {
+  prog_name : string;
+  decls : decl list;
+  regions : region list;
+}
+
+(* --- Printing: parenthesise fully, so re-parsing is trivially faithful. --- *)
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | And -> "&" | Or -> "|" | Xor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Land -> "&&" | Lor -> "||"
+
+let rec pp_expr ppf = function
+  | Int i -> if i < 0 then Format.fprintf ppf "(%d)" i else Format.fprintf ppf "%d" i
+  | Var (x, _) -> Format.pp_print_string ppf x
+  | Index (a, e, _) -> Format.fprintf ppf "%s[%a]" a pp_expr e
+  | Bin (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Neg e -> Format.fprintf ppf "(-%a)" pp_expr e
+  | Ternary (c, t, e) ->
+    Format.fprintf ppf "(%a ? %a : %a)" pp_expr c pp_expr t pp_expr e
+
+let rec pp_stmt ppf = function
+  | Decl (x, e, _) -> Format.fprintf ppf "@[var %s = %a;@]" x pp_expr e
+  | Assign (x, e, _) -> Format.fprintf ppf "@[%s = %a;@]" x pp_expr e
+  | Store (a, i, v, _) ->
+    Format.fprintf ppf "@[%s[%a] = %a;@]" a pp_expr i pp_expr v
+  | If (c, t, []) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_block t
+  | If (c, t, e) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pp_expr
+      c pp_block t pp_block e
+  | For { var; init; limit; step; body; _ } ->
+    Format.fprintf ppf "@[<v 2>for (%s = %a; %s < %a; %s += %d) {@,%a@]@,}" var
+      pp_expr init var pp_expr limit var step pp_block body
+  | DoWhile (body, cond) ->
+    Format.fprintf ppf "@[<v 2>do {@,%a@]@,} while (%a);" pp_block body pp_expr cond
+
+and pp_block ppf block =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf block
+
+let pp_init ppf = function
+  | Zero -> ()
+  | Random (lo, hi, seed) -> Format.fprintf ppf " = random(%d, %d, %d)" lo hi seed
+  | Fill e -> Format.fprintf ppf " = fill(%a)" pp_expr e
+
+let pp_program ppf p =
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "array %s[%d]%a;@." d.arr_name d.arr_size pp_init
+        d.arr_init)
+    p.decls;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "@[<v 2>region %s {@,%a@]@,}@." r.reg_name pp_block
+        r.reg_body)
+    p.regions

@@ -1,0 +1,17 @@
+(** Elaboration of a parsed VC program into {!Voltron_ir.Hir}.
+
+    Scoping is lexical: [var] declarations are visible to the end of their
+    enclosing block and may shadow outer names; scalars are region-local
+    (regions exchange data through arrays, which keeps every region
+    register-closed, as the compiler requires). Loop variables are bound
+    by their [for] and cannot be assigned. [&&]/[||] are evaluated without
+    short-circuiting (both sides always execute), matching the predicated
+    VLIW target.
+
+    Array initialisers are evaluated at elaboration time with the shared
+    ISA arithmetic, so `fill(i * 3 + 1)` in source and the same expression
+    executed by the simulator agree exactly. *)
+
+exception Error of Ast.pos * string
+
+val program : Ast.program -> Voltron_ir.Hir.program

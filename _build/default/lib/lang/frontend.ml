@@ -1,0 +1,32 @@
+exception Error of { line : int; col : int; msg : string }
+
+let reraise (pos : Ast.pos) msg =
+  raise (Error { line = pos.Ast.line; col = pos.Ast.col; msg })
+
+let parse_string ~name src =
+  match Elab.program (Parser.parse ~name src) with
+  | program -> program
+  | exception Parser.Error (pos, msg) -> reraise pos msg
+  | exception Lexer.Error (pos, msg) -> reraise pos msg
+  | exception Elab.Error (pos, msg) -> reraise pos msg
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let src =
+    match really_input_string ic (in_channel_length ic) with
+    | src ->
+      close_in ic;
+      src
+    | exception e ->
+      close_in ic;
+      raise e
+  in
+  let name = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name src
+
+let error_to_string = function
+  | Error { line; col; msg } ->
+    Some (Printf.sprintf "line %d, column %d: %s" line col msg)
+  | Parser.Error (pos, msg) | Lexer.Error (pos, msg) | Elab.Error (pos, msg) ->
+    Some (Printf.sprintf "line %d, column %d: %s" pos.Ast.line pos.Ast.col msg)
+  | _ -> None

@@ -1,0 +1,41 @@
+(** The VC front end: source text to {!Voltron_ir.Hir} in one call.
+
+    VC is a small C-like language over machine integers, symbolic arrays
+    and named regions — the toolchain's equivalent of the C the paper
+    compiles. Grammar sketch:
+
+    {v
+    program  ::= (array | region)*
+    array    ::= "array" name "[" int "]"
+                 ("=" ("random" "(" lo "," hi "," seed ")"
+                      | "fill" "(" expr-over-i ")"))? ";"
+    region   ::= "region" name block
+    block    ::= "{" stmt* "}"
+    stmt     ::= "var" name "=" expr ";"
+               | name "=" expr ";"
+               | name "[" expr "]" "=" expr ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | "for" "(" v "=" expr ";" v "<" expr ";" v "+=" int ")" block
+               | "do" block "while" "(" expr ")" ";"
+    expr     ::= C expressions over int literals, scalars, array reads
+                 a[e], with ?:, ||, &&, |, ^, &, ==/!=, relational,
+                 shifts, additive, multiplicative, unary minus
+    v}
+
+    Comments: [//] to end of line and [/* ... */]. [&&]/[||] do not
+    short-circuit (both sides always evaluate — the target is a predicated
+    VLIW). Regions run in order; scalars are region-local; regions share
+    data through arrays. See [examples/programs/] for complete sources. *)
+
+exception Error of { line : int; col : int; msg : string }
+
+val parse_string : name:string -> string -> Voltron_ir.Hir.program
+(** Parse and elaborate; raises {!Error} with position info. *)
+
+val parse_file : string -> Voltron_ir.Hir.program
+(** [parse_file path] names the program after the file's basename. Raises
+    [Sys_error] if unreadable, {!Error} on syntax/elaboration errors. *)
+
+val error_to_string : exn -> string option
+(** Render {!Error} (or the underlying lexer/parser/elab errors) as
+    "line L, column C: msg"; [None] for unrelated exceptions. *)

@@ -1,0 +1,169 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_ARRAY | KW_REGION | KW_VAR | KW_FOR | KW_IF | KW_ELSE
+  | KW_DO | KW_WHILE | KW_RANDOM | KW_FILL
+  | LPAREN | RPAREN | LBRACK | RBRACK | LBRACE | RBRACE
+  | SEMI | COMMA | QUESTION | COLON
+  | ASSIGN | PLUSEQ
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | AMPAMP | PIPEPIPE
+  | SHL | SHR | LT | LE | GT | GE | EQEQ | NE
+  | EOF
+
+exception Error of Ast.pos * string
+
+let keyword_of = function
+  | "array" -> Some KW_ARRAY
+  | "region" -> Some KW_REGION
+  | "var" -> Some KW_VAR
+  | "for" -> Some KW_FOR
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "do" -> Some KW_DO
+  | "while" -> Some KW_WHILE
+  | "random" -> Some KW_RANDOM
+  | "fill" -> Some KW_FILL
+  | _ -> None
+
+let token_name = function
+  | INT i -> string_of_int i
+  | IDENT s -> s
+  | KW_ARRAY -> "array" | KW_REGION -> "region" | KW_VAR -> "var"
+  | KW_FOR -> "for" | KW_IF -> "if" | KW_ELSE -> "else"
+  | KW_DO -> "do" | KW_WHILE -> "while" | KW_RANDOM -> "random"
+  | KW_FILL -> "fill"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACK -> "[" | RBRACK -> "]"
+  | LBRACE -> "{" | RBRACE -> "}" | SEMI -> ";" | COMMA -> ","
+  | QUESTION -> "?" | COLON -> ":"
+  | ASSIGN -> "=" | PLUSEQ -> "+="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | AMPAMP -> "&&" | PIPEPIPE -> "||"
+  | SHL -> "<<" | SHR -> ">>" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | EQEQ -> "==" | NE -> "!="
+  | EOF -> "<eof>"
+
+type cursor = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let pos c = { Ast.line = c.line; col = c.col }
+
+let peek c = if c.off < String.length c.src then Some c.src.[c.off] else None
+
+let peek2 c =
+  if c.off + 1 < String.length c.src then Some c.src.[c.off + 1] else None
+
+let advance c =
+  (match peek c with
+  | Some '\n' ->
+    c.line <- c.line + 1;
+    c.col <- 1
+  | Some _ -> c.col <- c.col + 1
+  | None -> ());
+  c.off <- c.off + 1
+
+let is_digit ch = ch >= '0' && ch <= '9'
+
+let is_ident_start ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+
+let is_ident ch = is_ident_start ch || is_digit ch || ch = '.'
+
+let rec skip_trivia c =
+  match peek c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance c;
+    skip_trivia c
+  | Some '/' when peek2 c = Some '/' ->
+    while peek c <> None && peek c <> Some '\n' do
+      advance c
+    done;
+    skip_trivia c
+  | Some '/' when peek2 c = Some '*' ->
+    let start = pos c in
+    advance c;
+    advance c;
+    let rec close () =
+      match (peek c, peek2 c) with
+      | Some '*', Some '/' ->
+        advance c;
+        advance c
+      | Some _, _ ->
+        advance c;
+        close ()
+      | None, _ -> raise (Error (start, "unterminated block comment"))
+    in
+    close ();
+    skip_trivia c
+  | Some _ | None -> ()
+
+let lex_number c =
+  let start = c.off in
+  while (match peek c with Some ch -> is_digit ch | None -> false) do
+    advance c
+  done;
+  int_of_string (String.sub c.src start (c.off - start))
+
+let lex_ident c =
+  let start = c.off in
+  while (match peek c with Some ch -> is_ident ch | None -> false) do
+    advance c
+  done;
+  String.sub c.src start (c.off - start)
+
+let next_token c =
+  skip_trivia c;
+  let p = pos c in
+  let simple tok = advance c; (tok, p) in
+  let two tok = advance c; advance c; (tok, p) in
+  match peek c with
+  | None -> (EOF, p)
+  | Some ch when is_digit ch -> (INT (lex_number c), p)
+  | Some ch when is_ident_start ch -> (
+    let word = lex_ident c in
+    match keyword_of word with
+    | Some kw -> (kw, p)
+    | None -> (IDENT word, p))
+  | Some '(' -> simple LPAREN
+  | Some ')' -> simple RPAREN
+  | Some '[' -> simple LBRACK
+  | Some ']' -> simple RBRACK
+  | Some '{' -> simple LBRACE
+  | Some '}' -> simple RBRACE
+  | Some ';' -> simple SEMI
+  | Some ',' -> simple COMMA
+  | Some '?' -> simple QUESTION
+  | Some ':' -> simple COLON
+  | Some '+' -> if peek2 c = Some '=' then two PLUSEQ else simple PLUS
+  | Some '-' -> simple MINUS
+  | Some '*' -> simple STAR
+  | Some '/' -> simple SLASH
+  | Some '%' -> simple PERCENT
+  | Some '^' -> simple CARET
+  | Some '&' -> if peek2 c = Some '&' then two AMPAMP else simple AMP
+  | Some '|' -> if peek2 c = Some '|' then two PIPEPIPE else simple PIPE
+  | Some '<' ->
+    if peek2 c = Some '<' then two SHL
+    else if peek2 c = Some '=' then two LE
+    else simple LT
+  | Some '>' ->
+    if peek2 c = Some '>' then two SHR
+    else if peek2 c = Some '=' then two GE
+    else simple GT
+  | Some '=' -> if peek2 c = Some '=' then two EQEQ else simple ASSIGN
+  | Some '!' ->
+    if peek2 c = Some '=' then two NE
+    else raise (Error (p, "unexpected character '!'"))
+  | Some ch -> raise (Error (p, Printf.sprintf "unexpected character %C" ch))
+
+let tokenize src =
+  let c = { src; off = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let tok, p = next_token c in
+    if tok = EOF then List.rev ((EOF, p) :: acc) else go ((tok, p) :: acc)
+  in
+  go []

@@ -1,0 +1,24 @@
+(** Hand-written lexer for VC source. Tracks line/column positions for
+    error messages; supports [//] line comments and [/* ... */] block
+    comments. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_ARRAY | KW_REGION | KW_VAR | KW_FOR | KW_IF | KW_ELSE
+  | KW_DO | KW_WHILE | KW_RANDOM | KW_FILL
+  | LPAREN | RPAREN | LBRACK | RBRACK | LBRACE | RBRACE
+  | SEMI | COMMA | QUESTION | COLON
+  | ASSIGN | PLUSEQ
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | AMPAMP | PIPEPIPE
+  | SHL | SHR | LT | LE | GT | GE | EQEQ | NE
+  | EOF
+
+exception Error of Ast.pos * string
+
+val tokenize : string -> (token * Ast.pos) list
+(** Raises {!Error} on an unexpected character or unterminated comment. *)
+
+val token_name : token -> string
+(** For error messages. *)

@@ -1,0 +1,293 @@
+exception Error of Ast.pos * string
+
+type state = {
+  mutable toks : (Lexer.token * Ast.pos) list;
+}
+
+let peek st =
+  match st.toks with
+  | (tok, pos) :: _ -> (tok, pos)
+  | [] -> (Lexer.EOF, { Ast.line = 0; col = 0 })
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let fail pos what = raise (Error (pos, what))
+
+let expect st tok what =
+  let t, pos = peek st in
+  if t = tok then advance st
+  else fail pos (Printf.sprintf "expected %s, found '%s'" what (Lexer.token_name t))
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.IDENT x, _ ->
+    advance st;
+    x
+  | t, pos ->
+    fail pos (Printf.sprintf "expected %s, found '%s'" what (Lexer.token_name t))
+
+let expect_int st what =
+  match peek st with
+  | Lexer.INT i, _ ->
+    advance st;
+    i
+  | Lexer.MINUS, _ -> (
+    advance st;
+    match peek st with
+    | Lexer.INT i, _ ->
+      advance st;
+      -i
+    | t, pos ->
+      fail pos (Printf.sprintf "expected %s, found '%s'" what (Lexer.token_name t)))
+  | t, pos ->
+    fail pos (Printf.sprintf "expected %s, found '%s'" what (Lexer.token_name t))
+
+(* --- Expressions: precedence climbing ------------------------------------- *)
+
+(* Binding powers, loosest first:
+   ?:  ||  &&  |  ^  &  ==/!=  </<=/>/>=  <</>>  +/-  *//...  unary *)
+let binop_of_token (tok : Lexer.token) : (Ast.binop * int) option =
+  match tok with
+  | Lexer.PIPEPIPE -> Some (Ast.Lor, 1)
+  | Lexer.AMPAMP -> Some (Ast.Land, 2)
+  | Lexer.PIPE -> Some (Ast.Or, 3)
+  | Lexer.CARET -> Some (Ast.Xor, 4)
+  | Lexer.AMP -> Some (Ast.And, 5)
+  | Lexer.EQEQ -> Some (Ast.Eq, 6)
+  | Lexer.NE -> Some (Ast.Ne, 6)
+  | Lexer.LT -> Some (Ast.Lt, 7)
+  | Lexer.LE -> Some (Ast.Le, 7)
+  | Lexer.GT -> Some (Ast.Gt, 7)
+  | Lexer.GE -> Some (Ast.Ge, 7)
+  | Lexer.SHL -> Some (Ast.Shl, 8)
+  | Lexer.SHR -> Some (Ast.Shr, 8)
+  | Lexer.PLUS -> Some (Ast.Add, 9)
+  | Lexer.MINUS -> Some (Ast.Sub, 9)
+  | Lexer.STAR -> Some (Ast.Mul, 10)
+  | Lexer.SLASH -> Some (Ast.Div, 10)
+  | Lexer.PERCENT -> Some (Ast.Rem, 10)
+  | _ -> None
+
+let rec parse_ternary st =
+  let cond = parse_binary st 1 in
+  match peek st with
+  | Lexer.QUESTION, _ ->
+    advance st;
+    let then_ = parse_ternary st in
+    expect st Lexer.COLON "':' in conditional expression";
+    let else_ = parse_ternary st in
+    Ast.Ternary (cond, then_, else_)
+  | _ -> cond
+
+and parse_binary st min_bp =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (fst (peek st)) with
+    | Some (op, bp) when bp >= min_bp ->
+      advance st;
+      let rhs = parse_binary st (bp + 1) in
+      lhs := Ast.Bin (op, !lhs, rhs)
+    | Some _ | None -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS, _ ->
+    advance st;
+    Ast.Neg (parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT i, _ ->
+    advance st;
+    Ast.Int i
+  | Lexer.LPAREN, _ ->
+    advance st;
+    let e = parse_ternary st in
+    expect st Lexer.RPAREN "')'";
+    e
+  | Lexer.IDENT x, pos -> (
+    advance st;
+    match peek st with
+    | Lexer.LBRACK, _ ->
+      advance st;
+      let idx = parse_ternary st in
+      expect st Lexer.RBRACK "']'";
+      Ast.Index (x, idx, pos)
+    | _ -> Ast.Var (x, pos))
+  | t, pos ->
+    fail pos (Printf.sprintf "expected an expression, found '%s'" (Lexer.token_name t))
+
+(* --- Statements -------------------------------------------------------------- *)
+
+let rec parse_stmt st : Ast.stmt =
+  match peek st with
+  | Lexer.KW_VAR, pos ->
+    advance st;
+    let x = expect_ident st "a variable name after 'var'" in
+    expect st Lexer.ASSIGN "'=' in variable declaration";
+    let e = parse_ternary st in
+    expect st Lexer.SEMI "';'";
+    Ast.Decl (x, e, pos)
+  | Lexer.KW_IF, _ ->
+    advance st;
+    expect st Lexer.LPAREN "'(' after 'if'";
+    let cond = parse_ternary st in
+    expect st Lexer.RPAREN "')'";
+    let then_ = parse_block st in
+    let else_ =
+      match peek st with
+      | Lexer.KW_ELSE, _ ->
+        advance st;
+        parse_block st
+      | _ -> []
+    in
+    Ast.If (cond, then_, else_)
+  | Lexer.KW_FOR, pos ->
+    advance st;
+    expect st Lexer.LPAREN "'(' after 'for'";
+    let var = expect_ident st "the loop variable" in
+    expect st Lexer.ASSIGN "'=' in loop initialisation";
+    let init = parse_ternary st in
+    expect st Lexer.SEMI "';'";
+    let var2 = expect_ident st "the loop variable in the condition" in
+    if var2 <> var then
+      fail pos
+        (Printf.sprintf "loop condition must test '%s', found '%s'" var var2);
+    expect st Lexer.LT "'<' (loops iterate while var < limit)";
+    let limit = parse_ternary st in
+    expect st Lexer.SEMI "';'";
+    let var3 = expect_ident st "the loop variable in the step" in
+    if var3 <> var then
+      fail pos (Printf.sprintf "loop step must update '%s', found '%s'" var var3);
+    expect st Lexer.PLUSEQ "'+=' (loops step by a positive constant)";
+    let step = expect_int st "a positive step constant" in
+    if step <= 0 then fail pos "loop step must be positive";
+    expect st Lexer.RPAREN "')'";
+    let body = parse_block st in
+    Ast.For { var; init; limit; step; body; pos }
+  | Lexer.KW_DO, _ ->
+    advance st;
+    let body = parse_block st in
+    expect st Lexer.KW_WHILE "'while' after do-block";
+    expect st Lexer.LPAREN "'('";
+    let cond = parse_ternary st in
+    expect st Lexer.RPAREN "')'";
+    expect st Lexer.SEMI "';'";
+    Ast.DoWhile (body, cond)
+  | Lexer.IDENT x, pos -> (
+    advance st;
+    match peek st with
+    | Lexer.LBRACK, _ ->
+      advance st;
+      let idx = parse_ternary st in
+      expect st Lexer.RBRACK "']'";
+      expect st Lexer.ASSIGN "'=' in array store";
+      let v = parse_ternary st in
+      expect st Lexer.SEMI "';'";
+      Ast.Store (x, idx, v, pos)
+    | Lexer.ASSIGN, _ ->
+      advance st;
+      let e = parse_ternary st in
+      expect st Lexer.SEMI "';'";
+      Ast.Assign (x, e, pos)
+    | t, p ->
+      fail p
+        (Printf.sprintf "expected '=' or '[' after '%s', found '%s'" x
+           (Lexer.token_name t)))
+  | t, pos ->
+    fail pos (Printf.sprintf "expected a statement, found '%s'" (Lexer.token_name t))
+
+and parse_block st : Ast.block =
+  expect st Lexer.LBRACE "'{'";
+  let rec stmts acc =
+    match peek st with
+    | Lexer.RBRACE, _ ->
+      advance st;
+      List.rev acc
+    | Lexer.EOF, pos -> fail pos "unexpected end of file inside a block"
+    | _ -> stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+(* --- Top level ----------------------------------------------------------------- *)
+
+let parse_array_decl st pos : Ast.decl =
+  let arr_name = expect_ident st "an array name" in
+  expect st Lexer.LBRACK "'['";
+  let arr_size = expect_int st "the array size" in
+  expect st Lexer.RBRACK "']'";
+  let arr_init =
+    match peek st with
+    | Lexer.ASSIGN, _ -> (
+      advance st;
+      match peek st with
+      | Lexer.KW_RANDOM, _ ->
+        advance st;
+        expect st Lexer.LPAREN "'('";
+        let lo = expect_int st "the lower bound" in
+        expect st Lexer.COMMA "','";
+        let hi = expect_int st "the upper bound" in
+        expect st Lexer.COMMA "','";
+        let seed = expect_int st "the seed" in
+        expect st Lexer.RPAREN "')'";
+        Ast.Random (lo, hi, seed)
+      | Lexer.KW_FILL, _ ->
+        advance st;
+        expect st Lexer.LPAREN "'('";
+        let e = parse_ternary st in
+        expect st Lexer.RPAREN "')'";
+        Ast.Fill e
+      | t, p ->
+        fail p
+          (Printf.sprintf "expected random(...) or fill(...), found '%s'"
+             (Lexer.token_name t)))
+    | _ -> Ast.Zero
+  in
+  expect st Lexer.SEMI "';'";
+  { Ast.arr_name; arr_size; arr_init; arr_pos = pos }
+
+let parse ~name src =
+  let toks =
+    try Lexer.tokenize src with Lexer.Error (pos, msg) -> raise (Error (pos, msg))
+  in
+  let st = { toks } in
+  let decls = ref [] and regions = ref [] in
+  let rec go () =
+    match peek st with
+    | Lexer.EOF, _ -> ()
+    | Lexer.KW_ARRAY, pos ->
+      advance st;
+      decls := parse_array_decl st pos :: !decls;
+      go ()
+    | Lexer.KW_REGION, pos ->
+      advance st;
+      let reg_name = expect_ident st "a region name" in
+      let reg_body = parse_block st in
+      regions := { Ast.reg_name; reg_body; reg_pos = pos } :: !regions;
+      go ()
+    | t, pos ->
+      fail pos
+        (Printf.sprintf "expected 'array' or 'region' at top level, found '%s'"
+           (Lexer.token_name t))
+  in
+  go ();
+  { Ast.prog_name = name; decls = List.rev !decls; regions = List.rev !regions }
+
+let parse_expr src =
+  let toks =
+    try Lexer.tokenize src with Lexer.Error (pos, msg) -> raise (Error (pos, msg))
+  in
+  let st = { toks } in
+  let e = parse_ternary st in
+  (match peek st with
+  | Lexer.EOF, _ -> ()
+  | t, pos ->
+    fail pos (Printf.sprintf "trailing input: '%s'" (Lexer.token_name t)));
+  e

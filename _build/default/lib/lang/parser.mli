@@ -1,0 +1,12 @@
+(** Recursive-descent parser for VC source. Produces {!Ast.program}; all
+    failures raise {!Error} with a position and a message naming what was
+    expected. *)
+
+exception Error of Ast.pos * string
+
+val parse : name:string -> string -> Ast.program
+(** [parse ~name src] parses a whole translation unit. [name] becomes the
+    program name. Lexer errors are re-raised as {!Error}. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests). *)

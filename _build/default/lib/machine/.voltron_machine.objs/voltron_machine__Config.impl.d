@@ -1,0 +1,1 @@
+lib/machine/config.ml: Voltron_isa Voltron_mem Voltron_net

@@ -1,0 +1,1 @@
+lib/machine/config.mli: Voltron_isa Voltron_mem Voltron_net

@@ -1,0 +1,1 @@
+lib/machine/energy.ml: Array Format List Stats Voltron_mem Voltron_net

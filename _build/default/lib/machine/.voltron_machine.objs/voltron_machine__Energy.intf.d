@@ -1,0 +1,1 @@
+lib/machine/energy.mli: Format Stats Voltron_mem Voltron_net

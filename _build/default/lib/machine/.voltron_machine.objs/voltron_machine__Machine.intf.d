@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Config Stats Trace Voltron_isa Voltron_mem Voltron_net

@@ -1,0 +1,1 @@
+lib/machine/stats.ml: Array Format List Voltron_util

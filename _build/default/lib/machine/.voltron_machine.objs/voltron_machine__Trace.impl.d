@@ -1,0 +1,1 @@
+lib/machine/trace.ml: Array Format Hashtbl List Option Printf Stats Voltron_isa Voltron_util

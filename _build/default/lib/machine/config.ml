@@ -1,0 +1,45 @@
+type t = {
+  n_cores : int;
+  issue_width : int;
+  comm_width : int;
+  n_btrs : int;
+  cache : Voltron_mem.Coherence.config;
+  net_capacity : int;
+  max_cycles : int;
+  watchdog : int;
+}
+
+let default ~n_cores =
+  {
+    n_cores;
+    issue_width = 1;
+    comm_width = 1;
+    n_btrs = 8;
+    cache = Voltron_mem.Coherence.default_config;
+    net_capacity = 32;
+    max_cycles = 200_000_000;
+    watchdog = 100_000;
+  }
+
+let latency (inst : Voltron_isa.Inst.t) =
+  match inst with
+  | Alu { op; _ } -> (
+    match op with
+    | Mul -> 3
+    | Div | Rem -> 12
+    | Add | Sub | And | Or | Xor | Shl | Shr | Min | Max -> 1)
+  | Fpu { op; _ } -> ( match op with Fadd | Fsub | Fmul -> 4 | Fdiv -> 16)
+  | Cmp _ | Select _ | Mov _ -> 1
+  | Load _ -> 2
+  | Store _ -> 1
+  | Pbr _ -> 1
+  | Br _ -> 1
+  | Bcast _ | Put _ | Send _ | Spawn _ -> 1
+  | Getb _ | Get _ | Recv _ -> 1
+  | Sleep | Mode_switch _ | Tm_begin | Tm_commit | Halt | Nop -> 1
+
+let mesh t = Voltron_net.Mesh.create t.n_cores
+
+let queue_latency t ~src ~dst = 2 + Voltron_net.Mesh.hops (mesh t) src dst
+
+let direct_latency t ~src ~dst = max 1 (Voltron_net.Mesh.hops (mesh t) src dst)

@@ -1,0 +1,31 @@
+(** Machine configuration: core organisation, operation latencies (Itanium
+    latencies assumed per paper §5.1), cache geometry and network
+    parameters. The same configuration object parameterises the compiler's
+    latency estimates, so the schedule model and the simulator agree. *)
+
+type t = {
+  n_cores : int;
+  issue_width : int;  (** main-pipeline ops per bundle (paper evaluates 1) *)
+  comm_width : int;  (** communication-unit ops per bundle *)
+  n_btrs : int;  (** branch-target registers per core *)
+  cache : Voltron_mem.Coherence.config;
+  net_capacity : int;  (** receive-queue capacity per core *)
+  max_cycles : int;  (** hard simulation cap *)
+  watchdog : int;  (** abort after this many cycles without progress *)
+}
+
+val default : n_cores:int -> t
+(** The paper's setup: single-issue cores, one comm op per cycle, default
+    cache hierarchy. *)
+
+val latency : Voltron_isa.Inst.t -> int
+(** Static operation latency in cycles (load latency is the L1-hit use
+    delay; misses add on top through the hierarchy model). *)
+
+val queue_latency : t -> src:int -> dst:int -> int
+(** End-to-end SEND→RECV latency between two cores: 2 + hops (§3.1). *)
+
+val direct_latency : t -> src:int -> dst:int -> int
+(** Direct-mode latency: 1 cycle per hop (§3.1). *)
+
+val mesh : t -> Voltron_net.Mesh.t

@@ -1,0 +1,67 @@
+type weights = {
+  w_op : float;
+  w_mul_div : float;
+  w_mem_op : float;
+  w_comm_op : float;
+  w_l1_access : float;
+  w_l1_miss : float;
+  w_l2_miss : float;
+  w_msg_hop : float;
+  w_leak_core_cycle : float;
+}
+
+let default_weights =
+  {
+    w_op = 1.0;
+    w_mul_div = 3.0;
+    w_mem_op = 1.0;
+    w_comm_op = 1.0;
+    w_l1_access = 2.0;
+    w_l1_miss = 20.0;
+    w_l2_miss = 100.0;
+    w_msg_hop = 2.0;
+    w_leak_core_cycle = 0.3;
+  }
+
+type report = {
+  e_dynamic : float;
+  e_static : float;
+  e_total : float;
+  edp : float;
+}
+
+let of_run ?(weights = default_weights) ~(stats : Stats.t) ~coherence ~network
+    () =
+  let w = weights in
+  let f = float_of_int in
+  let per_core =
+    Array.to_list stats.Stats.per_core
+    |> List.map (fun (c : Stats.core) ->
+           (f c.Stats.ops *. w.w_op)
+           +. (f c.Stats.ops_mul_div *. w.w_mul_div)
+           +. (f c.Stats.ops_mem *. w.w_mem_op)
+           +. (f c.Stats.ops_comm *. w.w_comm_op))
+    |> List.fold_left ( +. ) 0.
+  in
+  let ch = Voltron_mem.Coherence.total_stats coherence in
+  let cache =
+    (f ch.Voltron_mem.Coherence.accesses *. w.w_l1_access)
+    +. (f ch.Voltron_mem.Coherence.l1d_misses *. w.w_l1_miss)
+    +. (f ch.Voltron_mem.Coherence.l1i_misses *. w.w_l1_miss)
+    +. (f ch.Voltron_mem.Coherence.l2_misses *. w.w_l2_miss)
+  in
+  let ns = Voltron_net.Operand_network.stats network in
+  let net =
+    f ns.Voltron_net.Operand_network.total_latency *. w.w_msg_hop /. 2.
+  in
+  let e_dynamic = per_core +. cache +. net in
+  let e_static =
+    f stats.Stats.cycles *. f stats.Stats.n_cores *. w.w_leak_core_cycle
+  in
+  let e_total = e_dynamic +. e_static in
+  { e_dynamic; e_static; e_total; edp = e_total *. f stats.Stats.cycles }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "energy: dynamic %.0f + static %.0f = %.0f units (EDP %.3e)" r.e_dynamic
+    r.e_static r.e_total r.edp

@@ -1,0 +1,713 @@
+module Inst = Voltron_isa.Inst
+module Bundle = Voltron_isa.Bundle
+module Image = Voltron_isa.Image
+module Program = Voltron_isa.Program
+module Semantics = Voltron_isa.Semantics
+module Memory = Voltron_mem.Memory
+module Tm = Voltron_mem.Tm
+module Coherence = Voltron_mem.Coherence
+module Mesh = Voltron_net.Mesh
+module Net = Voltron_net.Operand_network
+
+type outcome =
+  | Finished
+  | Out_of_cycles
+  | Deadlock of string
+
+type result = {
+  outcome : outcome;
+  cycles : int;
+  checksum : int;
+}
+
+type status =
+  | Running
+  | Asleep
+  | Halted
+  | At_barrier of Inst.mode
+  | At_commit
+  | Wait_serial
+
+(* What produced a register's in-flight value: classifies scoreboard
+   stalls (paper Fig. 12 taxonomy). *)
+type producer = P_load | P_recv_data | P_recv_pred | P_getb | P_other
+
+type core_state = {
+  id : int;
+  image : Image.t;
+  mutable pc : int;
+  mutable status : status;
+  mutable regs : int array;
+  mutable ready : int array;
+  mutable prod : producer array;
+  btrs : int array;
+  btr_ready : int array;
+  mutable fetch_done : int;
+  mutable mem_busy : int;
+  (* In-order blocking cache (paper §3.2: "if one core stalls due to cache
+     misses, all the cores must stall"): a miss freezes the core until the
+     fill completes; hits stay pipelined through the scoreboard. *)
+  mutable miss_stall_until : int;
+  (* Chunk snapshot for TM rollback: register file + the chunk's start pc. *)
+  mutable tm_snapshot : (int array * int) option;
+  mutable tm_serial : bool;
+}
+
+type t = {
+  cfg : Config.t;
+  prog : Program.t;
+  mem : Memory.t;
+  tm : Tm.t;
+  hier : Coherence.t;
+  net : Net.t;
+  cores : core_state array;
+  st : Stats.t;
+  mutable mode : Inst.mode;
+  mutable now : int;
+  mutable serial_queue : int list;
+  mutable last_progress : int;
+  mutable tracer : Trace.t option;
+}
+
+let initial_regs = 64
+
+let fresh_core cfg image id =
+  {
+    id;
+    image;
+    pc = 0;
+    status = (if id = 0 then Running else Asleep);
+    regs = Array.make initial_regs 0;
+    ready = Array.make initial_regs 0;
+    prod = Array.make initial_regs P_other;
+    btrs = Array.make cfg.Config.n_btrs 0;
+    btr_ready = Array.make cfg.Config.n_btrs 0;
+    fetch_done = 0;
+    mem_busy = 0;
+    miss_stall_until = 0;
+    tm_snapshot = None;
+    tm_serial = false;
+  }
+
+let validate_widths cfg (prog : Program.t) =
+  Array.iter
+    (fun image ->
+      for addr = 0 to Image.length image - 1 do
+        Bundle.check ~issue_width:cfg.Config.issue_width
+          ~comm_width:cfg.Config.comm_width (Image.fetch image addr)
+      done)
+    prog.images
+
+let create cfg (prog : Program.t) =
+  if Program.n_cores prog <> cfg.Config.n_cores then
+    invalid_arg
+      (Printf.sprintf "Machine.create: program has %d cores, config %d"
+         (Program.n_cores prog) cfg.Config.n_cores);
+  validate_widths cfg prog;
+  let mem = Memory.create prog.mem_size in
+  Memory.load_init mem prog.mem_init;
+  let mesh = Config.mesh cfg in
+  let t =
+    {
+      cfg;
+      prog;
+      mem;
+      tm = Tm.create mem ~n_cores:cfg.n_cores;
+      hier = Coherence.create cfg.cache ~n_cores:cfg.n_cores;
+      net = Net.create mesh ~receive_capacity:cfg.net_capacity;
+      cores = Array.init cfg.n_cores (fun id -> fresh_core cfg prog.images.(id) id);
+      st = Stats.create ~n_cores:cfg.n_cores;
+      mode = Inst.Decoupled;
+      now = 0;
+      serial_queue = [];
+      last_progress = 0;
+      tracer = None;
+    }
+  in
+  (* Core 0's first fetch starts at cycle 0. *)
+  t.cores.(0).fetch_done <- Coherence.access t.hier ~now:0 ~core:0 Coherence.Ifetch 0;
+  t
+
+let memory t = t.mem
+let stats t = t.st
+let coherence t = t.hier
+let network t = t.net
+let set_tracer t tr = t.tracer <- Some tr
+
+let trace t ev =
+  match t.tracer with None -> () | Some tr -> Trace.record tr ev
+
+(* --- Register file with growth ------------------------------------------- *)
+
+let ensure_reg cs r =
+  let n = Array.length cs.regs in
+  if r >= n then begin
+    let n' = max (r + 1) (2 * n) in
+    let grow a fill =
+      let a' = Array.make n' fill in
+      Array.blit a 0 a' 0 n;
+      a'
+    in
+    cs.regs <- grow cs.regs 0;
+    cs.ready <- grow cs.ready 0;
+    cs.prod <- grow cs.prod P_other
+  end
+
+let read_reg cs r =
+  ensure_reg cs r;
+  cs.regs.(r)
+
+let write_reg cs r v ~ready ~prod =
+  ensure_reg cs r;
+  cs.regs.(r) <- v;
+  cs.ready.(r) <- ready;
+  cs.prod.(r) <- prod
+
+let reg t ~core r = read_reg t.cores.(core) r
+
+let record_stall t ~core kind =
+  Stats.record_stall t.st ~core kind;
+  trace t (Trace.Stall { cycle = t.now; core; kind })
+
+(* --- Stall analysis ------------------------------------------------------ *)
+
+let producer_stall = function
+  | P_load -> Stats.D_stall
+  | P_recv_data -> Stats.Recv_data
+  | P_recv_pred -> Stats.Recv_pred
+  | P_getb -> Stats.Sync
+  | P_other -> Stats.Lat_stall
+
+(* First reason the core cannot issue its current bundle this cycle, or
+   [None] when it can. Has no side effects. *)
+let blocker t cs =
+  let now = t.now in
+  if now < cs.miss_stall_until then Some Stats.D_stall
+  else if now < cs.fetch_done then Some Stats.I_stall
+  else begin
+    let bundle = Image.fetch cs.image cs.pc in
+    let check_op acc op =
+      match acc with
+      | Some _ -> acc
+      | None ->
+        let reg_block =
+          List.fold_left
+            (fun acc r ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                ensure_reg cs r;
+                if cs.ready.(r) > now then Some (producer_stall cs.prod.(r))
+                else None)
+            None (Inst.uses op)
+        in
+        if reg_block <> None then reg_block
+        else begin
+          match op with
+          | Inst.Load _ | Inst.Store _ ->
+            if cs.mem_busy > now then Some Stats.D_stall else None
+          | Inst.Br { btr; _ } ->
+            if cs.btr_ready.(btr) > now then Some Stats.Lat_stall else None
+          | Inst.Recv { sender; kind; _ } ->
+            if Net.recv_ready t.net ~now ~core:cs.id ~sender then None
+            else
+              Some
+                (match kind with
+                | Inst.Rv_data -> Stats.Recv_data
+                | Inst.Rv_pred -> Stats.Recv_pred
+                | Inst.Rv_sync -> Stats.Sync)
+          | Inst.Getb _ ->
+            if Net.getb_ready t.net ~now ~core:cs.id then None
+            else Some Stats.Sync
+          | Inst.Send { target; _ } | Inst.Spawn { target; _ } ->
+            if Net.pending t.net ~src:cs.id ~dst:target >= t.cfg.net_capacity
+            then Some Stats.Sync
+            else None
+          | Inst.Alu _ | Inst.Fpu _ | Inst.Cmp _ | Inst.Select _ | Inst.Mov _
+          | Inst.Pbr _ | Inst.Bcast _ | Inst.Put _ | Inst.Get _ | Inst.Sleep
+          | Inst.Mode_switch _ | Inst.Tm_begin | Inst.Tm_commit | Inst.Halt
+          | Inst.Nop ->
+            None
+        end
+    in
+    List.fold_left check_op None bundle
+  end
+
+(* --- Bundle execution ----------------------------------------------------- *)
+
+(* VLIW read-before-write: snapshot every source register of the bundle
+   before any of its effects land. *)
+let snapshot_sources cs bundle =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun op -> List.iter (fun r -> Hashtbl.replace table r (read_reg cs r)) (Inst.uses op))
+    bundle;
+  table
+
+let read_operand snapshot (o : Inst.operand) =
+  match o with
+  | Inst.Imm i -> i
+  | Inst.Reg r -> (
+    match Hashtbl.find_opt snapshot r with
+    | Some v -> v
+    | None -> failwith "Machine: operand missing from bundle source snapshot")
+
+let is_comm_out (op : Inst.t) =
+  match op with
+  | Inst.Put _ | Inst.Bcast _ | Inst.Send _ | Inst.Spawn _ -> true
+  | Inst.Alu _ | Inst.Fpu _ | Inst.Cmp _ | Inst.Select _ | Inst.Load _
+  | Inst.Store _ | Inst.Mov _ | Inst.Pbr _ | Inst.Br _ | Inst.Getb _
+  | Inst.Get _ | Inst.Recv _ | Inst.Sleep | Inst.Mode_switch _ | Inst.Tm_begin
+  | Inst.Tm_commit | Inst.Halt | Inst.Nop ->
+    false
+
+(* Phase 1: communication-out ops (PUT/BCAST/SEND/SPAWN), executed for all
+   issuing cores before any core's phase 2, so that same-cycle PUT/GET and
+   BCAST pairing works across cores. *)
+let exec_comm_out t cs snapshot op =
+  let now = t.now in
+  match op with
+  | Inst.Put { dir; src } -> (
+    match Net.put t.net ~now ~src_core:cs.id dir (read_operand snapshot src) with
+    | Ok () -> ()
+    | Error msg -> failwith (Printf.sprintf "core %d cycle %d: %s" cs.id now msg))
+  | Inst.Bcast { src } ->
+    Net.bcast t.net ~now ~src_core:cs.id (read_operand snapshot src)
+  | Inst.Send { target; src } -> (
+    match
+      Net.send t.net ~now ~src:cs.id ~dst:target
+        (Net.Value (read_operand snapshot src))
+    with
+    | Ok () -> ()
+    | Error msg -> failwith (Printf.sprintf "core %d cycle %d: %s" cs.id now msg))
+  | Inst.Spawn { target; entry } -> (
+    let addr = Image.resolve t.prog.images.(target) entry in
+    t.st.spawns <- t.st.spawns + 1;
+    trace t (Trace.Spawned { cycle = t.now; by = cs.id; target });
+    match Net.send t.net ~now ~src:cs.id ~dst:target (Net.Start addr) with
+    | Ok () -> ()
+    | Error msg -> failwith (Printf.sprintf "core %d cycle %d: %s" cs.id now msg))
+  | Inst.Alu _ | Inst.Fpu _ | Inst.Cmp _ | Inst.Select _ | Inst.Load _
+  | Inst.Store _ | Inst.Mov _ | Inst.Pbr _ | Inst.Br _ | Inst.Getb _
+  | Inst.Get _ | Inst.Recv _ | Inst.Sleep | Inst.Mode_switch _ | Inst.Tm_begin
+  | Inst.Tm_commit | Inst.Halt | Inst.Nop ->
+    invalid_arg "exec_comm_out: not a communication-out op"
+
+(* Phase 2: everything else. Returns the branch target when the bundle's
+   branch is taken. *)
+let exec_main t cs snapshot op : int option =
+  let now = t.now in
+  let lat = Config.latency op in
+  let read = read_operand snapshot in
+  match op with
+  | Inst.Alu { op = a; dst; src1; src2 } ->
+    write_reg cs dst (Semantics.alu a (read src1) (read src2)) ~ready:(now + lat)
+      ~prod:P_other;
+    None
+  | Inst.Fpu { op = f; dst; src1; src2 } ->
+    write_reg cs dst (Semantics.fpu f (read src1) (read src2)) ~ready:(now + lat)
+      ~prod:P_other;
+    None
+  | Inst.Cmp { op = c; dst; src1; src2 } ->
+    write_reg cs dst (Semantics.cmp c (read src1) (read src2)) ~ready:(now + lat)
+      ~prod:P_other;
+    None
+  | Inst.Select { dst; pred; if_true; if_false } ->
+    let v = if Semantics.truthy (read pred) then read if_true else read if_false in
+    write_reg cs dst v ~ready:(now + lat) ~prod:P_other;
+    None
+  | Inst.Mov { dst; src } ->
+    write_reg cs dst (read src) ~ready:(now + lat) ~prod:P_other;
+    None
+  | Inst.Load { dst; base; offset } ->
+    let addr = read base + read offset in
+    let v = Tm.read t.tm ~core:cs.id addr in
+    let completion = Coherence.access t.hier ~now ~core:cs.id Coherence.Dload addr in
+    cs.mem_busy <- max cs.mem_busy completion;
+    if completion > now + t.cfg.cache.Coherence.lat_l1 then
+      cs.miss_stall_until <- max cs.miss_stall_until completion;
+    write_reg cs dst v ~ready:(max (now + lat) completion) ~prod:P_load;
+    None
+  | Inst.Store { base; offset; src } ->
+    let addr = read base + read offset in
+    Tm.write t.tm ~core:cs.id addr (read src);
+    let completion = Coherence.access t.hier ~now ~core:cs.id Coherence.Dstore addr in
+    cs.mem_busy <- max cs.mem_busy completion;
+    if completion > now + t.cfg.cache.Coherence.lat_l1 then
+      cs.miss_stall_until <- max cs.miss_stall_until completion;
+    None
+  | Inst.Pbr { btr; target } ->
+    cs.btrs.(btr) <- Image.resolve cs.image target;
+    cs.btr_ready.(btr) <- now + lat;
+    None
+  | Inst.Br { btr; pred; invert } ->
+    let taken =
+      match pred with
+      | None -> true
+      | Some p ->
+        let v = Semantics.truthy (read p) in
+        if invert then not v else v
+    in
+    if taken then Some cs.btrs.(btr) else None
+  | Inst.Getb { dst } -> (
+    match Net.getb t.net ~now ~core:cs.id with
+    | Some v ->
+      write_reg cs dst v ~ready:(now + lat) ~prod:P_getb;
+      None
+    | None -> failwith (Printf.sprintf "core %d cycle %d: GETB on empty broadcast" cs.id now))
+  | Inst.Get { dir; dst } -> (
+    match Net.get t.net ~now ~core:cs.id dir with
+    | Some v ->
+      write_reg cs dst v ~ready:(now + lat) ~prod:P_other;
+      None
+    | None ->
+      failwith
+        (Printf.sprintf "core %d cycle %d: GET with no paired PUT (lock-step broken?)"
+           cs.id now))
+  | Inst.Recv { sender; dst; kind } -> (
+    match Net.recv t.net ~now ~core:cs.id ~sender with
+    | Some v ->
+      let prod =
+        match kind with
+        | Inst.Rv_data -> P_recv_data
+        | Inst.Rv_pred -> P_recv_pred
+        | Inst.Rv_sync -> P_other
+      in
+      write_reg cs dst v ~ready:(now + lat) ~prod;
+      None
+    | None -> failwith (Printf.sprintf "core %d cycle %d: RECV raced its readiness check" cs.id now))
+  | Inst.Sleep ->
+    cs.status <- Asleep;
+    None
+  | Inst.Mode_switch m ->
+    cs.status <- At_barrier m;
+    None
+  | Inst.Tm_begin ->
+    if not cs.tm_serial then begin
+      Tm.tx_begin t.tm ~core:cs.id;
+      cs.tm_snapshot <- Some (Array.copy cs.regs, cs.pc)
+    end;
+    None
+  | Inst.Tm_commit ->
+    if cs.tm_serial then cs.tm_serial <- false (* serial chunk done *)
+    else cs.status <- At_commit;
+    None
+  | Inst.Halt ->
+    cs.status <- Halted;
+    None
+  | Inst.Nop -> None
+  | Inst.Put _ | Inst.Bcast _ | Inst.Send _ | Inst.Spawn _ ->
+    invalid_arg "exec_main: communication-out op in phase 2"
+
+let initiate_fetch t cs =
+  cs.fetch_done <-
+    Coherence.access t.hier ~now:t.now ~core:cs.id Coherence.Ifetch cs.pc
+
+(* Run one issuing core's full bundle (both phases are driven by the cycle
+   loop; this is phase 2 plus pc update). *)
+let finish_issue t cs snapshot bundle =
+  let issued_pc = cs.pc in
+  let target =
+    List.fold_left
+      (fun acc op ->
+        if is_comm_out op then acc
+        else
+          match exec_main t cs snapshot op with
+          | Some tgt -> Some tgt
+          | None -> acc)
+      None bundle
+  in
+  let core_st = Stats.core t.st cs.id in
+  core_st.busy <- core_st.busy + 1;
+  core_st.bundles <- core_st.bundles + 1;
+  List.iter
+    (fun op ->
+      if op <> Inst.Nop then begin
+        core_st.ops <- core_st.ops + 1;
+        (match Inst.unit_class op with
+        | Inst.Memory -> core_st.ops_mem <- core_st.ops_mem + 1
+        | Inst.Commun -> core_st.ops_comm <- core_st.ops_comm + 1
+        | Inst.Compute | Inst.Control -> ());
+        match op with
+        | Inst.Alu { op = Inst.Mul | Inst.Div | Inst.Rem; _ } | Inst.Fpu _ ->
+          core_st.ops_mul_div <- core_st.ops_mul_div + 1
+        | _ -> ()
+      end)
+    bundle;
+  t.last_progress <- t.now;
+  (match cs.status with
+  | Running ->
+    cs.pc <- (match target with Some tgt -> tgt | None -> cs.pc + 1);
+    initiate_fetch t cs
+  | Asleep | Halted -> ()
+  | At_barrier _ | At_commit | Wait_serial ->
+    (* Resume point: past this bundle (barrier ops never co-issue with a
+       taken branch in generated code, but honour one if present). *)
+    cs.pc <- (match target with Some tgt -> tgt | None -> cs.pc + 1));
+  trace t
+    (Trace.Issue
+       {
+         cycle = t.now;
+         core = cs.id;
+         pc = issued_pc;
+         ops = List.length (List.filter (fun o -> o <> Inst.Nop) bundle);
+       })
+
+(* --- Per-cycle stepping --------------------------------------------------- *)
+
+let record_idle t cs =
+  let core_st = Stats.core t.st cs.id in
+  core_st.idle <- core_st.idle + 1
+
+let try_wake t cs =
+  match Net.take_start t.net ~now:t.now ~core:cs.id with
+  | Some addr ->
+    cs.pc <- addr;
+    cs.status <- Running;
+    initiate_fetch t cs;
+    record_idle t cs
+  | None -> record_idle t cs
+
+(* Decoupled: each core progresses independently. *)
+let decoupled_step t =
+  Array.iter
+    (fun cs ->
+      match cs.status with
+      | Halted -> record_idle t cs
+      | Asleep -> try_wake t cs
+      | Wait_serial | At_barrier _ | At_commit ->
+        record_stall t ~core:cs.id Stats.Sync
+      | Running -> (
+        match blocker t cs with
+        | Some reason -> record_stall t ~core:cs.id reason
+        | None ->
+          let bundle = Image.fetch cs.image cs.pc in
+          let snapshot = snapshot_sources cs bundle in
+          List.iter
+            (fun op -> if is_comm_out op then exec_comm_out t cs snapshot op)
+            bundle;
+          finish_issue t cs snapshot bundle))
+    t.cores
+
+(* Coupled: lock-step with the stall bus — either every running core
+   issues, or none does. *)
+let coupled_step t =
+  let running =
+    Array.to_list t.cores |> List.filter (fun cs -> cs.status = Running)
+  in
+  List.iter
+    (fun cs ->
+      match cs.status with
+      | Running | At_barrier _ -> ()
+      | Asleep | Halted | At_commit | Wait_serial ->
+        failwith
+          (Printf.sprintf "core %d in unexpected state during coupled mode" cs.id))
+    (Array.to_list t.cores);
+  let blockers = List.map (fun cs -> (cs, blocker t cs)) running in
+  let any_blocked = List.exists (fun (_, b) -> b <> None) blockers in
+  if any_blocked then begin
+    (* Group stall: a core with its own reason records it; the rest record
+       the peers' dominant reason (D over I over the rest). *)
+    let reasons = List.filter_map snd blockers in
+    let dominant =
+      if List.mem Stats.D_stall reasons then Stats.D_stall
+      else if List.mem Stats.I_stall reasons then Stats.I_stall
+      else (match reasons with r :: _ -> r | [] -> Stats.Sync)
+    in
+    List.iter
+      (fun (cs, b) ->
+        record_stall t ~core:cs.id
+          (match b with Some r -> r | None -> dominant))
+      blockers
+  end
+  else begin
+    let issues =
+      List.map
+        (fun cs ->
+          let bundle = Image.fetch cs.image cs.pc in
+          (cs, bundle, snapshot_sources cs bundle))
+        running
+    in
+    List.iter
+      (fun (cs, bundle, snapshot) ->
+        List.iter
+          (fun op -> if is_comm_out op then exec_comm_out t cs snapshot op)
+          bundle)
+      issues;
+    List.iter (fun (cs, bundle, snapshot) -> finish_issue t cs snapshot bundle) issues
+  end;
+  (* Cores already waiting at the exit barrier count sync stalls. *)
+  Array.iter
+    (fun cs ->
+      match cs.status with
+      | At_barrier _ -> record_stall t ~core:cs.id Stats.Sync
+      | Running | Asleep | Halted | At_commit | Wait_serial -> ())
+    t.cores
+
+(* --- End-of-cycle resolution ---------------------------------------------- *)
+
+let resolve_mode_barrier t =
+  let statuses = Array.map (fun cs -> cs.status) t.cores in
+  let all_at_barrier =
+    Array.for_all (function At_barrier _ -> true | _ -> false) statuses
+  in
+  if all_at_barrier then begin
+    let target =
+      match statuses.(0) with
+      | At_barrier m -> m
+      | Running | Asleep | Halted | At_commit | Wait_serial -> assert false
+    in
+    Array.iter
+      (fun cs ->
+        (match cs.status with
+        | At_barrier m when m = target -> ()
+        | At_barrier _ ->
+          failwith "mode-switch barrier with disagreeing target modes"
+        | Running | Asleep | Halted | At_commit | Wait_serial -> assert false);
+        cs.status <- Running;
+        initiate_fetch t cs)
+      t.cores;
+    t.mode <- target;
+    t.st.mode_switches <- t.st.mode_switches + 1;
+    trace t (Trace.Mode_change { cycle = t.now; mode = target });
+    t.last_progress <- t.now
+  end
+
+let rollback t cs =
+  match cs.tm_snapshot with
+  | None -> failwith (Printf.sprintf "core %d: TM rollback without snapshot" cs.id)
+  | Some (regs, pc) ->
+    cs.regs <- Array.copy regs;
+    cs.ready <- Array.make (Array.length regs) t.now;
+    cs.prod <- Array.make (Array.length regs) P_other;
+    cs.pc <- pc;
+    cs.tm_serial <- true
+
+(* A TM round resolves only when EVERY core is in a transaction and waiting
+   at TM_COMMIT. This enforces the paper's in-order chunk commit: chunk i+1
+   can never commit before chunk i, even if its core raced ahead, so the
+   codegen contract is that every DOALL round runs one (possibly empty)
+   chunk on every core. *)
+let resolve_tm_round t =
+  let participants = List.init t.cfg.n_cores (fun c -> c) in
+  let all_ready =
+    List.for_all
+      (fun c -> Tm.in_tx t.tm ~core:c && t.cores.(c).status = At_commit)
+      participants
+  in
+  if all_ready then begin
+    t.st.tm_rounds <- t.st.tm_rounds + 1;
+    t.last_progress <- t.now;
+    match Tm.commit_round t.tm ~cores:participants with
+    | `All_committed ->
+      trace t (Trace.Tm_round { cycle = t.now; conflict_at = None });
+      List.iter
+        (fun c ->
+          let cs = t.cores.(c) in
+          cs.status <- Running;
+          cs.tm_snapshot <- None;
+          initiate_fetch t cs)
+        participants
+    | `Conflict_at first ->
+      t.st.tm_conflicts <- t.st.tm_conflicts + 1;
+      trace t (Trace.Tm_round { cycle = t.now; conflict_at = Some first });
+      let committed, aborted = List.partition (fun c -> c < first) participants in
+      List.iter
+        (fun c ->
+          let cs = t.cores.(c) in
+          cs.status <- Running;
+          cs.tm_snapshot <- None;
+          initiate_fetch t cs)
+        committed;
+      List.iter (fun c -> rollback t t.cores.(c)) aborted;
+      (match aborted with
+      | [] -> assert false
+      | head :: rest ->
+        let cs = t.cores.(head) in
+        cs.status <- Running;
+        initiate_fetch t cs;
+        List.iter (fun c -> t.cores.(c).status <- Wait_serial) rest);
+      t.serial_queue <- aborted
+  end
+
+let resolve_serial_queue t =
+  match t.serial_queue with
+  | [] -> ()
+  | head :: rest ->
+    let cs = t.cores.(head) in
+    (* The head finished its serial re-execution when its Tm_commit cleared
+       the serial flag. *)
+    if (not cs.tm_serial) && cs.status <> Wait_serial then begin
+      t.serial_queue <- rest;
+      match rest with
+      | [] -> ()
+      | next :: _ ->
+        let ncs = t.cores.(next) in
+        ncs.status <- Running;
+        initiate_fetch t ncs;
+        t.last_progress <- t.now
+    end
+
+let finished t =
+  t.cores.(0).status = Halted
+  && Array.for_all
+       (fun cs -> match cs.status with Halted | Asleep -> true | _ -> false)
+       t.cores
+  && Net.idle t.net
+
+let diagnose t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "no progress since cycle %d (now %d), mode %s\n" t.last_progress
+       t.now
+       (match t.mode with Inst.Coupled -> "coupled" | Inst.Decoupled -> "decoupled"));
+  Array.iter
+    (fun cs ->
+      let status =
+        match cs.status with
+        | Running -> (
+          match blocker t cs with
+          | Some Stats.I_stall -> "running (I-stall)"
+          | Some Stats.D_stall -> "running (D-stall)"
+          | Some Stats.Lat_stall -> "running (latency)"
+          | Some Stats.Recv_data -> "running (recv data)"
+          | Some Stats.Recv_pred -> "running (recv pred)"
+          | Some Stats.Sync -> "running (sync)"
+          | None -> "running (issueable?)")
+        | Asleep -> "asleep"
+        | Halted -> "halted"
+        | At_barrier m -> Format.asprintf "at barrier -> %a" Inst.pp_mode m
+        | At_commit -> "at TM commit"
+        | Wait_serial -> "waiting for serial token"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  core %d: pc=%d %s bundle={%s}\n" cs.id cs.pc status
+           (Format.asprintf "%a" Bundle.pp
+              (if cs.pc < Image.length cs.image then Image.fetch cs.image cs.pc else []))))
+    t.cores;
+  Buffer.contents buf
+
+let run t =
+  let outcome = ref None in
+  while !outcome = None do
+    t.now <- t.now + 1;
+    if t.now > t.cfg.max_cycles then outcome := Some Out_of_cycles
+    else begin
+      (match t.mode with
+      | Inst.Coupled ->
+        t.st.coupled_cycles <- t.st.coupled_cycles + 1;
+        coupled_step t
+      | Inst.Decoupled ->
+        t.st.decoupled_cycles <- t.st.decoupled_cycles + 1;
+        decoupled_step t);
+      resolve_mode_barrier t;
+      resolve_tm_round t;
+      resolve_serial_queue t;
+      if finished t then outcome := Some Finished
+      else if t.now - t.last_progress > t.cfg.watchdog then
+        outcome := Some (Deadlock (diagnose t))
+    end
+  done;
+  t.st.cycles <- t.now;
+  let outcome = match !outcome with Some o -> o | None -> assert false in
+  { outcome; cycles = t.now; checksum = Memory.checksum t.mem }

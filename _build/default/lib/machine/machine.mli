@@ -1,0 +1,56 @@
+(** The Voltron multicore cycle simulator.
+
+    Executes a {!Voltron_isa.Program.t} on [n] in-order VLIW cores joined by
+    the dual-mode scalar operand network, with coherent caches and
+    transactional memory. Core 0 starts at address 0 of its image; the
+    other cores start asleep, waiting for SPAWN. The machine starts in
+    decoupled mode.
+
+    {b Execution model.} Each core is an interlocked (stall-on-use) VLIW:
+    the compiler schedules for the static latencies in {!Config.latency}
+    and a scoreboard stalls the core when a source operand, the memory
+    unit, an instruction fetch, or a network value is not ready. Stall
+    cycles are attributed per Fig. 12 (I-, D-, data-receive,
+    predicate-receive, synchronisation). In coupled mode the 1-bit stall
+    bus makes every stall a group stall: no core issues unless all can
+    (§3.2). Architectural data lives in flat memory updated at issue time;
+    caches model timing only (DESIGN.md §5).
+
+    {b Transactions.} A TM commit round resolves when {e every} core is in
+    a transaction and waiting at TM_COMMIT — the in-order chunk-commit rule,
+    so the DOALL codegen gives every core one (possibly empty) chunk per
+    round. Chunks commit in core order, and on a conflict
+    the violating core and its successors roll back (registers restored
+    from the TM_BEGIN snapshot — standing in for the paper's
+    compiler-generated recovery code) and re-execute serially. *)
+
+type t
+
+type outcome =
+  | Finished
+  | Out_of_cycles
+  | Deadlock of string  (** watchdog diagnostic *)
+
+type result = {
+  outcome : outcome;
+  cycles : int;
+  checksum : int;  (** final data-memory checksum (the oracle value) *)
+}
+
+val create : Config.t -> Voltron_isa.Program.t -> t
+(** Raises [Invalid_argument] if the program's core count does not match
+    the configuration, or a bundle exceeds the configured widths. *)
+
+val run : t -> result
+
+val memory : t -> Voltron_mem.Memory.t
+val stats : t -> Stats.t
+val coherence : t -> Voltron_mem.Coherence.t
+val network : t -> Voltron_net.Operand_network.t
+
+val reg : t -> core:int -> int -> int
+(** Inspect a register after (or during) a run — used by tests. *)
+
+val set_tracer : t -> Trace.t -> unit
+(** Attach a structured tracer recording issues, stalls, mode switches,
+    spawns and TM rounds (see {!Trace}). *)

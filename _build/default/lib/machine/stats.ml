@@ -1,0 +1,109 @@
+type core = {
+  mutable busy : int;
+  mutable i_stall : int;
+  mutable d_stall : int;
+  mutable lat_stall : int;
+  mutable recv_data_stall : int;
+  mutable recv_pred_stall : int;
+  mutable sync_stall : int;
+  mutable idle : int;
+  mutable bundles : int;
+  mutable ops : int;
+  mutable ops_mem : int;
+  mutable ops_comm : int;
+  mutable ops_mul_div : int;
+}
+
+type t = {
+  n_cores : int;
+  per_core : core array;
+  mutable cycles : int;
+  mutable coupled_cycles : int;
+  mutable decoupled_cycles : int;
+  mutable mode_switches : int;
+  mutable spawns : int;
+  mutable tm_rounds : int;
+  mutable tm_conflicts : int;
+}
+
+type stall_kind =
+  | I_stall
+  | D_stall
+  | Lat_stall
+  | Recv_data
+  | Recv_pred
+  | Sync
+
+let fresh_core () =
+  {
+    busy = 0;
+    i_stall = 0;
+    d_stall = 0;
+    lat_stall = 0;
+    recv_data_stall = 0;
+    recv_pred_stall = 0;
+    sync_stall = 0;
+    idle = 0;
+    bundles = 0;
+    ops = 0;
+    ops_mem = 0;
+    ops_comm = 0;
+    ops_mul_div = 0;
+  }
+
+let create ~n_cores =
+  {
+    n_cores;
+    per_core = Array.init n_cores (fun _ -> fresh_core ());
+    cycles = 0;
+    coupled_cycles = 0;
+    decoupled_cycles = 0;
+    mode_switches = 0;
+    spawns = 0;
+    tm_rounds = 0;
+    tm_conflicts = 0;
+  }
+
+let record_stall t ~core kind =
+  let c = t.per_core.(core) in
+  match kind with
+  | I_stall -> c.i_stall <- c.i_stall + 1
+  | D_stall -> c.d_stall <- c.d_stall + 1
+  | Lat_stall -> c.lat_stall <- c.lat_stall + 1
+  | Recv_data -> c.recv_data_stall <- c.recv_data_stall + 1
+  | Recv_pred -> c.recv_pred_stall <- c.recv_pred_stall + 1
+  | Sync -> c.sync_stall <- c.sync_stall + 1
+
+let core t i = t.per_core.(i)
+
+let total_stalls c =
+  c.i_stall + c.d_stall + c.lat_stall + c.recv_data_stall + c.recv_pred_stall
+  + c.sync_stall
+
+let stall_of c = function
+  | I_stall -> c.i_stall
+  | D_stall -> c.d_stall
+  | Lat_stall -> c.lat_stall
+  | Recv_data -> c.recv_data_stall
+  | Recv_pred -> c.recv_pred_stall
+  | Sync -> c.sync_stall
+
+let avg_stall_fraction t kind =
+  if t.cycles = 0 then 0.
+  else
+    let per_core =
+      Array.to_list t.per_core
+      |> List.map (fun c -> float_of_int (stall_of c kind) /. float_of_int t.cycles)
+    in
+    Voltron_util.Stat.mean per_core
+
+let pp_summary ppf t =
+  Format.fprintf ppf "cycles=%d coupled=%d decoupled=%d switches=%d spawns=%d@."
+    t.cycles t.coupled_cycles t.decoupled_cycles t.mode_switches t.spawns;
+  Array.iteri
+    (fun i c ->
+      Format.fprintf ppf
+        "  core %d: busy=%d I=%d D=%d lat=%d recvD=%d recvP=%d sync=%d idle=%d ops=%d@."
+        i c.busy c.i_stall c.d_stall c.lat_stall c.recv_data_stall
+        c.recv_pred_stall c.sync_stall c.idle c.ops)
+    t.per_core

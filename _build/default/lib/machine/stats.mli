@@ -1,0 +1,51 @@
+(** Execution statistics, with the stall taxonomy of paper Fig. 12:
+    instruction-cache stalls, data stalls, data receive stalls, predicate
+    receive stalls and synchronisation stalls (spawn/join, mode-switch
+    barriers, TM commit waits), plus latency-interlock stalls (scoreboard
+    waits on in-flight ALU results crossing block boundaries). *)
+
+type core = {
+  mutable busy : int;  (** cycles a bundle issued *)
+  mutable i_stall : int;
+  mutable d_stall : int;
+  mutable lat_stall : int;
+  mutable recv_data_stall : int;
+  mutable recv_pred_stall : int;
+  mutable sync_stall : int;
+  mutable idle : int;  (** asleep or halted *)
+  mutable bundles : int;
+  mutable ops : int;
+  mutable ops_mem : int;  (** loads + stores *)
+  mutable ops_comm : int;  (** operand-network ops *)
+  mutable ops_mul_div : int;  (** long-latency arithmetic *)
+}
+
+type t = {
+  n_cores : int;
+  per_core : core array;
+  mutable cycles : int;
+  mutable coupled_cycles : int;
+  mutable decoupled_cycles : int;
+  mutable mode_switches : int;
+  mutable spawns : int;
+  mutable tm_rounds : int;
+  mutable tm_conflicts : int;
+}
+
+type stall_kind =
+  | I_stall
+  | D_stall
+  | Lat_stall
+  | Recv_data
+  | Recv_pred
+  | Sync
+
+val create : n_cores:int -> t
+val record_stall : t -> core:int -> stall_kind -> unit
+val core : t -> int -> core
+
+val total_stalls : core -> int
+val avg_stall_fraction : t -> stall_kind -> float
+(** Average over cores of (stall cycles of that kind) / total cycles. *)
+
+val pp_summary : Format.formatter -> t -> unit

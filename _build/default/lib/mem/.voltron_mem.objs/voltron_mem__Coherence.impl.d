@@ -1,0 +1,1 @@
+lib/mem/coherence.ml: Array Cache Hashtbl List Option Printf

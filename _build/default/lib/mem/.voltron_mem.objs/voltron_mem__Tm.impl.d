@@ -1,0 +1,1 @@
+lib/mem/tm.ml: Array Hashtbl List Memory Printf Voltron_util

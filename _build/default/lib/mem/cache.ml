@@ -1,0 +1,104 @@
+type state = M | O | E | S | I
+
+(* Each set is a small association list from way index to (line, state),
+   plus an LRU order (most recent first). Sets are tiny (2-8 ways), so
+   lists are the clearest representation. *)
+type way = { mutable line : int; mutable state : state }
+
+type set = {
+  ways_arr : way array;
+  mutable lru : int list;  (** way indices, most recently used first *)
+}
+
+type t = { n_sets : int; n_ways : int; sets_arr : set array }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ~sets ~ways =
+  if not (is_pow2 sets) then invalid_arg "Cache.create: sets must be a power of two";
+  if ways <= 0 then invalid_arg "Cache.create: ways must be positive";
+  {
+    n_sets = sets;
+    n_ways = ways;
+    sets_arr =
+      Array.init sets (fun _ ->
+          {
+            ways_arr = Array.init ways (fun _ -> { line = -1; state = I });
+            lru = List.init ways (fun i -> i);
+          });
+  }
+
+let sets t = t.n_sets
+let ways t = t.n_ways
+
+let set_of t line = t.sets_arr.(line land (t.n_sets - 1))
+
+let find_way set line =
+  let rec loop i =
+    if i >= Array.length set.ways_arr then None
+    else
+      let w = set.ways_arr.(i) in
+      if w.state <> I && w.line = line then Some i else loop (i + 1)
+  in
+  loop 0
+
+let promote set i = set.lru <- i :: List.filter (fun j -> j <> i) set.lru
+
+let find t line =
+  let set = set_of t line in
+  match find_way set line with
+  | None -> None
+  | Some i -> Some set.ways_arr.(i).state
+
+let touch t line =
+  let set = set_of t line in
+  match find_way set line with None -> () | Some i -> promote set i
+
+let set_state t line st =
+  let set = set_of t line in
+  match find_way set line with
+  | None -> raise Not_found
+  | Some i -> set.ways_arr.(i).state <- st
+
+let insert t line st =
+  let set = set_of t line in
+  (match find_way set line with
+  | Some _ -> invalid_arg "Cache.insert: line already present"
+  | None -> ());
+  (* Prefer an invalid way; otherwise evict the LRU way. *)
+  let invalid_way =
+    let rec loop i =
+      if i >= Array.length set.ways_arr then None
+      else if set.ways_arr.(i).state = I then Some i
+      else loop (i + 1)
+    in
+    loop 0
+  in
+  let victim_way =
+    match invalid_way with
+    | Some i -> i
+    | None -> List.nth set.lru (List.length set.lru - 1)
+  in
+  let w = set.ways_arr.(victim_way) in
+  let victim = if w.state = I then None else Some (w.line, w.state) in
+  w.line <- line;
+  w.state <- st;
+  promote set victim_way;
+  victim
+
+let invalidate t line =
+  let set = set_of t line in
+  match find_way set line with
+  | None -> ()
+  | Some i -> set.ways_arr.(i).state <- I
+
+let valid_lines t =
+  Array.to_list t.sets_arr
+  |> List.concat_map (fun set ->
+         Array.to_list set.ways_arr
+         |> List.filter_map (fun w ->
+                if w.state = I then None else Some (w.line, w.state)))
+
+let pp_state ppf st =
+  Format.pp_print_string ppf
+    (match st with M -> "M" | O -> "O" | E -> "E" | S -> "S" | I -> "I")

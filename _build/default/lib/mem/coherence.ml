@@ -1,0 +1,298 @@
+type config = {
+  line_words : int;
+  l1d_sets : int;
+  l1d_ways : int;
+  l1i_sets : int;
+  l1i_ways : int;
+  l2_sets : int;
+  l2_ways : int;
+  lat_l1 : int;
+  lat_l2 : int;
+  lat_mem : int;
+  lat_c2c : int;
+  lat_upgrade : int;
+  bus_occupancy : int;
+}
+
+(* 4 kB = 1024 words; 8-word (32 B) lines -> 128 lines; 2-way -> 64 sets.
+   128 kB = 32768 words -> 4096 lines; 4-way -> 1024 sets. *)
+let default_config =
+  {
+    line_words = 8;
+    l1d_sets = 64;
+    l1d_ways = 2;
+    l1i_sets = 64;
+    l1i_ways = 2;
+    l2_sets = 1024;
+    l2_ways = 4;
+    lat_l1 = 1;
+    lat_l2 = 8;
+    lat_mem = 100;
+    lat_c2c = 12;
+    lat_upgrade = 3;
+    bus_occupancy = 4;
+  }
+
+type kind = Ifetch | Dload | Dstore
+
+type stats = {
+  mutable accesses : int;
+  mutable l1d_misses : int;
+  mutable l1i_misses : int;
+  mutable l2_misses : int;
+  mutable c2c_transfers : int;
+  mutable upgrades : int;
+  mutable writebacks : int;
+  mutable bus_wait_cycles : int;
+}
+
+let fresh_stats () =
+  {
+    accesses = 0;
+    l1d_misses = 0;
+    l1i_misses = 0;
+    l2_misses = 0;
+    c2c_transfers = 0;
+    upgrades = 0;
+    writebacks = 0;
+    bus_wait_cycles = 0;
+  }
+
+type t = {
+  cfg : config;
+  n_cores : int;
+  l1d : Cache.t array;
+  l1i : Cache.t array;
+  l2 : Cache.t;
+  mutable bus_free : int;
+  per_core : stats array;
+}
+
+let create cfg ~n_cores =
+  {
+    cfg;
+    n_cores;
+    l1d = Array.init n_cores (fun _ -> Cache.create ~sets:cfg.l1d_sets ~ways:cfg.l1d_ways);
+    l1i = Array.init n_cores (fun _ -> Cache.create ~sets:cfg.l1i_sets ~ways:cfg.l1i_ways);
+    l2 = Cache.create ~sets:cfg.l2_sets ~ways:cfg.l2_ways;
+    bus_free = 0;
+    per_core = Array.init n_cores (fun _ -> fresh_stats ());
+  }
+
+let config t = t.cfg
+
+let stats t ~core = t.per_core.(core)
+
+let total_stats t =
+  let acc = fresh_stats () in
+  Array.iter
+    (fun s ->
+      acc.accesses <- acc.accesses + s.accesses;
+      acc.l1d_misses <- acc.l1d_misses + s.l1d_misses;
+      acc.l1i_misses <- acc.l1i_misses + s.l1i_misses;
+      acc.l2_misses <- acc.l2_misses + s.l2_misses;
+      acc.c2c_transfers <- acc.c2c_transfers + s.c2c_transfers;
+      acc.upgrades <- acc.upgrades + s.upgrades;
+      acc.writebacks <- acc.writebacks + s.writebacks;
+      acc.bus_wait_cycles <- acc.bus_wait_cycles + s.bus_wait_cycles)
+    t.per_core;
+  acc
+
+(* Instruction lines live in a per-core address space disjoint from data
+   lines; bit 40 marks instruction space, bits 32.. carry the core id. *)
+let iline t core addr = (1 lsl 40) lor (core lsl 32) lor (addr / t.cfg.line_words)
+
+let dline t addr = addr / t.cfg.line_words
+
+(* Acquire the bus at the earliest of [now]/[bus_free]; account wait time. *)
+let acquire_bus t ~now ~core =
+  let start = max now t.bus_free in
+  t.per_core.(core).bus_wait_cycles <-
+    t.per_core.(core).bus_wait_cycles + (start - now);
+  t.bus_free <- start + t.cfg.bus_occupancy;
+  start
+
+(* Fill a line into [cache], writing back a dirty victim to L2 (and keeping
+   L2 inclusive enough for timing purposes). *)
+let fill t ~core cache line st =
+  match Cache.insert cache line st with
+  | None -> ()
+  | Some (victim, vstate) ->
+    if vstate = Cache.M || vstate = Cache.O then begin
+      t.per_core.(core).writebacks <- t.per_core.(core).writebacks + 1;
+      t.bus_free <- t.bus_free + t.cfg.bus_occupancy;
+      (* Victim's data returns to L2: ensure its tag is present. *)
+      if Cache.find t.l2 victim = None then ignore (Cache.insert t.l2 victim Cache.S)
+      else Cache.touch t.l2 victim
+    end
+
+(* Ensure the line is present in L2 (timing inclusion); L2 evictions of
+   dirty lines cost bus occupancy. *)
+let l2_fill t line =
+  match Cache.find t.l2 line with
+  | Some _ -> Cache.touch t.l2 line
+  | None -> (
+    match Cache.insert t.l2 line Cache.S with
+    | None -> ()
+    | Some (_victim, vstate) ->
+      if vstate = Cache.M || vstate = Cache.O then
+        t.bus_free <- t.bus_free + t.cfg.bus_occupancy)
+
+(* Snoop every other core's L1D for [line]; returns the supplier (a core
+   holding the line M/O/E) if any, and whether anyone at all holds it. *)
+let snoop t ~core line =
+  let supplier = ref None in
+  let sharer = ref false in
+  for c = 0 to t.n_cores - 1 do
+    if c <> core then
+      match Cache.find t.l1d.(c) line with
+      | Some (Cache.M | Cache.O | Cache.E) ->
+        sharer := true;
+        if !supplier = None then supplier := Some c
+      | Some Cache.S -> sharer := true
+      | Some Cache.I | None -> ()
+  done;
+  (!supplier, !sharer)
+
+(* Downgrade remote copies on a read miss: M -> O, E -> S. *)
+let downgrade_for_read t ~core line =
+  for c = 0 to t.n_cores - 1 do
+    if c <> core then
+      match Cache.find t.l1d.(c) line with
+      | Some Cache.M -> Cache.set_state t.l1d.(c) line Cache.O
+      | Some Cache.E -> Cache.set_state t.l1d.(c) line Cache.S
+      | Some (Cache.O | Cache.S | Cache.I) | None -> ()
+  done
+
+(* Invalidate every remote copy on a write (RdX / upgrade). *)
+let invalidate_remotes t ~core line =
+  for c = 0 to t.n_cores - 1 do
+    if c <> core then Cache.invalidate t.l1d.(c) line
+  done
+
+(* L1 data-side access; [write] distinguishes store from load. *)
+let access_data t ~now ~core ~write addr =
+  let st = t.per_core.(core) in
+  st.accesses <- st.accesses + 1;
+  let line = dline t addr in
+  let l1 = t.l1d.(core) in
+  let hit_state = Cache.find l1 line in
+  match hit_state with
+  | Some _ when not write ->
+    Cache.touch l1 line;
+    now + t.cfg.lat_l1
+  | Some (Cache.M | Cache.E) ->
+    Cache.touch l1 line;
+    Cache.set_state l1 line Cache.M;
+    now + t.cfg.lat_l1
+  | Some (Cache.O | Cache.S) ->
+    (* Write hit on a shared line: upgrade — invalidate other sharers over
+       the bus, no data transfer. *)
+    st.upgrades <- st.upgrades + 1;
+    let start = acquire_bus t ~now ~core in
+    invalidate_remotes t ~core line;
+    Cache.touch l1 line;
+    Cache.set_state l1 line Cache.M;
+    start + t.cfg.lat_upgrade
+  | Some Cache.I | None ->
+    (* L1 miss: bus transaction; serviced by a peer L1 (cache-to-cache),
+       the shared L2, or main memory. *)
+    st.l1d_misses <- st.l1d_misses + 1;
+    let start = acquire_bus t ~now ~core in
+    let supplier, sharer = snoop t ~core line in
+    let duration =
+      match supplier with
+      | Some _ ->
+        st.c2c_transfers <- st.c2c_transfers + 1;
+        t.cfg.lat_c2c
+      | None -> (
+        match Cache.find t.l2 line with
+        | Some _ ->
+          Cache.touch t.l2 line;
+          t.cfg.lat_l2
+        | None ->
+          st.l2_misses <- st.l2_misses + 1;
+          l2_fill t line;
+          t.cfg.lat_mem)
+    in
+    let my_state =
+      if write then begin
+        invalidate_remotes t ~core line;
+        Cache.M
+      end
+      else begin
+        downgrade_for_read t ~core line;
+        if sharer then Cache.S else Cache.E
+      end
+    in
+    fill t ~core l1 line my_state;
+    start + duration
+
+let access_inst t ~now ~core addr =
+  let st = t.per_core.(core) in
+  let line = iline t core addr in
+  let l1 = t.l1i.(core) in
+  match Cache.find l1 line with
+  | Some _ ->
+    Cache.touch l1 line;
+    now + t.cfg.lat_l1
+  | None ->
+    st.l1i_misses <- st.l1i_misses + 1;
+    let start = acquire_bus t ~now ~core in
+    let duration =
+      match Cache.find t.l2 line with
+      | Some _ ->
+        Cache.touch t.l2 line;
+        t.cfg.lat_l2
+      | None ->
+        st.l2_misses <- st.l2_misses + 1;
+        l2_fill t line;
+        t.cfg.lat_mem
+    in
+    (match Cache.insert l1 line Cache.S with
+    | None | Some _ -> () (* code is clean; victims need no writeback *));
+    start + duration
+
+let access t ~now ~core kind addr =
+  match kind with
+  | Ifetch -> access_inst t ~now ~core addr
+  | Dload -> access_data t ~now ~core ~write:false addr
+  | Dstore -> access_data t ~now ~core ~write:true addr
+
+let would_hit t ~core kind addr =
+  match kind with
+  | Ifetch -> Cache.find t.l1i.(core) (iline t core addr) <> None
+  | Dload -> Cache.find t.l1d.(core) (dline t addr) <> None
+  | Dstore -> (
+    match Cache.find t.l1d.(core) (dline t addr) with
+    | Some (Cache.M | Cache.E) -> true
+    | Some (Cache.O | Cache.S | Cache.I) | None -> false)
+
+let check_invariants t =
+  (* Gather, per line, the multiset of L1D states across cores. *)
+  let lines : (int, Cache.state list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun cache ->
+      List.iter
+        (fun (line, st) ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt lines line) in
+          Hashtbl.replace lines line (st :: cur))
+        (Cache.valid_lines cache))
+    t.l1d;
+  let violation = ref None in
+  Hashtbl.iter
+    (fun line states ->
+      if !violation = None then begin
+        let count st = List.length (List.filter (fun s -> s = st) states) in
+        let m = count Cache.M and e = count Cache.E and o = count Cache.O in
+        let total = List.length states in
+        if m + e > 1 then
+          violation := Some (Printf.sprintf "line %d: %d M/E copies" line (m + e))
+        else if (m = 1 || e = 1) && total > 1 then
+          violation :=
+            Some (Printf.sprintf "line %d: M/E copy coexists with %d others" line (total - 1))
+        else if o > 1 then
+          violation := Some (Printf.sprintf "line %d: %d owners" line o)
+      end)
+    lines;
+  match !violation with None -> Ok "coherent" | Some msg -> Error msg

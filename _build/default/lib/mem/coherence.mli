@@ -1,0 +1,68 @@
+(** Bus-based MOESI-coherent cache hierarchy, timing model.
+
+    Matches the paper's memory system (§3, §5.1): per-core private L1
+    instruction and data caches kept coherent by snooping on a shared bus
+    with the MOESI protocol, backed by a shared (banked) L2 and main
+    memory. The model is tag/state + latency only; architectural data lives
+    in {!Memory}.
+
+    Timing uses a busy-until bus: a miss acquires the bus no earlier than
+    the previous transaction released it, so cores contend for coherence
+    bandwidth. Instruction fetches occupy a per-core address space disjoint
+    from data (each core's code is its own memory space, §3.2). *)
+
+type config = {
+  line_words : int;  (** words per cache line *)
+  l1d_sets : int;
+  l1d_ways : int;
+  l1i_sets : int;
+  l1i_ways : int;
+  l2_sets : int;
+  l2_ways : int;
+  lat_l1 : int;  (** L1 hit latency, cycles *)
+  lat_l2 : int;  (** miss served by L2 *)
+  lat_mem : int;  (** miss served by main memory *)
+  lat_c2c : int;  (** miss served cache-to-cache by a peer L1 *)
+  lat_upgrade : int;  (** write hit on a shared line (invalidation round) *)
+  bus_occupancy : int;  (** cycles the bus stays busy per transaction *)
+}
+
+val default_config : config
+(** The paper's setup: 4 kB 2-way L1 I and D, 128 kB 4-way shared L2,
+    32-byte lines. *)
+
+type kind = Ifetch | Dload | Dstore
+
+type stats = {
+  mutable accesses : int;
+  mutable l1d_misses : int;
+  mutable l1i_misses : int;
+  mutable l2_misses : int;
+  mutable c2c_transfers : int;
+  mutable upgrades : int;
+  mutable writebacks : int;
+  mutable bus_wait_cycles : int;
+}
+
+type t
+
+val create : config -> n_cores:int -> t
+val config : t -> config
+
+val access : t -> now:int -> core:int -> kind -> int -> int
+(** [access t ~now ~core kind addr] simulates the access and returns its
+    completion time (strictly greater than [now] only when it misses or
+    needs the bus; an L1 hit completes at [now + lat_l1]). [addr] is a word
+    address: data addresses for [Dload]/[Dstore], the core's bundle address
+    for [Ifetch]. All state (MOESI, LRU, L2, bus busy time) is updated. *)
+
+val would_hit : t -> core:int -> kind -> int -> bool
+(** Non-destructive hit test (no state update): used by the profiler. *)
+
+val stats : t -> core:int -> stats
+val total_stats : t -> stats
+
+val check_invariants : t -> (string, string) result
+(** MOESI safety over every line: at most one cache in M or E and then no
+    other sharer; at most one owner (O); an O line may coexist only with S
+    copies. [Error] describes the first violation. *)

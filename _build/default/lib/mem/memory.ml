@@ -1,0 +1,44 @@
+type t = { data : int array }
+
+let create n =
+  if n <= 0 then invalid_arg "Memory.create: size must be positive";
+  { data = Array.make n 0 }
+
+let size t = Array.length t.data
+
+let check t addr what =
+  if addr < 0 || addr >= Array.length t.data then
+    invalid_arg
+      (Printf.sprintf "Memory.%s: address %d outside [0,%d)" what addr
+         (Array.length t.data))
+
+let read t addr =
+  check t addr "read";
+  t.data.(addr)
+
+let write t addr v =
+  check t addr "write";
+  t.data.(addr) <- v
+
+let load_init t init = List.iter (fun (addr, v) -> write t addr v) init
+
+let snapshot t = Array.copy t.data
+
+let restore t snap =
+  if Array.length snap <> Array.length t.data then
+    invalid_arg "Memory.restore: snapshot size mismatch";
+  Array.blit snap 0 t.data 0 (Array.length snap)
+
+let equal a b = a.data = b.data
+
+let checksum_prefix t n =
+  if n < 0 || n > Array.length t.data then
+    invalid_arg "Memory.checksum_prefix: bad length";
+  let h = ref 0x2bf29ce484222325 in
+  for i = 0 to n - 1 do
+    h := !h lxor t.data.(i);
+    h := !h * 0x100000001b3
+  done;
+  !h land max_int
+
+let checksum t = checksum_prefix t (Array.length t.data)

@@ -1,0 +1,30 @@
+(** Flat word-addressed data memory.
+
+    The simulator separates *function* from *timing*: architectural data
+    always lives here (so every mode of execution can be checked against the
+    reference interpreter's memory image), while the cache hierarchy in
+    {!Coherence} models only tags, states and latencies. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an [n]-word memory initialised to zero. *)
+
+val size : t -> int
+val read : t -> int -> int
+val write : t -> int -> int -> unit
+(** Out-of-bounds accesses raise [Invalid_argument] — the simulator treats
+    them as a (simulated) program crash. *)
+
+val load_init : t -> (int * int) list -> unit
+val snapshot : t -> int array
+val restore : t -> int array -> unit
+val equal : t -> t -> bool
+
+val checksum : t -> int
+(** Order-sensitive FNV-style hash of the full contents; the oracle value
+    compared across execution strategies. *)
+
+val checksum_prefix : t -> int -> int
+(** Hash of the first [n] words only — used to compare runs whose memories
+    differ in compiler-scratch headroom beyond the program's arrays. *)

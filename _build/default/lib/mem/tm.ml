@@ -1,0 +1,98 @@
+type tx = {
+  mutable active : bool;
+  reads : (int, unit) Hashtbl.t;
+  writes : (int, int) Hashtbl.t;  (** address -> last buffered value *)
+  write_order : int Voltron_util.Vec.t;  (** addresses in first-write order *)
+}
+
+type t = { mem : Memory.t; txs : tx array }
+
+let fresh_tx () =
+  {
+    active = false;
+    reads = Hashtbl.create 32;
+    writes = Hashtbl.create 32;
+    write_order = Voltron_util.Vec.create ();
+  }
+
+let create mem ~n_cores = { mem; txs = Array.init n_cores (fun _ -> fresh_tx ()) }
+
+let in_tx t ~core = t.txs.(core).active
+
+let tx_begin t ~core =
+  let tx = t.txs.(core) in
+  if tx.active then invalid_arg "Tm.tx_begin: transaction already active";
+  tx.active <- true;
+  Hashtbl.reset tx.reads;
+  Hashtbl.reset tx.writes;
+  Voltron_util.Vec.clear tx.write_order
+
+let read t ~core addr =
+  let tx = t.txs.(core) in
+  if not tx.active then Memory.read t.mem addr
+  else begin
+    Hashtbl.replace tx.reads addr ();
+    match Hashtbl.find_opt tx.writes addr with
+    | Some v -> v
+    | None -> Memory.read t.mem addr
+  end
+
+let write t ~core addr v =
+  let tx = t.txs.(core) in
+  if not tx.active then Memory.write t.mem addr v
+  else begin
+    (* Validate the address eagerly so an out-of-bounds store faults inside
+       the transaction, like a real store would. *)
+    if addr < 0 || addr >= Memory.size t.mem then
+      invalid_arg (Printf.sprintf "Tm.write: address %d out of bounds" addr);
+    if not (Hashtbl.mem tx.writes addr) then
+      Voltron_util.Vec.push tx.write_order addr;
+    Hashtbl.replace tx.writes addr v
+  end
+
+let abort t ~core =
+  let tx = t.txs.(core) in
+  tx.active <- false;
+  Hashtbl.reset tx.reads;
+  Hashtbl.reset tx.writes;
+  Voltron_util.Vec.clear tx.write_order
+
+let read_set t ~core =
+  Hashtbl.fold (fun addr () acc -> addr :: acc) t.txs.(core).reads []
+  |> List.sort compare
+
+let write_set t ~core =
+  Hashtbl.fold (fun addr _ acc -> addr :: acc) t.txs.(core).writes []
+  |> List.sort compare
+
+let commit_one t ~core =
+  let tx = t.txs.(core) in
+  Voltron_util.Vec.iter
+    (fun addr -> Memory.write t.mem addr (Hashtbl.find tx.writes addr))
+    tx.write_order;
+  abort t ~core
+
+let commit_round t ~cores =
+  let committed_writes : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec loop = function
+    | [] -> `All_committed
+    | core :: rest ->
+      let tx = t.txs.(core) in
+      if not tx.active then
+        invalid_arg (Printf.sprintf "Tm.commit_round: core %d not in a transaction" core);
+      let conflict =
+        Hashtbl.fold
+          (fun addr () acc -> acc || Hashtbl.mem committed_writes addr)
+          tx.reads false
+      in
+      if conflict then begin
+        List.iter (fun c -> abort t ~core:c) (core :: rest);
+        `Conflict_at core
+      end
+      else begin
+        Hashtbl.iter (fun addr _ -> Hashtbl.replace committed_writes addr ()) tx.writes;
+        commit_one t ~core;
+        loop rest
+      end
+  in
+  loop cores

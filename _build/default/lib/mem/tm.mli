@@ -1,0 +1,43 @@
+(** Low-cost transactional memory for statistical DOALL loops (paper §3,
+    and Lieberman et al. tech report [14]).
+
+    A DOALL loop's iterations are split into chunks, one per core; each
+    chunk runs as a transaction. During a transaction the core's stores are
+    buffered (memory is untouched) and its loads are recorded; loads see the
+    core's own buffered stores first, then pre-round memory. Chunks commit
+    in iteration order (= core order). Core [i]'s transaction conflicts if
+    it read an address written by any logically-earlier core [j < i] in the
+    same round — core [i] would have needed [j]'s value. The machine then
+    rolls the violating cores back (register rollback is the compiler's
+    snapshot; memory rollback is simply discarding the write buffer) and
+    re-executes their chunks serially. *)
+
+type t
+
+val create : Memory.t -> n_cores:int -> t
+
+val in_tx : t -> core:int -> bool
+
+val tx_begin : t -> core:int -> unit
+(** Raises [Invalid_argument] if the core is already in a transaction. *)
+
+val read : t -> core:int -> int -> int
+(** Transactional read when the core is in a transaction (recorded in the
+    read set, sees own buffered writes), plain memory read otherwise. *)
+
+val write : t -> core:int -> int -> int -> unit
+(** Buffered inside a transaction, direct to memory otherwise. *)
+
+val abort : t -> core:int -> unit
+(** Discard the core's buffered writes and read set. *)
+
+val read_set : t -> core:int -> int list
+val write_set : t -> core:int -> int list
+
+val commit_round : t -> cores:int list -> [ `All_committed | `Conflict_at of int ]
+(** Commit the listed cores' transactions in list order (= logical
+    iteration order). On the first core whose read set intersects the
+    writes already committed this round by earlier listed cores, stop:
+    earlier cores stay committed, the conflicting core and all later listed
+    cores are aborted, and [`Conflict_at core] identifies the first
+    violator (the machine re-runs from there serially). *)

@@ -1,0 +1,1 @@
+lib/net/operand_network.ml: Array List Mesh Printf Voltron_isa

@@ -1,0 +1,1 @@
+lib/net/operand_network.mli: Mesh Voltron_isa

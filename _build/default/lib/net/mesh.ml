@@ -1,0 +1,73 @@
+type t = { n : int; cols : int; rows : int }
+
+let create n =
+  if n < 1 then invalid_arg "Mesh.create: need at least one core";
+  (* Squarest grid: columns = smallest power-free ceil(sqrt n) that tiles n
+     row-major; the last row may be partial. *)
+  let cols = int_of_float (ceil (sqrt (float_of_int n))) in
+  let rows = (n + cols - 1) / cols in
+  { n; cols; rows }
+
+let n_cores t = t.n
+let columns t = t.cols
+let rows t = t.rows
+
+let check t c =
+  if c < 0 || c >= t.n then invalid_arg (Printf.sprintf "Mesh: bad core id %d" c)
+
+let coords t c =
+  check t c;
+  (c mod t.cols, c / t.cols)
+
+let core_at t ~x ~y =
+  if x < 0 || x >= t.cols || y < 0 || y >= t.rows then None
+  else
+    let c = (y * t.cols) + x in
+    if c < t.n then Some c else None
+
+let neighbour t c dir =
+  let x, y = coords t c in
+  match (dir : Voltron_isa.Inst.dir) with
+  | Voltron_isa.Inst.North -> core_at t ~x ~y:(y - 1)
+  | Voltron_isa.Inst.South -> core_at t ~x ~y:(y + 1)
+  | Voltron_isa.Inst.East -> core_at t ~x:(x + 1) ~y
+  | Voltron_isa.Inst.West -> core_at t ~x:(x - 1) ~y
+
+let hops t a b =
+  let xa, ya = coords t a and xb, yb = coords t b in
+  abs (xa - xb) + abs (ya - yb)
+
+let max_hops t =
+  let best = ref 0 in
+  for a = 0 to t.n - 1 do
+    for b = 0 to t.n - 1 do
+      best := max !best (hops t a b)
+    done
+  done;
+  !best
+
+let route t ~src ~dst =
+  check t src;
+  check t dst;
+  let xs, ys = coords t src and xd, yd = coords t dst in
+  let horizontal =
+    if xd > xs then List.init (xd - xs) (fun _ -> Voltron_isa.Inst.East)
+    else List.init (xs - xd) (fun _ -> Voltron_isa.Inst.West)
+  in
+  let vertical =
+    if yd > ys then List.init (yd - ys) (fun _ -> Voltron_isa.Inst.South)
+    else List.init (ys - yd) (fun _ -> Voltron_isa.Inst.North)
+  in
+  horizontal @ vertical
+
+let path_cores t ~src ~dst =
+  let step core dir =
+    match neighbour t core dir with
+    | Some c -> c
+    | None -> invalid_arg "Mesh.path_cores: route left the mesh"
+  in
+  let rec walk core = function
+    | [] -> [ core ]
+    | dir :: rest -> core :: walk (step core dir) rest
+  in
+  walk src (route t ~src ~dst)

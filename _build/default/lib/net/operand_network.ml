@@ -1,0 +1,197 @@
+type payload = Value of int | Start of int
+
+type latch = { mutable filled : bool; mutable value : int; mutable time : int }
+
+type message = {
+  msg_src : int;
+  msg_dst : int;
+  msg_payload : payload;
+  ready_time : int;  (** cycle at which the receive queue can deliver it *)
+  seq : int;  (** global enqueue order: FIFO per (src, dst) pair *)
+}
+
+type bcast_slot = { mutable b_value : int; mutable b_time : int; mutable b_src : int }
+
+type stats = {
+  mutable msgs_sent : int;
+  mutable total_latency : int;
+  mutable max_occupancy : int;
+}
+
+type t = {
+  net_mesh : Mesh.t;
+  capacity : int;
+  (* latches.(core).(dir_index): value arriving at [core] from direction. *)
+  latches : latch array array;
+  mutable broadcast : bcast_slot option;
+  consumed_bcast : bool array;  (** per-core: has this core taken the current bcast *)
+  mutable in_flight : message list;  (** unsorted; small *)
+  mutable next_seq : int;
+  net_stats : stats;
+}
+
+let dir_index (d : Voltron_isa.Inst.dir) =
+  match d with
+  | Voltron_isa.Inst.North -> 0
+  | Voltron_isa.Inst.South -> 1
+  | Voltron_isa.Inst.East -> 2
+  | Voltron_isa.Inst.West -> 3
+
+let create net_mesh ~receive_capacity =
+  let n = Mesh.n_cores net_mesh in
+  {
+    net_mesh;
+    capacity = receive_capacity;
+    latches =
+      Array.init n (fun _ ->
+          Array.init 4 (fun _ -> { filled = false; value = 0; time = 0 }));
+    broadcast = None;
+    consumed_bcast = Array.make n true;
+    in_flight = [];
+    next_seq = 0;
+    net_stats = { msgs_sent = 0; total_latency = 0; max_occupancy = 0 };
+  }
+
+let mesh t = t.net_mesh
+
+let stats t = t.net_stats
+
+(* --- Direct mode --------------------------------------------------------- *)
+
+let put t ~now ~src_core dir value =
+  match Mesh.neighbour t.net_mesh src_core dir with
+  | None ->
+    Error
+      (Printf.sprintf "put: core %d has no neighbour in that direction" src_core)
+  | Some dst ->
+    let latch = t.latches.(dst).(dir_index (Voltron_isa.Inst.opposite dir)) in
+    if latch.filled then
+      Error
+        (Printf.sprintf "put: latch into core %d still full (unconsumed PUT)" dst)
+    else begin
+      latch.filled <- true;
+      latch.value <- value;
+      latch.time <- now;
+      Ok ()
+    end
+
+let get t ~now ~core dir =
+  let latch = t.latches.(core).(dir_index dir) in
+  if not latch.filled then None
+  else if latch.time > now then None
+  else begin
+    (* With the lock-step stall bus, a paired PUT/GET always executes in the
+       same cycle; an older timestamp would mean the cores de-synchronised. *)
+    if latch.time < now then
+      failwith
+        (Printf.sprintf
+           "get: core %d read a stale direct-mode latch (put at %d, get at %d)"
+           core latch.time now);
+    latch.filled <- false;
+    Some latch.value
+  end
+
+let bcast t ~now ~src_core value =
+  t.broadcast <- Some { b_value = value; b_time = now; b_src = src_core };
+  Array.fill t.consumed_bcast 0 (Array.length t.consumed_bcast) false;
+  t.consumed_bcast.(src_core) <- true
+
+let getb t ~now ~core =
+  match t.broadcast with
+  | None -> None
+  | Some slot ->
+    if t.consumed_bcast.(core) then None
+    else begin
+      let arrival = slot.b_time + Mesh.hops t.net_mesh slot.b_src core in
+      if now < arrival then None
+      else begin
+        t.consumed_bcast.(core) <- true;
+        Some slot.b_value
+      end
+    end
+
+(* --- Queue mode ---------------------------------------------------------- *)
+
+let pending t ~src ~dst =
+  List.length
+    (List.filter (fun m -> m.msg_dst = dst && m.msg_src = src) t.in_flight)
+
+let send t ~now ~src ~dst payload =
+  if dst < 0 || dst >= Mesh.n_cores t.net_mesh then
+    Error (Printf.sprintf "send: bad destination core %d" dst)
+  else if pending t ~src ~dst >= t.capacity then Error "send: channel full"
+  else begin
+    let hops = Mesh.hops t.net_mesh src dst in
+    let msg =
+      {
+        msg_src = src;
+        msg_dst = dst;
+        msg_payload = payload;
+        ready_time = now + 1 + hops;
+        seq = t.next_seq;
+      }
+    in
+    t.next_seq <- t.next_seq + 1;
+    t.in_flight <- msg :: t.in_flight;
+    let s = t.net_stats in
+    s.msgs_sent <- s.msgs_sent + 1;
+    s.total_latency <- s.total_latency + 2 + hops;
+    s.max_occupancy <- max s.max_occupancy (List.length t.in_flight);
+    Ok ()
+  end
+
+(* Find (and remove) the ready message matching [p] with the smallest seq. *)
+let take t ~now p =
+  let best =
+    List.fold_left
+      (fun acc m ->
+        if m.ready_time <= now && p m then
+          match acc with
+          | Some b when b.seq <= m.seq -> acc
+          | Some _ | None -> Some m
+        else acc)
+      None t.in_flight
+  in
+  match best with
+  | None -> None
+  | Some m ->
+    t.in_flight <- List.filter (fun m' -> m'.seq <> m.seq) t.in_flight;
+    Some m
+
+let recv t ~now ~core ~sender =
+  let matches m =
+    m.msg_dst = core && m.msg_src = sender
+    && match m.msg_payload with Value _ -> true | Start _ -> false
+  in
+  match take t ~now matches with
+  | Some { msg_payload = Value v; _ } -> Some v
+  | Some { msg_payload = Start _; _ } -> assert false
+  | None -> None
+
+let recv_ready t ~now ~core ~sender =
+  List.exists
+    (fun m ->
+      m.ready_time <= now && m.msg_dst = core && m.msg_src = sender
+      && match m.msg_payload with Value _ -> true | Start _ -> false)
+    t.in_flight
+
+let getb_ready t ~now ~core =
+  match t.broadcast with
+  | None -> false
+  | Some slot ->
+    (not t.consumed_bcast.(core))
+    && now >= slot.b_time + Mesh.hops t.net_mesh slot.b_src core
+
+let take_start t ~now ~core =
+  let matches m =
+    m.msg_dst = core
+    && match m.msg_payload with Start _ -> true | Value _ -> false
+  in
+  match take t ~now matches with
+  | Some { msg_payload = Start addr; _ } -> Some addr
+  | Some { msg_payload = Value _; _ } -> assert false
+  | None -> None
+
+let idle t =
+  t.in_flight = []
+  && Array.for_all (fun row -> Array.for_all (fun l -> not l.filled) row) t.latches

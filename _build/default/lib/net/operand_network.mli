@@ -1,0 +1,81 @@
+(** The dual-mode scalar operand network (paper §3.1).
+
+    {b Direct mode} (coupled execution): a PUT on one core and a GET on the
+    adjacent core execute in the same cycle and move one register value in
+    one cycle per hop, like an inter-cluster move in a multicluster VLIW.
+    The model is a latch per (receiving core, incoming direction): PUT
+    fills the latch with the current cycle's timestamp, the paired GET
+    drains it. BCAST drives a condition to every core; the value becomes
+    visible to core [c] at [t + hops(src, c)] (GETB earlier simply does not
+    see it yet and the core stalls, which the lock-step stall bus then
+    propagates).
+
+    {b Queue mode} (decoupled execution): SEND enqueues a message that the
+    router delivers after [1 + hops] cycles into the receiver's CAM-indexed
+    receive queue; RECV searches by sender id, consuming the oldest
+    matching message, and stalls while none is ready. End-to-end latency is
+    2 + hops (one cycle into the send queue, one per hop, one out of the
+    receive queue), per §3.1. SPAWN travels the same network carrying a
+    start address.
+
+    The machine drives this module cycle-by-cycle; all "stall" outcomes are
+    reported as [None] and accounted by the caller. *)
+
+type t
+
+type payload = Value of int | Start of int  (** Start carries a code address *)
+
+val create : Mesh.t -> receive_capacity:int -> t
+val mesh : t -> Mesh.t
+
+(** {1 Direct mode} *)
+
+val put : t -> now:int -> src_core:int -> Voltron_isa.Inst.dir -> int -> (unit, string) result
+(** Fails if the direction leaves the mesh or the latch is still full
+    (compiler scheduling bug — surfaced, not masked). *)
+
+val get : t -> now:int -> core:int -> Voltron_isa.Inst.dir -> int option
+(** [None] when the latch is empty (caller stalls); [Some v] consumes. A
+    stale latch value (timestamp in the past) is a scheduling error and
+    raises [Failure]. *)
+
+val bcast : t -> now:int -> src_core:int -> int -> unit
+val getb : t -> now:int -> core:int -> int option
+(** [None] until the most recent broadcast has reached [core]. Consuming is
+    per-core: a second GETB on the same core needs a fresh BCAST. *)
+
+(** {1 Queue mode} *)
+
+val send : t -> now:int -> src:int -> dst:int -> payload -> (unit, string) result
+(** Fails ([Error]) when the (sender, receiver) channel already holds
+    [receive_capacity] undelivered messages — the caller stalls and
+    retries. Capacity is per channel, not per receiver: a producer running
+    far ahead can only fill its own slots, never starve another sender
+    whose message the receiver needs next (that sharing would deadlock
+    rate-mismatched fine-grain threads). *)
+
+val recv : t -> now:int -> core:int -> sender:int -> int option
+(** Oldest ready [Value] message from [sender]; [None] stalls. *)
+
+val recv_ready : t -> now:int -> core:int -> sender:int -> bool
+(** Non-consuming test that [recv] would succeed. *)
+
+val getb_ready : t -> now:int -> core:int -> bool
+(** Non-consuming test that [getb] would succeed. *)
+
+val take_start : t -> now:int -> core:int -> int option
+(** Oldest ready [Start] message addressed to a sleeping [core]. *)
+
+val pending : t -> src:int -> dst:int -> int
+(** Undelivered messages on the [src]->[dst] channel. *)
+
+val idle : t -> bool
+(** No message in flight anywhere and all latches empty. *)
+
+type stats = {
+  mutable msgs_sent : int;
+  mutable total_latency : int;
+  mutable max_occupancy : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,50 @@
+type align = Left | Right
+
+let cell_f x = Printf.sprintf "%.2f" x
+
+let cell_pct x = Printf.sprintf "%.1f%%" x
+
+let default_align n = Left :: List.init (max 0 (n - 1)) (fun _ -> Right)
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let render ?align ~header rows =
+  let n_cols = List.length header in
+  let aligns =
+    match align with
+    | Some a when List.length a = n_cols -> a
+    | Some _ | None -> default_align n_cols
+  in
+  let widths = Array.make n_cols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+        if i < n_cols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          if i >= n_cols then cell
+          else pad (List.nth aligns i) widths.(i) cell)
+        row
+    in
+    String.concat "  " cells
+  in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+
+let print ?align ~header rows =
+  print_endline (render ?align ~header rows)

@@ -1,0 +1,17 @@
+(** Aligned plain-text tables, used by the benchmark harness to print the
+    paper's figures as rows/series. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with column widths fitted to
+    the contents. [align] defaults to [Left] for the first column and
+    [Right] for the rest. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+
+val cell_f : float -> string
+(** Fixed two-decimal rendering for numeric cells. *)
+
+val cell_pct : float -> string
+(** Render a percentage with one decimal and a [%] sign. *)

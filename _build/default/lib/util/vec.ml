@@ -1,0 +1,82 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+
+let make n x = { data = Array.make (max n 1) x; size = n }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let check t i =
+  if i < 0 || i >= t.size then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let grow t x =
+  let capacity = Array.length t.data in
+  if t.size >= capacity then begin
+    let data = Array.make (max 8 (2 * capacity)) x in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let push t x =
+  grow t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    t.size <- t.size - 1;
+    Some t.data.(t.size)
+  end
+
+let last t = if t.size = 0 then None else Some t.data.(t.size - 1)
+
+let clear t = t.size <- 0
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.size - 1 do
+    f i t.data.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.size && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let of_list xs =
+  let t = create () in
+  List.iter (push t) xs;
+  t
+
+let to_array t = Array.init t.size (fun i -> t.data.(i))
+
+let map f t =
+  let out = create () in
+  iter (fun x -> push out (f x)) t;
+  out

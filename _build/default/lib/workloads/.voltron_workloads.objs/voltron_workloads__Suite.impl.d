@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Kernels List Voltron_ir

@@ -1,0 +1,61 @@
+(** Parameterised region generators — the building blocks of the synthetic
+    benchmark suite (DESIGN.md §2: each paper benchmark is reproduced by
+    its mix of region characters, which is what drives the paper's
+    results).
+
+    Every generator opens one named region and declares its own
+    initialised arrays, so a region also runs faithfully standalone (used
+    by the Fig. 3 per-region classification). Array sizing picks the
+    memory behaviour: [`Resident] arrays fit in the 4 kB L1, [`Missy]
+    arrays overflow it (32 kB, inside the shared L2).
+
+    Kernel characters:
+    - [doall_dense]: affine elementwise loop — provable DOALL.
+    - [doall_indirect]: permutation-indexed loop — statistical DOALL
+      (speculative, runs under TM).
+    - [doall_reduce]: reduction loop — DOALL via accumulator expansion.
+    - [ilp_wide]: per-iteration scalar recurrence feeding a wide
+      independent expression tree — coupled-mode ILP is the only fit
+      (cross-iteration scalar kills DOALL, the single SCC kills DSWP,
+      resident arrays keep misses low). The Fig. 9 shape.
+    - [strands_streams]: do-while over multiple L1-missing streams whose
+      values merge into the loop condition — fine-grain strands with
+      memory-level parallelism. The Fig. 8 (gzip) shape.
+    - [dswp_pipe]: pointer-style recurrence stage feeding heavy dependent
+      work — decoupled software pipelining.
+    - [seq_chase]: serial pointer chase — no exploitable parallelism. *)
+
+type b := Voltron_ir.Builder.t
+
+val doall_dense : b -> name:string -> n:int -> work:int -> seed:int -> unit
+val doall_indirect : b -> name:string -> n:int -> work:int -> seed:int -> unit
+val doall_reduce : b -> name:string -> n:int -> seed:int -> unit
+val doall_rmw : b -> name:string -> n:int -> conflicts:int -> seed:int -> unit
+(** Read-modify-write scatter; [conflicts] iterations collide on one cell
+    (TM mis-speculation ablation — see implementation comment). *)
+
+val ilp_wide : b -> name:string -> n:int -> taps:int -> seed:int -> unit
+val strands_streams : b -> name:string -> n:int -> streams:int -> seed:int -> unit
+
+val strands_compare : b -> name:string -> n:int -> seed:int -> unit
+(** Gzip-style do-while compare loop over two missy streams: the exit
+    predicate crosses cores every iteration, so fine-grain TLP gains are
+    modest and the Fig. 12 predicate-receive stalls appear. *)
+
+val dswp_pipe : b -> name:string -> n:int -> work:int -> seed:int -> unit
+val seq_chase : b -> name:string -> n:int -> seed:int -> unit
+
+(** {1 Paper micro-examples} *)
+
+val gsm_llp_region : b -> n:int -> unit
+(** Fig. 7: [uf\[i\] = u\[i\]; rpf\[i\] = rp\[i\] * scalef] — DOALL
+    (paper: 1.9x on 2 cores; the 8-element loop is scaled by [n]). *)
+
+val gzip_strands_region : b -> n:int -> unit
+(** Fig. 8: the gzip longest-match do-while comparing [scan] and [match]
+    words — strands (paper: 1.2x on 2 cores). *)
+
+val gsm_ilp_region : b -> n:int -> unit
+(** Fig. 9: the gsm short-term filter with saturating multiplies and a
+    loop-carried [v\[i\]] recurrence — coupled ILP (paper: 1.78x on 2
+    cores). *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Hashtbl List Printf Voltron_analysis Voltron_ir Voltron_isa Voltron_machine

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array List Printf QCheck QCheck_alcotest Voltron_analysis Voltron_compiler Voltron_ir Voltron_isa Voltron_machine

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Format Hashtbl List Printf QCheck QCheck_alcotest String Voltron Voltron_compiler Voltron_ir Voltron_isa Voltron_machine Voltron_mem Voltron_util

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest String Voltron_compiler Voltron_isa Voltron_machine Voltron_mem Voltron_util Voltron_workloads

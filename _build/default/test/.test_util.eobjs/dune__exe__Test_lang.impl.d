@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Format List Printf QCheck QCheck_alcotest String Sys Voltron Voltron_analysis Voltron_compiler Voltron_ir Voltron_isa Voltron_lang Voltron_machine Voltron_mem Voltron_util

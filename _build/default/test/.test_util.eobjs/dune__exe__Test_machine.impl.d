@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest List Voltron_isa Voltron_machine Voltron_mem

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest List Printf QCheck QCheck_alcotest Voltron_mem

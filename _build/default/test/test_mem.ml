@@ -1,0 +1,250 @@
+(* Tests for the memory subsystem: flat memory, cache directory (LRU,
+   eviction), MOESI coherence (state transitions + safety property under
+   random traffic), latency ordering, and transactional memory
+   (isolation, commit order, conflicts, serialisability). *)
+
+module Memory = Voltron_mem.Memory
+module Cache = Voltron_mem.Cache
+module Coherence = Voltron_mem.Coherence
+module Tm = Voltron_mem.Tm
+
+(* --- Memory ----------------------------------------------------------------- *)
+
+let test_memory_rw () =
+  let m = Memory.create 16 in
+  Memory.write m 3 42;
+  Alcotest.(check int) "read back" 42 (Memory.read m 3);
+  Alcotest.check_raises "oob" (Invalid_argument "Memory.read: address 16 outside [0,16)")
+    (fun () -> ignore (Memory.read m 16))
+
+let test_memory_snapshot () =
+  let m = Memory.create 8 in
+  Memory.write m 0 1;
+  let snap = Memory.snapshot m in
+  Memory.write m 0 2;
+  Memory.restore m snap;
+  Alcotest.(check int) "restored" 1 (Memory.read m 0)
+
+let test_checksum_prefix () =
+  let a = Memory.create 8 and b = Memory.create 12 in
+  Memory.write a 2 7;
+  Memory.write b 2 7;
+  Memory.write b 10 99 (* beyond the compared prefix *);
+  Alcotest.(check int) "prefix checksums equal" (Memory.checksum_prefix a 8)
+    (Memory.checksum_prefix b 8);
+  Alcotest.(check bool) "full checksums differ" true
+    (Memory.checksum a <> Memory.checksum b)
+
+(* --- Cache directory --------------------------------------------------------- *)
+
+let test_cache_insert_find () =
+  let c = Cache.create ~sets:4 ~ways:2 in
+  Alcotest.(check bool) "miss" true (Cache.find c 5 = None);
+  ignore (Cache.insert c 5 Cache.E);
+  Alcotest.(check bool) "hit E" true (Cache.find c 5 = Some Cache.E);
+  Cache.set_state c 5 Cache.M;
+  Alcotest.(check bool) "now M" true (Cache.find c 5 = Some Cache.M)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~sets:1 ~ways:2 in
+  ignore (Cache.insert c 0 Cache.S);
+  ignore (Cache.insert c 1 Cache.S);
+  Cache.touch c 0 (* 1 becomes LRU *);
+  let victim = Cache.insert c 2 Cache.M in
+  Alcotest.(check bool) "evicted LRU line 1" true (victim = Some (1, Cache.S));
+  Alcotest.(check bool) "0 still present" true (Cache.find c 0 <> None)
+
+let test_cache_invalidate () =
+  let c = Cache.create ~sets:2 ~ways:1 in
+  ignore (Cache.insert c 4 Cache.M);
+  Cache.invalidate c 4;
+  Alcotest.(check bool) "gone" true (Cache.find c 4 = None);
+  Cache.invalidate c 4 (* idempotent *)
+
+(* --- Coherence ---------------------------------------------------------------- *)
+
+let mk_hier n = Coherence.create Coherence.default_config ~n_cores:n
+
+let test_coherence_latencies () =
+  let h = mk_hier 2 in
+  (* Cold load goes to memory; hot load hits L1. *)
+  let t1 = Coherence.access h ~now:0 ~core:0 Coherence.Dload 0 in
+  Alcotest.(check bool) "cold load slow" true (t1 > 50);
+  let t2 = Coherence.access h ~now:t1 ~core:0 Coherence.Dload 0 in
+  Alcotest.(check int) "hot load is an L1 hit" (t1 + 1) t2
+
+let test_coherence_c2c () =
+  let h = mk_hier 2 in
+  (* Core 0 dirties a line; core 1's load is served cache-to-cache. *)
+  ignore (Coherence.access h ~now:0 ~core:0 Coherence.Dstore 0);
+  let before = (Coherence.stats h ~core:1).Coherence.c2c_transfers in
+  ignore (Coherence.access h ~now:200 ~core:1 Coherence.Dload 0);
+  let after = (Coherence.stats h ~core:1).Coherence.c2c_transfers in
+  Alcotest.(check int) "c2c transfer" (before + 1) after;
+  (match Coherence.check_invariants h with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e)
+
+let test_coherence_upgrade () =
+  let h = mk_hier 2 in
+  ignore (Coherence.access h ~now:0 ~core:0 Coherence.Dload 0);
+  ignore (Coherence.access h ~now:200 ~core:1 Coherence.Dload 0);
+  (* Both share the line; now core 0 writes: an upgrade, invalidating 1. *)
+  ignore (Coherence.access h ~now:400 ~core:0 Coherence.Dstore 0);
+  let s = (Coherence.stats h ~core:0).Coherence.upgrades in
+  Alcotest.(check int) "upgrade counted" 1 s;
+  (* Core 1 must re-miss. *)
+  let m_before = (Coherence.stats h ~core:1).Coherence.l1d_misses in
+  ignore (Coherence.access h ~now:600 ~core:1 Coherence.Dload 0);
+  Alcotest.(check int) "core1 re-misses" (m_before + 1)
+    (Coherence.stats h ~core:1).Coherence.l1d_misses;
+  match Coherence.check_invariants h with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_coherence_ifetch_separate () =
+  let h = mk_hier 2 in
+  (* The same numeric address in instruction space never collides with
+     data space or another core's code. *)
+  ignore (Coherence.access h ~now:0 ~core:0 Coherence.Ifetch 0);
+  let t = Coherence.access h ~now:200 ~core:0 Coherence.Ifetch 0 in
+  Alcotest.(check int) "i-hit" 201 t;
+  let d = Coherence.access h ~now:400 ~core:0 Coherence.Dload 0 in
+  Alcotest.(check bool) "data still cold" true (d > 450)
+
+(* Safety property: after any random access trace, MOESI invariants hold
+   and completion times never precede request times. *)
+let test_coherence_random =
+  QCheck.Test.make ~name:"moesi invariants under random traffic" ~count:60
+    QCheck.(list (triple (int_bound 3) bool (int_bound 255)))
+    (fun trace ->
+      let h = mk_hier 4 in
+      let now = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (core, write, addr) ->
+          let kind = if write then Coherence.Dstore else Coherence.Dload in
+          let done_ = Coherence.access h ~now:!now ~core kind addr in
+          if done_ <= !now then ok := false;
+          now := !now + 3)
+        trace;
+      !ok && match Coherence.check_invariants h with Ok _ -> true | Error _ -> false)
+
+(* --- Transactional memory ------------------------------------------------------ *)
+
+let test_tm_isolation () =
+  let mem = Memory.create 16 in
+  let tm = Tm.create mem ~n_cores:2 in
+  Tm.tx_begin tm ~core:0;
+  Tm.write tm ~core:0 3 42;
+  Alcotest.(check int) "own write visible" 42 (Tm.read tm ~core:0 3);
+  Alcotest.(check int) "memory untouched" 0 (Memory.read mem 3);
+  Tm.tx_begin tm ~core:1;
+  Alcotest.(check int) "peer sees old value" 0 (Tm.read tm ~core:1 3)
+
+let test_tm_commit_applies () =
+  let mem = Memory.create 16 in
+  let tm = Tm.create mem ~n_cores:2 in
+  Tm.tx_begin tm ~core:0;
+  Tm.tx_begin tm ~core:1;
+  Tm.write tm ~core:0 1 10;
+  Tm.write tm ~core:1 2 20;
+  (match Tm.commit_round tm ~cores:[ 0; 1 ] with
+  | `All_committed -> ()
+  | `Conflict_at c -> Alcotest.fail (Printf.sprintf "unexpected conflict at %d" c));
+  Alcotest.(check int) "w0" 10 (Memory.read mem 1);
+  Alcotest.(check int) "w1" 20 (Memory.read mem 2)
+
+let test_tm_raw_conflict () =
+  let mem = Memory.create 16 in
+  let tm = Tm.create mem ~n_cores:2 in
+  Tm.tx_begin tm ~core:0;
+  Tm.tx_begin tm ~core:1;
+  Tm.write tm ~core:0 5 99;
+  ignore (Tm.read tm ~core:1 5) (* reads stale pre-round value *);
+  (match Tm.commit_round tm ~cores:[ 0; 1 ] with
+  | `Conflict_at 1 -> ()
+  | `Conflict_at c -> Alcotest.fail (Printf.sprintf "conflict at wrong core %d" c)
+  | `All_committed -> Alcotest.fail "RAW conflict missed");
+  (* Earlier core stays committed; later core rolled back. *)
+  Alcotest.(check int) "core0 committed" 99 (Memory.read mem 5);
+  Alcotest.(check bool) "core1 aborted" false (Tm.in_tx tm ~core:1)
+
+let test_tm_waw_safe () =
+  (* Write-write overlap without reads commits in core order: the later
+     chunk's value wins, matching serial iteration order. *)
+  let mem = Memory.create 16 in
+  let tm = Tm.create mem ~n_cores:2 in
+  Tm.tx_begin tm ~core:0;
+  Tm.tx_begin tm ~core:1;
+  Tm.write tm ~core:0 7 1;
+  Tm.write tm ~core:1 7 2;
+  (match Tm.commit_round tm ~cores:[ 0; 1 ] with
+  | `All_committed -> ()
+  | `Conflict_at _ -> Alcotest.fail "WAW must not conflict");
+  Alcotest.(check int) "later core wins" 2 (Memory.read mem 7)
+
+let test_tm_abort_discards () =
+  let mem = Memory.create 8 in
+  let tm = Tm.create mem ~n_cores:1 in
+  Tm.tx_begin tm ~core:0;
+  Tm.write tm ~core:0 0 5;
+  Tm.abort tm ~core:0;
+  Alcotest.(check int) "discarded" 0 (Memory.read mem 0);
+  Alcotest.(check bool) "not in tx" false (Tm.in_tx tm ~core:0)
+
+(* Serialisability: chunked transactional execution of random independent
+   per-core writes equals running the chunks serially in core order. *)
+let test_tm_serialisable =
+  QCheck.Test.make ~name:"tm round equals serial core-order execution" ~count:100
+    QCheck.(list (triple (int_bound 3) (int_bound 31) (int_bound 100)))
+    (fun writes ->
+      let mem_tx = Memory.create 32 and mem_serial = Memory.create 32 in
+      let tm = Tm.create mem_tx ~n_cores:4 in
+      for c = 0 to 3 do
+        Tm.tx_begin tm ~core:c
+      done;
+      List.iter (fun (core, addr, v) -> Tm.write tm ~core addr v) writes;
+      (match Tm.commit_round tm ~cores:[ 0; 1; 2; 3 ] with
+      | `All_committed -> ()
+      | `Conflict_at _ -> () (* no reads, cannot happen *));
+      for c = 0 to 3 do
+        List.iter
+          (fun (core, addr, v) -> if core = c then Memory.write mem_serial addr v)
+          writes
+      done;
+      Memory.equal mem_tx mem_serial)
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "read/write" `Quick test_memory_rw;
+          Alcotest.test_case "snapshot" `Quick test_memory_snapshot;
+          Alcotest.test_case "checksum prefix" `Quick test_checksum_prefix;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "insert/find" `Quick test_cache_insert_find;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "invalidate" `Quick test_cache_invalidate;
+        ] );
+      ( "coherence",
+        [
+          Alcotest.test_case "latencies" `Quick test_coherence_latencies;
+          Alcotest.test_case "cache-to-cache" `Quick test_coherence_c2c;
+          Alcotest.test_case "upgrade" `Quick test_coherence_upgrade;
+          Alcotest.test_case "ifetch space" `Quick test_coherence_ifetch_separate;
+          QCheck_alcotest.to_alcotest test_coherence_random;
+        ] );
+      ( "tm",
+        [
+          Alcotest.test_case "isolation" `Quick test_tm_isolation;
+          Alcotest.test_case "commit applies" `Quick test_tm_commit_applies;
+          Alcotest.test_case "raw conflict" `Quick test_tm_raw_conflict;
+          Alcotest.test_case "waw safe" `Quick test_tm_waw_safe;
+          Alcotest.test_case "abort discards" `Quick test_tm_abort_discards;
+          QCheck_alcotest.to_alcotest test_tm_serialisable;
+        ] );
+    ]

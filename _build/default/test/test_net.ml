@@ -1,0 +1,200 @@
+(* Tests for the network layer: mesh geometry and XY routing, direct-mode
+   latches and broadcast timing, queue-mode delivery latency, sender
+   matching, FIFO order, capacity backpressure, and spawn messages. *)
+
+module Mesh = Voltron_net.Mesh
+module Net = Voltron_net.Operand_network
+module Inst = Voltron_isa.Inst
+
+let mesh4 = Mesh.create 4
+let mesh2 = Mesh.create 2
+
+let test_mesh_geometry () =
+  Alcotest.(check (pair int int)) "4-core is 2x2" (2, 2)
+    (Mesh.columns mesh4, Mesh.rows mesh4);
+  Alcotest.(check (pair int int)) "core 3 at (1,1)" (1, 1) (Mesh.coords mesh4 3);
+  Alcotest.(check int) "hops 0-3" 2 (Mesh.hops mesh4 0 3);
+  Alcotest.(check int) "hops 0-1" 1 (Mesh.hops mesh4 0 1);
+  Alcotest.(check int) "diameter" 2 (Mesh.max_hops mesh4);
+  Alcotest.(check int) "2-core diameter" 1 (Mesh.max_hops mesh2)
+
+let test_mesh_neighbours () =
+  Alcotest.(check (option int)) "0 east" (Some 1) (Mesh.neighbour mesh4 0 Inst.East);
+  Alcotest.(check (option int)) "0 south" (Some 2) (Mesh.neighbour mesh4 0 Inst.South);
+  Alcotest.(check (option int)) "0 west" None (Mesh.neighbour mesh4 0 Inst.West);
+  Alcotest.(check (option int)) "3 north" (Some 1) (Mesh.neighbour mesh4 3 Inst.North)
+
+let test_mesh_route () =
+  let path = Mesh.path_cores mesh4 ~src:0 ~dst:3 in
+  Alcotest.(check int) "path length" 3 (List.length path);
+  Alcotest.(check bool) "starts at src" true (List.hd path = 0);
+  Alcotest.(check bool) "ends at dst" true (List.nth path 2 = 3);
+  Alcotest.(check (list int)) "self route empty" [ 0 ]
+    (Mesh.path_cores mesh4 ~src:0 ~dst:0)
+
+let mk_net mesh = Net.create mesh ~receive_capacity:4
+
+let test_direct_put_get () =
+  let n = mk_net mesh2 in
+  (match Net.put n ~now:5 ~src_core:0 Inst.East 42 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (option int)) "same-cycle get" (Some 42)
+    (Net.get n ~now:5 ~core:1 Inst.West);
+  Alcotest.(check (option int)) "latch drained" None
+    (Net.get n ~now:5 ~core:1 Inst.West)
+
+let test_direct_put_off_mesh () =
+  let n = mk_net mesh2 in
+  match Net.put n ~now:0 ~src_core:0 Inst.West 1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "put off the mesh must fail"
+
+let test_direct_stale_get_detected () =
+  let n = mk_net mesh2 in
+  (match Net.put n ~now:1 ~src_core:0 Inst.East 7 with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "late get is a lock-step violation" true
+    (try
+       ignore (Net.get n ~now:3 ~core:1 Inst.West);
+       false
+     with Failure _ -> true)
+
+let test_bcast_arrival_times () =
+  let n = mk_net mesh4 in
+  Net.bcast n ~now:10 ~src_core:0 99;
+  (* Core 1 is 1 hop away: visible at 11, not at 10. *)
+  Alcotest.(check (option int)) "too early" None (Net.getb n ~now:10 ~core:1);
+  Alcotest.(check (option int)) "1 hop" (Some 99) (Net.getb n ~now:11 ~core:1);
+  (* Core 3 is 2 hops away. *)
+  Alcotest.(check bool) "2 hops not at 11" true (not (Net.getb_ready n ~now:11 ~core:3));
+  Alcotest.(check (option int)) "2 hops at 12" (Some 99) (Net.getb n ~now:12 ~core:3);
+  (* Consuming is per-core: core 1 cannot getb twice. *)
+  Alcotest.(check (option int)) "consumed" None (Net.getb n ~now:13 ~core:1)
+
+let test_queue_latency () =
+  let n = mk_net mesh4 in
+  (match Net.send n ~now:0 ~src:0 ~dst:3 (Net.Value 5) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* 1 cycle into the queue + 2 hops: ready at 3, so recv at 2 stalls. *)
+  Alcotest.(check bool) "not ready at 2" false (Net.recv_ready n ~now:2 ~core:3 ~sender:0);
+  Alcotest.(check (option int)) "ready at 3" (Some 5) (Net.recv n ~now:3 ~core:3 ~sender:0)
+
+let test_queue_sender_matching () =
+  let n = mk_net mesh4 in
+  ignore (Net.send n ~now:0 ~src:1 ~dst:0 (Net.Value 11));
+  ignore (Net.send n ~now:0 ~src:2 ~dst:0 (Net.Value 22));
+  Alcotest.(check (option int)) "matches sender 2" (Some 22)
+    (Net.recv n ~now:10 ~core:0 ~sender:2);
+  Alcotest.(check (option int)) "matches sender 1" (Some 11)
+    (Net.recv n ~now:10 ~core:0 ~sender:1)
+
+let test_queue_fifo_per_pair () =
+  let n = mk_net mesh4 in
+  ignore (Net.send n ~now:0 ~src:0 ~dst:1 (Net.Value 1));
+  ignore (Net.send n ~now:1 ~src:0 ~dst:1 (Net.Value 2));
+  ignore (Net.send n ~now:2 ~src:0 ~dst:1 (Net.Value 3));
+  (* List literals evaluate right-to-left; force receive order with init. *)
+  let received = List.init 4 (fun _ -> Net.recv n ~now:50 ~core:1 ~sender:0) in
+  Alcotest.(check (list (option int))) "fifo order"
+    [ Some 1; Some 2; Some 3; None ]
+    received
+
+let test_queue_capacity () =
+  let n = mk_net mesh4 in
+  for i = 1 to 4 do
+    match Net.send n ~now:i ~src:0 ~dst:1 (Net.Value i) with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  (match Net.send n ~now:5 ~src:0 ~dst:1 (Net.Value 5) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "channel over capacity");
+  (* Capacity is per (sender, receiver) channel: another sender still gets
+     through to the same receiver (a shared queue would deadlock
+     rate-mismatched threads). *)
+  (match Net.send n ~now:5 ~src:3 ~dst:1 (Net.Value 99) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Draining one frees a slot. *)
+  ignore (Net.recv n ~now:50 ~core:1 ~sender:0);
+  match Net.send n ~now:51 ~src:0 ~dst:1 (Net.Value 5) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_spawn_start_message () =
+  let n = mk_net mesh2 in
+  ignore (Net.send n ~now:0 ~src:0 ~dst:1 (Net.Start 17));
+  ignore (Net.send n ~now:0 ~src:0 ~dst:1 (Net.Value 5));
+  (* take_start only sees Start messages; recv only Values. *)
+  Alcotest.(check (option int)) "start" (Some 17) (Net.take_start n ~now:10 ~core:1);
+  Alcotest.(check (option int)) "no more starts" None (Net.take_start n ~now:10 ~core:1);
+  Alcotest.(check (option int)) "value intact" (Some 5)
+    (Net.recv n ~now:10 ~core:1 ~sender:0)
+
+let test_idle () =
+  let n = mk_net mesh2 in
+  Alcotest.(check bool) "initially idle" true (Net.idle n);
+  ignore (Net.send n ~now:0 ~src:0 ~dst:1 (Net.Value 1));
+  Alcotest.(check bool) "busy with message" false (Net.idle n);
+  ignore (Net.recv n ~now:10 ~core:1 ~sender:0);
+  Alcotest.(check bool) "idle after drain" true (Net.idle n)
+
+(* Property: messages between a random pair sequence are delivered exactly
+   once and in per-pair FIFO order. *)
+let test_exactly_once =
+  QCheck.Test.make ~name:"exactly-once, per-pair fifo delivery" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_bound 40) (pair (int_bound 3) (int_bound 3)))
+    (fun pairs ->
+      let n = Net.create mesh4 ~receive_capacity:1000 in
+      let sent = Hashtbl.create 16 in
+      List.iteri
+        (fun i (src, dst) ->
+          if src <> dst then begin
+            (match Net.send n ~now:i ~src ~dst (Net.Value i) with
+            | Ok () -> ()
+            | Error _ -> ());
+            Hashtbl.replace sent (src, dst)
+              (i :: Option.value ~default:[] (Hashtbl.find_opt sent (src, dst)))
+          end)
+        pairs;
+      let now = List.length pairs + 10 in
+      Hashtbl.fold
+        (fun (src, dst) payloads acc ->
+          acc
+          &&
+          let expected = List.rev payloads in
+          let received =
+            List.map (fun _ -> Net.recv n ~now ~core:dst ~sender:src) expected
+          in
+          received = List.map (fun v -> Some v) expected
+          && Net.recv n ~now ~core:dst ~sender:src = None)
+        sent true)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "mesh",
+        [
+          Alcotest.test_case "geometry" `Quick test_mesh_geometry;
+          Alcotest.test_case "neighbours" `Quick test_mesh_neighbours;
+          Alcotest.test_case "routing" `Quick test_mesh_route;
+        ] );
+      ( "direct",
+        [
+          Alcotest.test_case "put/get" `Quick test_direct_put_get;
+          Alcotest.test_case "off-mesh put" `Quick test_direct_put_off_mesh;
+          Alcotest.test_case "stale get" `Quick test_direct_stale_get_detected;
+          Alcotest.test_case "bcast timing" `Quick test_bcast_arrival_times;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "latency" `Quick test_queue_latency;
+          Alcotest.test_case "sender matching" `Quick test_queue_sender_matching;
+          Alcotest.test_case "fifo" `Quick test_queue_fifo_per_pair;
+          Alcotest.test_case "capacity" `Quick test_queue_capacity;
+          Alcotest.test_case "spawn" `Quick test_spawn_start_message;
+          Alcotest.test_case "idle" `Quick test_idle;
+          QCheck_alcotest.to_alcotest test_exactly_once;
+        ] );
+    ]

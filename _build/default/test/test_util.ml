@@ -1,0 +1,176 @@
+(* Unit and property tests for voltron_util: RNG determinism, Vec
+   behaviour, statistics, table rendering, and digraph algorithms (Tarjan
+   SCC, topological sort). *)
+
+module Rng = Voltron_util.Rng
+module Vec = Voltron_util.Vec
+module Stat = Voltron_util.Stat
+module Table = Voltron_util.Table
+module Digraph = Voltron_util.Digraph
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10);
+    let y = Rng.in_range r 5 9 in
+    Alcotest.(check bool) "in closed range" true (y >= 5 && y <= 9)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.next a) in
+  let ys = List.init 10 (fun _ -> Rng.next b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_vec_push_pop () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 57 (Vec.get v 57);
+  Vec.set v 57 1000;
+  Alcotest.(check int) "set" 1000 (Vec.get v 57);
+  Alcotest.(check (option int)) "pop" (Some 99) (Vec.pop v);
+  Alcotest.(check int) "after pop" 99 (Vec.length v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "oob get" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 3))
+
+let test_vec_roundtrip =
+  QCheck.Test.make ~name:"vec of_list/to_list roundtrip" ~count:200
+    QCheck.(list int)
+    (fun xs -> Vec.to_list (Vec.of_list xs) = xs)
+
+let test_stat_mean_geomean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stat.mean [ 1.; 2.; 3.; 4. ]);
+  Alcotest.(check (float 1e-9)) "geomean of equal" 3. (Stat.geomean [ 3.; 3.; 3. ]);
+  Alcotest.(check (float 1e-9)) "empty mean" 0. (Stat.mean []);
+  Alcotest.(check (float 1e-6)) "geomean 2,8" 4. (Stat.geomean [ 2.; 8. ])
+
+let test_stat_normalize () =
+  let n = Stat.normalize [ 1.; 3. ] in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1. (Stat.sum n)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "xxx"; "1" ]; [ "y"; "22" ] ] in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  match lines with
+  | first :: rest ->
+    List.iter
+      (fun l -> Alcotest.(check int) "width" (String.length first) (String.length l))
+      rest
+  | [] -> Alcotest.fail "no output"
+
+let test_digraph_scc () =
+  (* 0 -> 1 -> 2 -> 0 forms one SCC; 3 alone; 2 -> 3. *)
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 0;
+  Digraph.add_edge g 2 3;
+  let comps = Digraph.sccs g in
+  Alcotest.(check int) "two components" 2 (Array.length comps);
+  let sizes = Array.to_list comps |> List.map List.length |> List.sort compare in
+  Alcotest.(check (list int)) "sizes" [ 1; 3 ] sizes
+
+let test_digraph_condense_acyclic () =
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 0;
+  Digraph.add_edge g 2 3;
+  let dag, idx = Digraph.condense g in
+  Alcotest.(check bool) "condensation acyclic" true (Digraph.is_acyclic dag);
+  Alcotest.(check bool) "cycle nodes share component" true
+    (idx.(0) = idx.(1) && idx.(1) = idx.(2));
+  Alcotest.(check bool) "3 in its own component" true (idx.(3) <> idx.(0))
+
+let test_topo_sort () =
+  let g = Digraph.create 5 in
+  Digraph.add_edge g 0 2;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 3;
+  Digraph.add_edge g 3 4;
+  match Digraph.topo_sort g with
+  | None -> Alcotest.fail "expected a topological order"
+  | Some order ->
+    let pos = List.mapi (fun i v -> (v, i)) order in
+    let before a b = List.assoc a pos < List.assoc b pos in
+    Alcotest.(check bool) "0 before 2" true (before 0 2);
+    Alcotest.(check bool) "2 before 4" true (before 2 4)
+
+let test_topo_cycle () =
+  let g = Digraph.create 2 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 0;
+  Alcotest.(check bool) "cycle has no topo order" true (Digraph.topo_sort g = None)
+
+let test_topo_prop =
+  QCheck.Test.make ~name:"topo_sort respects forward edges" ~count:100
+    QCheck.(list (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let g = Digraph.create 20 in
+      List.iter (fun (a, b) -> if a < b then Digraph.add_edge g a b) pairs;
+      match Digraph.topo_sort g with
+      | None -> false
+      | Some order ->
+        let pos = Array.make 20 0 in
+        List.iteri (fun i v -> pos.(v) <- i) order;
+        List.for_all (fun (a, b) -> a >= b || pos.(a) < pos.(b)) pairs)
+
+let test_scc_idempotent =
+  QCheck.Test.make ~name:"scc stable under duplicate edges" ~count:100
+    QCheck.(list (pair (int_bound 9) (int_bound 9)))
+    (fun pairs ->
+      let g1 = Digraph.create 10 and g2 = Digraph.create 10 in
+      List.iter (fun (a, b) -> Digraph.add_edge g1 a b) pairs;
+      List.iter
+        (fun (a, b) ->
+          Digraph.add_edge g2 a b;
+          Digraph.add_edge g2 a b)
+        pairs;
+      Digraph.scc_index g1 = Digraph.scc_index g2)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push/pop" `Quick test_vec_push_pop;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          QCheck_alcotest.to_alcotest test_vec_roundtrip;
+        ] );
+      ( "stat",
+        [
+          Alcotest.test_case "mean/geomean" `Quick test_stat_mean_geomean;
+          Alcotest.test_case "normalize" `Quick test_stat_normalize;
+        ] );
+      ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+      ( "digraph",
+        [
+          Alcotest.test_case "scc" `Quick test_digraph_scc;
+          Alcotest.test_case "condense" `Quick test_digraph_condense_acyclic;
+          Alcotest.test_case "topo" `Quick test_topo_sort;
+          Alcotest.test_case "topo cycle" `Quick test_topo_cycle;
+          QCheck_alcotest.to_alcotest test_topo_prop;
+          QCheck_alcotest.to_alcotest test_scc_idempotent;
+        ] );
+    ]
