@@ -27,6 +27,7 @@ let run_figure ~scale name =
   | "fig13" -> E.print_fig13 (E.fig13 ~scale ())
   | "fig14" -> E.print_fig14 (E.fig14 ~scale ())
   | "micro" -> E.print_micro (E.micro ~scale ())
+  | "resilience" -> E.print_resilience (E.resilience ~scale ())
   | other -> Printf.printf "unknown figure: %s\n" other);
   print_newline ()
 
@@ -63,7 +64,8 @@ let run_ablations ~scale () =
     (E.ablation_issue_width ~scale ());
   print_newline ()
 
-let figures = [ "fig3"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "micro" ]
+let figures =
+  [ "fig3"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "micro"; "resilience" ]
 
 (* --- Bechamel: wall-clock cost of each figure's pipeline ------------------- *)
 

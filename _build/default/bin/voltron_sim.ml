@@ -107,15 +107,84 @@ let apply_opts optimize unroll p =
       ~options:{ base with Voltron_compiler.Opt.unroll = max 1 unroll }
       p
 
+let string_of_choice = function
+  | `Seq -> "seq"
+  | `Ilp -> "ilp"
+  | `Tlp -> "tlp"
+  | `Llp -> "llp"
+  | `Hybrid -> "hybrid"
+
+let short_outcome = function
+  | Voltron.Run.Completed -> "completed"
+  | Voltron.Run.Cycle_capped -> "cycle cap"
+  | Voltron.Run.Deadlocked _ -> "deadlock"
+  | Voltron.Run.Fault_limited _ -> "fault limit"
+
+let fault_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-rate" ] ~docv:"R"
+        ~doc:
+          "Inject every fault kind (message drop/corrupt, memory bit flip, \
+           spurious TM abort, core stall) at this rate; 0 disables \
+           injection.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"S"
+        ~doc:"Seed for the fault injector (a fixed seed reproduces the run).")
+
+let fault_threshold_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fault-threshold" ] ~docv:"N"
+        ~doc:
+          "Degrade to a simpler execution mode (hybrid -> decoupled-only -> \
+           serial) after this many injected faults; 0 never degrades.")
+
 let run_cmd =
-  let run bench file cores strategy scale optimize unroll =
+  let run bench file cores strategy scale optimize unroll fault_rate fault_seed
+      fault_threshold =
     let name, p = resolve_program bench file scale in
     let p = apply_opts optimize unroll p in
     let choice = choice_of_string strategy in
     let base = Voltron.Run.baseline_cycles p in
-    let m = Voltron.Run.run ~choice ~n_cores:cores p in
     Printf.printf "benchmark  : %s\n" name;
     Printf.printf "strategy   : %s on %d cores\n" strategy cores;
+    let m =
+      if fault_rate > 0. then begin
+        let tweak c =
+          {
+            c with
+            Config.fault =
+              Voltron_fault.Fault.uniform ~seed:fault_seed
+                ~degrade_threshold:fault_threshold ~rate:fault_rate ();
+          }
+        in
+        let r = Voltron.Run.run_resilient ~choice ~tweak ~n_cores:cores p in
+        Printf.printf "faults     : every kind at rate %g, seed %d%s\n"
+          fault_rate fault_seed
+          (if fault_threshold > 0 then
+             Printf.sprintf ", degrade after %d" fault_threshold
+           else "");
+        List.iter
+          (fun (a : Voltron.Run.attempt) ->
+            Printf.printf "  rung     : %-14s %s on %d cores -> %s\n"
+              (Voltron_fault.Fault.level_name a.Voltron.Run.a_level)
+              (string_of_choice a.Voltron.Run.a_choice)
+              a.Voltron.Run.a_n_cores
+              (short_outcome a.Voltron.Run.a_measurement.Voltron.Run.outcome))
+          r.Voltron.Run.attempts;
+        r.Voltron.Run.final
+      end
+      else Voltron.Run.run ~choice ~n_cores:cores p
+    in
+    (match m.Voltron.Run.outcome with
+    | Voltron.Run.Completed -> ()
+    | o ->
+      Printf.eprintf "%s\n" (Voltron.Run.outcome_to_string o);
+      exit 1);
     Printf.printf "verified   : %b (memory matches the reference interpreter)\n"
       m.Voltron.Run.verified;
     Printf.printf "baseline   : %d cycles (1 core, sequential)\n" base;
@@ -129,7 +198,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate a benchmark or VC file.")
     Term.(
       const run $ bench_arg $ file_arg $ cores_arg $ strategy_arg $ scale_arg
-      $ optimize_arg $ unroll_arg)
+      $ optimize_arg $ unroll_arg $ fault_rate_arg $ fault_seed_arg
+      $ fault_threshold_arg)
 
 let plan_cmd =
   let plan bench file cores scale =
@@ -181,7 +251,12 @@ let asm_cmd =
       Printf.eprintf "out of cycles\n";
       exit 1
     | Voltron_machine.Machine.Deadlock d ->
-      Printf.eprintf "deadlock:\n%s\n" d;
+      Printf.eprintf "deadlock:\n%s\n"
+        (Voltron_machine.Machine.diagnosis_to_string d);
+      exit 1
+    | Voltron_machine.Machine.Fault_limit d ->
+      Printf.eprintf "fault limit reached:\n%s\n"
+        (Voltron_machine.Machine.diagnosis_to_string d);
       exit 1);
     Format.printf "%a" Stats.pp_summary (Voltron_machine.Machine.stats m);
     (* Show the first few data words, the usual place for results. *)
@@ -215,7 +290,12 @@ let trace_cmd =
     (match result.Voltron_machine.Machine.outcome with
     | Voltron_machine.Machine.Finished -> ()
     | Voltron_machine.Machine.Out_of_cycles -> prerr_endline "out of cycles"
-    | Voltron_machine.Machine.Deadlock d -> prerr_endline ("deadlock: " ^ d));
+    | Voltron_machine.Machine.Deadlock d ->
+      prerr_endline
+        ("deadlock: " ^ Voltron_machine.Machine.diagnosis_to_string d)
+    | Voltron_machine.Machine.Fault_limit d ->
+      prerr_endline
+        ("fault limit reached: " ^ Voltron_machine.Machine.diagnosis_to_string d));
     Voltron_machine.Trace.report ~timeline Format.std_formatter tracer
       compiled.Driver.executable
   in

@@ -42,7 +42,9 @@ let verify machine compiled =
   let result = Machine.run m in
   match result.Machine.outcome with
   | Machine.Out_of_cycles -> Error "out of cycles"
-  | Machine.Deadlock d -> Error ("deadlock: " ^ d)
+  | Machine.Deadlock d -> Error ("deadlock: " ^ Machine.diagnosis_to_string d)
+  | Machine.Fault_limit d ->
+    Error ("fault limit reached: " ^ Machine.diagnosis_to_string d)
   | Machine.Finished ->
     let sum =
       Voltron_mem.Memory.checksum_prefix (Machine.memory m)

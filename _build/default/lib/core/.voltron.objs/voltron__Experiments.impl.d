@@ -1,1 +1,1 @@
-lib/core/experiments.ml: Hashtbl List Option Printf Run Voltron_analysis Voltron_compiler Voltron_ir Voltron_isa Voltron_machine Voltron_mem Voltron_util Voltron_workloads
+lib/core/experiments.ml: Hashtbl List Option Printf Run Voltron_analysis Voltron_compiler Voltron_fault Voltron_ir Voltron_isa Voltron_machine Voltron_mem Voltron_util Voltron_workloads

@@ -1,1 +1,1 @@
-lib/core/run.ml: Voltron_compiler Voltron_machine Voltron_mem
+lib/core/run.ml: List Voltron_compiler Voltron_fault Voltron_machine Voltron_mem

@@ -1,1 +1,1 @@
-lib/core/run.mli: Voltron_analysis Voltron_compiler Voltron_ir Voltron_machine
+lib/core/run.mli: Voltron_analysis Voltron_compiler Voltron_fault Voltron_ir Voltron_machine

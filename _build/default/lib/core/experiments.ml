@@ -216,6 +216,70 @@ let micro ?(scale = 1.0) () =
     };
   ]
 
+(* --- Resilience (AVF-style fault sweep) -------------------------------------- *)
+
+type resilience_row = {
+  rs_bench : string;
+  rs_rate : float;
+  rs_level : string;
+  rs_cycles : int;
+  rs_overhead : float;
+  rs_speedup : float;
+  rs_faults : int;
+  rs_retries : int;
+  rs_ecc : int;
+  rs_aborts : int;
+  rs_verified : bool;
+}
+
+let resilience ?(scale = 1.0) ?(benches = [ "cjpeg"; "gsmdecode"; "179.art" ])
+    ?(rates = [ 0.0; 1e-4; 1e-3; 5e-3 ]) ?(seed = 42) () =
+  List.concat_map
+    (fun name ->
+      let b = Suite.by_name name in
+      let p = b.Suite.build ~scale () in
+      let profile = Profile.collect p in
+      let base = Run.baseline_cycles ~profile p in
+      let run_at rate =
+        let tweak c =
+          {
+            c with
+            Voltron_machine.Config.fault =
+              Voltron_fault.Fault.uniform ~seed ~rate ();
+          }
+        in
+        Run.run_resilient ~profile ~tweak ~n_cores:4 p
+      in
+      let clean = run_at 0.0 in
+      let clean_cycles = clean.Run.final.Run.cycles in
+      List.map
+        (fun rate ->
+          let r = if rate = 0.0 then clean else run_at rate in
+          let m = r.Run.final in
+          let st = m.Run.stats in
+          let level =
+            match List.rev r.Run.attempts with
+            | a :: _ -> Voltron_fault.Fault.level_name a.Run.a_level
+            | [] -> assert false
+          in
+          {
+            rs_bench = name;
+            rs_rate = rate;
+            rs_level = level;
+            rs_cycles = m.Run.cycles;
+            rs_overhead = float_of_int m.Run.cycles /. float_of_int clean_cycles;
+            rs_speedup = float_of_int base /. float_of_int m.Run.cycles;
+            rs_faults = st.Stats.faults_injected;
+            rs_retries = st.Stats.net_retries;
+            rs_ecc =
+              st.Stats.ecc_corrected + st.Stats.ecc_scrubbed
+              + st.Stats.flips_masked;
+            rs_aborts = st.Stats.spurious_aborts;
+            rs_verified = m.Run.verified;
+          })
+        rates)
+    benches
+
 (* --- Ablations --------------------------------------------------------------- *)
 
 type ablation_row = { ab_label : string; ab_values : (string * float) list }
@@ -547,3 +611,29 @@ let print_micro rows =
   Table.print
     ~header:[ "example"; "paper"; "measured" ]
     (List.map (fun r -> [ r.mi_name; f r.mi_paper; f r.mi_measured ]) rows)
+
+let print_resilience rows =
+  print_endline
+    "Resilience: seeded fault-rate sweep, 4-core hybrid (overhead over the \
+     fault-free run)";
+  Table.print
+    ~header:
+      [
+        "benchmark"; "rate"; "level"; "speedup"; "overhead"; "faults";
+        "retries"; "ecc"; "tm-aborts"; "verified";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.rs_bench;
+           Printf.sprintf "%g" r.rs_rate;
+           r.rs_level;
+           f r.rs_speedup;
+           f r.rs_overhead;
+           string_of_int r.rs_faults;
+           string_of_int r.rs_retries;
+           string_of_int r.rs_ecc;
+           string_of_int r.rs_aborts;
+           (if r.rs_verified then "yes" else "NO");
+         ])
+       rows)

@@ -68,6 +68,39 @@ val fig14 : ?scale:float -> ?benches:string list -> unit -> mode_split list
 val micro : ?scale:float -> unit -> micro_result list
 (** The Figs. 7-9 worked examples on 2 cores. *)
 
+(** {1 Resilience} — AVF-style fault sweep (DESIGN.md "Fault model &
+    recovery"). *)
+
+type resilience_row = {
+  rs_bench : string;
+  rs_rate : float;  (** uniform per-kind injection rate *)
+  rs_level : string;  (** final degradation-ladder rung the run finished on *)
+  rs_cycles : int;
+  rs_overhead : float;  (** cycles / fault-free cycles at the same config *)
+  rs_speedup : float;  (** over the sequential baseline *)
+  rs_faults : int;  (** faults injected, all kinds *)
+  rs_retries : int;  (** network retransmissions *)
+  rs_ecc : int;  (** memory flips corrected, scrubbed or masked *)
+  rs_aborts : int;  (** spurious TM aborts *)
+  rs_verified : bool;  (** memory image still matches the oracle *)
+}
+
+val resilience :
+  ?scale:float ->
+  ?benches:string list ->
+  ?rates:float list ->
+  ?seed:int ->
+  unit ->
+  resilience_row list
+(** For each benchmark (default cjpeg, gsmdecode, 179.art) and each
+    injection rate (default 0, 1e-4, 1e-3, 5e-3), run the 4-core hybrid
+    build through {!Run.run_resilient} with every fault kind at that rate
+    and a fixed seed: speedup retained, recovery overhead, and how much
+    recovery machinery fired. Every row must verify — recovery is only
+    recovery if the answer is still right. *)
+
+val print_resilience : resilience_row list -> unit
+
 (** {1 Ablations} — design-choice studies beyond the paper's figures
     (DESIGN.md 4). Each returns printable rows. *)
 

@@ -1,24 +1,44 @@
 module Config = Voltron_machine.Config
 module Machine = Voltron_machine.Machine
 module Driver = Voltron_compiler.Driver
+module Fault = Voltron_fault.Fault
+
+type run_outcome =
+  | Completed
+  | Cycle_capped
+  | Deadlocked of Machine.diagnosis
+  | Fault_limited of Machine.diagnosis
 
 type measurement = {
   cycles : int;
   stats : Voltron_machine.Stats.t;
+  outcome : run_outcome;
   verified : bool;
   plan : Voltron_compiler.Select.planned_region list;
   energy : Voltron_machine.Energy.report;
 }
+
+let completed m = m.outcome = Completed
+
+let outcome_to_string = function
+  | Completed -> "completed"
+  | Cycle_capped -> "exceeded the cycle cap"
+  | Deadlocked d -> "deadlock:\n" ^ Machine.diagnosis_to_string d
+  | Fault_limited d ->
+    "fault limit reached:\n" ^ Machine.diagnosis_to_string d
 
 let run ?(choice = `Hybrid) ?profile ?(tweak = fun c -> c) ~n_cores program =
   let machine = tweak (Config.default ~n_cores) in
   let compiled = Driver.compile ~machine ~choice ?profile program in
   let m = Machine.create machine compiled.Driver.executable in
   let result = Machine.run m in
-  (match result.Machine.outcome with
-  | Machine.Finished -> ()
-  | Machine.Out_of_cycles -> failwith "simulation exceeded the cycle cap"
-  | Machine.Deadlock d -> failwith ("simulated deadlock: " ^ d));
+  let outcome =
+    match result.Machine.outcome with
+    | Machine.Finished -> Completed
+    | Machine.Out_of_cycles -> Cycle_capped
+    | Machine.Deadlock d -> Deadlocked d
+    | Machine.Fault_limit d -> Fault_limited d
+  in
   let sum =
     Voltron_mem.Memory.checksum_prefix (Machine.memory m)
       compiled.Driver.array_footprint
@@ -26,18 +46,80 @@ let run ?(choice = `Hybrid) ?profile ?(tweak = fun c -> c) ~n_cores program =
   {
     cycles = result.Machine.cycles;
     stats = Machine.stats m;
-    verified = sum = compiled.Driver.oracle_checksum;
+    outcome;
+    verified = outcome = Completed && sum = compiled.Driver.oracle_checksum;
     plan = compiled.Driver.plan;
     energy =
       Voltron_machine.Energy.of_run ~stats:(Machine.stats m)
         ~coherence:(Machine.coherence m) ~network:(Machine.network m) ();
   }
 
+(* --- Graceful degradation ladder ------------------------------------------ *)
+
+type attempt = {
+  a_level : Fault.level;
+  a_choice : Voltron_compiler.Select.choice;
+  a_n_cores : int;
+  a_measurement : measurement;
+}
+
+type resilient = {
+  final : measurement;
+  attempts : attempt list;  (** in execution order; last produced [final] *)
+  degraded : bool;
+}
+
+(* Map a degradation rung onto a compilation strategy: full hybrid
+   parallelism first, queue-mode-only (no lock-step coupling, no TM
+   speculation) next, and sequential on core 0 as the last resort. *)
+let strategy_of_level ~choice ~n_cores = function
+  | Fault.Full -> (choice, n_cores)
+  | Fault.Decoupled_only -> (`Tlp, n_cores)
+  | Fault.Serial_core0 -> (`Seq, 1)
+
+let run_resilient ?(choice = `Hybrid) ?profile ?(tweak = fun c -> c) ~n_cores
+    program =
+  let rec go level acc =
+    let choice', n_cores' = strategy_of_level ~choice ~n_cores level in
+    let tweak' c =
+      let c = tweak c in
+      match level with
+      | Fault.Serial_core0 ->
+        (* The bottom rung must always complete: keep injecting (the run
+           still has to verify) but never give up on it. *)
+        { c with Config.fault = { c.Config.fault with Fault.degrade_threshold = 0 } }
+      | Fault.Full | Fault.Decoupled_only -> c
+    in
+    let m = run ~choice:choice' ?profile ~tweak:tweak' ~n_cores:n_cores' program in
+    let attempt =
+      { a_level = level; a_choice = choice'; a_n_cores = n_cores'; a_measurement = m }
+    in
+    let acc = attempt :: acc in
+    match m.outcome with
+    | Fault_limited _ -> (
+      match Fault.degrade level with
+      | Some next -> go next acc
+      | None -> (acc, m))
+    | Completed | Cycle_capped | Deadlocked _ -> (acc, m)
+  in
+  let attempts_rev, final = go Fault.Full [] in
+  let attempts = List.rev attempts_rev in
+  { final; attempts; degraded = List.length attempts > 1 }
+
 let baseline_cycles ?profile program =
-  (run ~choice:`Seq ?profile ~n_cores:1 program).cycles
+  let m = run ~choice:`Seq ?profile ~n_cores:1 program in
+  (match m.outcome with
+  | Completed -> ()
+  | (Cycle_capped | Deadlocked _ | Fault_limited _) as o ->
+    failwith ("baseline run " ^ outcome_to_string o));
+  m.cycles
 
 let speedup ?(choice = `Hybrid) ~n_cores program =
   let base = baseline_cycles program in
   let m = run ~choice ~n_cores program in
+  (match m.outcome with
+  | Completed -> ()
+  | (Cycle_capped | Deadlocked _ | Fault_limited _) as o ->
+    failwith ("speedup run " ^ outcome_to_string o));
   if not m.verified then failwith "speedup: memory image diverged from oracle";
   float_of_int base /. float_of_int m.cycles

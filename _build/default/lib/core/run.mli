@@ -1,13 +1,26 @@
 (** One-call compile-and-simulate helpers — the facade most users (and the
     examples, CLI and benchmark harness) go through. *)
 
+type run_outcome =
+  | Completed
+  | Cycle_capped  (** exceeded [Config.max_cycles] *)
+  | Deadlocked of Voltron_machine.Machine.diagnosis  (** watchdog fired *)
+  | Fault_limited of Voltron_machine.Machine.diagnosis
+      (** injected faults crossed the degradation threshold *)
+
+val outcome_to_string : run_outcome -> string
+
 type measurement = {
   cycles : int;
   stats : Voltron_machine.Stats.t;
-  verified : bool;  (** memory image matched the reference interpreter *)
+  outcome : run_outcome;
+  verified : bool;
+      (** [Completed] and memory image matched the reference interpreter *)
   plan : Voltron_compiler.Select.planned_region list;
   energy : Voltron_machine.Energy.report;
 }
+
+val completed : measurement -> bool
 
 val run :
   ?choice:Voltron_compiler.Select.choice ->
@@ -18,8 +31,38 @@ val run :
   measurement
 (** Compile (default [`Hybrid]) for an [n_cores] Voltron and simulate to
     completion. [tweak] adjusts the machine configuration (cache
-    latencies, network capacity, ...) before compiling — used by the
-    ablation benches. Raises [Failure] on simulator deadlock/overflow. *)
+    latencies, network capacity, fault injection, ...) before compiling —
+    used by the ablation benches and the resilience sweep. A simulator
+    deadlock, cycle-cap overrun or fault-limit stop is returned as the
+    measurement's [outcome] (with [verified = false]), not raised. *)
+
+(** {1 Graceful degradation} *)
+
+type attempt = {
+  a_level : Voltron_fault.Fault.level;
+  a_choice : Voltron_compiler.Select.choice;
+  a_n_cores : int;
+  a_measurement : measurement;
+}
+
+type resilient = {
+  final : measurement;
+  attempts : attempt list;  (** in execution order; last produced [final] *)
+  degraded : bool;  (** at least one rung was abandoned *)
+}
+
+val run_resilient :
+  ?choice:Voltron_compiler.Select.choice ->
+  ?profile:Voltron_analysis.Profile.t ->
+  ?tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
+  n_cores:int ->
+  Voltron_ir.Hir.program ->
+  resilient
+(** Like {!run}, but when a rung stops with [Fault_limited] the ladder
+    degrades — full hybrid parallelism, then queue-mode-only ([`Tlp]),
+    then sequential on core 0 — and re-runs. The bottom rung clears the
+    degradation threshold so the last resort always runs to completion
+    (faults are still injected and recovered, so it must still verify). *)
 
 val baseline_cycles : ?profile:Voltron_analysis.Profile.t -> Voltron_ir.Hir.program -> int
 (** Single-core sequential cycles (the paper's 1.0 reference). *)

@@ -1,0 +1,1 @@
+lib/fault/ecc.ml: Hashtbl List

@@ -1,0 +1,40 @@
+type t = {
+  shadow : (int, int) Hashtbl.t;  (** addr -> golden (pre-flip) value *)
+  mutable n_corrected : int;
+  mutable n_scrubbed : int;
+  mutable n_masked : int;
+}
+
+let create () =
+  { shadow = Hashtbl.create 16; n_corrected = 0; n_scrubbed = 0; n_masked = 0 }
+
+let note_flip t ~addr ~golden =
+  if not (Hashtbl.mem t.shadow addr) then Hashtbl.add t.shadow addr golden
+
+let check t ~addr =
+  match Hashtbl.find_opt t.shadow addr with
+  | None -> None
+  | Some golden ->
+    Hashtbl.remove t.shadow addr;
+    t.n_corrected <- t.n_corrected + 1;
+    Some golden
+
+let overwrite t ~addr =
+  if Hashtbl.mem t.shadow addr then begin
+    Hashtbl.remove t.shadow addr;
+    t.n_masked <- t.n_masked + 1
+  end
+
+let scrub t ~f =
+  let entries = Hashtbl.fold (fun addr golden acc -> (addr, golden) :: acc) t.shadow [] in
+  List.iter
+    (fun (addr, golden) ->
+      f addr golden;
+      t.n_scrubbed <- t.n_scrubbed + 1)
+    entries;
+  Hashtbl.reset t.shadow
+
+let pending t = Hashtbl.length t.shadow
+let corrected t = t.n_corrected
+let scrubbed t = t.n_scrubbed
+let masked t = t.n_masked

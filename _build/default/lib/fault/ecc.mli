@@ -1,0 +1,46 @@
+(** Single-error-correct (SEC) code model for data memory.
+
+    The simulator keeps architectural data in a flat word memory
+    ({!Voltron_mem.Memory}); a {!Fault.Mem_flip} flips a stored bit there.
+    This module is the detection/recovery half: it remembers the golden
+    (pre-flip) value of every corrupted word, so that
+
+    - a {b read} of a corrupted word detects the bad syndrome and corrects
+      it in place ({!check} — the machine charges the ECC latency penalty),
+    - a {b write} to a corrupted word simply overwrites it: the fault was
+      architecturally masked ({!overwrite} — the AVF "unACE" case), and
+    - an end-of-run {b scrub} corrects words the program never touched
+      again, so the final memory image is exactly the fault-free one
+      ({!scrub}).
+
+    The shadow table holds only currently-corrupted words, so the model
+    costs nothing when no fault is pending. *)
+
+type t
+
+val create : unit -> t
+
+val note_flip : t -> addr:int -> golden:int -> unit
+(** Record that [addr] was just corrupted; if it is already corrupted, the
+    original golden value is kept (a double flip still corrects to it —
+    optimistic, but the fault model injects single upsets). *)
+
+val check : t -> addr:int -> int option
+(** [Some golden] if [addr] is corrupted: the entry is consumed and the
+    correction counted. [None] for a clean word. *)
+
+val overwrite : t -> addr:int -> unit
+(** A store landed on a corrupted word before anything read it: drop the
+    entry and count the fault as masked. *)
+
+val scrub : t -> f:(int -> int -> unit) -> unit
+(** Correct every still-pending word: [f addr golden] restores each, and
+    the table empties. Counted separately from demand corrections. *)
+
+val pending : t -> int
+
+val corrected : t -> int
+(** Demand (read-triggered) corrections so far. *)
+
+val scrubbed : t -> int
+val masked : t -> int

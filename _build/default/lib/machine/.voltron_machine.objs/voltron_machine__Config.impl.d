@@ -1,1 +1,1 @@
-lib/machine/config.ml: Voltron_isa Voltron_mem Voltron_net
+lib/machine/config.ml: Voltron_fault Voltron_isa Voltron_mem Voltron_net

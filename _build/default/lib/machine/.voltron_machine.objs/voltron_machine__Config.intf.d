@@ -1,1 +1,1 @@
-lib/machine/config.mli: Voltron_isa Voltron_mem Voltron_net
+lib/machine/config.mli: Voltron_fault Voltron_isa Voltron_mem Voltron_net

@@ -1,1 +1,1 @@
-lib/machine/machine.ml: Array Buffer Config Format Hashtbl List Printf Stats Trace Voltron_isa Voltron_mem Voltron_net
+lib/machine/machine.ml: Array Config Format Hashtbl List Option Printf Stats Trace Voltron_fault Voltron_isa Voltron_mem Voltron_net

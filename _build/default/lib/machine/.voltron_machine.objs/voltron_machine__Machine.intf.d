@@ -1,1 +1,1 @@
-lib/machine/machine.mli: Config Stats Trace Voltron_isa Voltron_mem Voltron_net
+lib/machine/machine.mli: Config Format Stats Trace Voltron_isa Voltron_mem Voltron_net

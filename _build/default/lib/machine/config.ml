@@ -7,6 +7,7 @@ type t = {
   net_capacity : int;
   max_cycles : int;
   watchdog : int;
+  fault : Voltron_fault.Fault.config;
 }
 
 let default ~n_cores =
@@ -19,6 +20,7 @@ let default ~n_cores =
     net_capacity = 32;
     max_cycles = 200_000_000;
     watchdog = 100_000;
+    fault = Voltron_fault.Fault.disabled;
   }
 
 let latency (inst : Voltron_isa.Inst.t) =

@@ -12,11 +12,12 @@ type t = {
   net_capacity : int;  (** receive-queue capacity per core *)
   max_cycles : int;  (** hard simulation cap *)
   watchdog : int;  (** abort after this many cycles without progress *)
+  fault : Voltron_fault.Fault.config;  (** injection + recovery parameters *)
 }
 
 val default : n_cores:int -> t
 (** The paper's setup: single-issue cores, one comm op per cycle, default
-    cache hierarchy. *)
+    cache hierarchy, fault injection disabled. *)
 
 val latency : Voltron_isa.Inst.t -> int
 (** Static operation latency in cycles (load latency is the L1-hit use

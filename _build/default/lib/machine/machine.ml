@@ -8,11 +8,49 @@ module Tm = Voltron_mem.Tm
 module Coherence = Voltron_mem.Coherence
 module Mesh = Voltron_net.Mesh
 module Net = Voltron_net.Operand_network
+module Fault = Voltron_fault.Fault
+module Ecc = Voltron_fault.Ecc
+
+(* Why a core cannot make progress this cycle — the unit of the watchdog's
+   structured diagnosis, and (mapped through [stall_of_wait]) of the stall
+   accounting. *)
+type wait =
+  | W_reg of Stats.stall_kind  (** scoreboard: source operand in flight *)
+  | W_ifetch
+  | W_dmem
+  | W_btr  (** branch-target register still being written *)
+  | W_recv of { sender : int; kind : Stats.stall_kind }
+  | W_getb
+  | W_send_full of int  (** receive queue of that core at capacity *)
+  | W_get_latch of Inst.dir  (** GET on an empty direct-mode latch *)
+  | W_stall_fault  (** injected transient stall in effect *)
+  | W_barrier of Inst.mode
+  | W_commit
+  | W_serial
+  | W_asleep
+  | W_halted
+
+type core_diag = {
+  d_core : int;
+  d_pc : int;
+  d_wait : wait option;  (** [None]: the core could issue (not the culprit) *)
+  d_bundle : string;  (** rendering of the bundle the core is stuck on *)
+}
+
+type diagnosis = {
+  d_cycle : int;
+  d_last_progress : int;
+  d_mode : Inst.mode;
+  d_cores : core_diag array;
+  d_queue : (int * int * string) list;  (** in-flight messages: src, dst, state *)
+  d_blame : (int * int) option;  (** blocked core -> core it is waiting on *)
+}
 
 type outcome =
   | Finished
   | Out_of_cycles
-  | Deadlock of string
+  | Deadlock of diagnosis
+  | Fault_limit of diagnosis
 
 type result = {
   outcome : outcome;
@@ -27,6 +65,9 @@ type status =
   | At_barrier of Inst.mode
   | At_commit
   | Wait_serial
+  | Stuck of wait
+      (** wedged mid-bundle on a condition that can never clear (e.g. GET
+          with no paired PUT); the watchdog will convert it to a diagnosis *)
 
 (* What produced a register's in-flight value: classifies scoreboard
    stalls (paper Fig. 12 taxonomy). *)
@@ -48,6 +89,8 @@ type core_state = {
      misses, all the cores must stall"): a miss freezes the core until the
      fill completes; hits stay pipelined through the scoreboard. *)
   mutable miss_stall_until : int;
+  (* Injected transient stall fault: the core freezes until this cycle. *)
+  mutable stall_until : int;
   (* Chunk snapshot for TM rollback: register file + the chunk's start pc. *)
   mutable tm_snapshot : (int array * int) option;
   mutable tm_serial : bool;
@@ -62,6 +105,8 @@ type t = {
   net : Net.t;
   cores : core_state array;
   st : Stats.t;
+  inj : Fault.t option;  (** fault injector; [None] when all rates are 0 *)
+  ecc : Ecc.t option;  (** ECC shadow state, present iff [inj] is *)
   mutable mode : Inst.mode;
   mutable now : int;
   mutable serial_queue : int list;
@@ -85,6 +130,7 @@ let fresh_core cfg image id =
     fetch_done = 0;
     mem_busy = 0;
     miss_stall_until = 0;
+    stall_until = 0;
     tm_snapshot = None;
     tm_serial = false;
   }
@@ -106,6 +152,17 @@ let create cfg (prog : Program.t) =
   validate_widths cfg prog;
   let mem = Memory.create prog.mem_size in
   Memory.load_init mem prog.mem_init;
+  let inj =
+    if Fault.enabled cfg.fault then Some (Fault.create cfg.fault) else None
+  in
+  let ecc =
+    match inj with
+    | None -> None
+    | Some _ ->
+      let e = Ecc.create () in
+      Memory.attach_ecc mem e;
+      Some e
+  in
   let mesh = Config.mesh cfg in
   let t =
     {
@@ -114,9 +171,11 @@ let create cfg (prog : Program.t) =
       mem;
       tm = Tm.create mem ~n_cores:cfg.n_cores;
       hier = Coherence.create cfg.cache ~n_cores:cfg.n_cores;
-      net = Net.create mesh ~receive_capacity:cfg.net_capacity;
+      net = Net.create ?faults:inj mesh ~receive_capacity:cfg.net_capacity;
       cores = Array.init cfg.n_cores (fun id -> fresh_core cfg prog.images.(id) id);
       st = Stats.create ~n_cores:cfg.n_cores;
+      inj;
+      ecc;
       mode = Inst.Decoupled;
       now = 0;
       serial_queue = [];
@@ -178,12 +237,23 @@ let producer_stall = function
   | P_getb -> Stats.Sync
   | P_other -> Stats.Lat_stall
 
+let stall_of_wait = function
+  | W_reg k -> k
+  | W_ifetch -> Stats.I_stall
+  | W_dmem -> Stats.D_stall
+  | W_btr -> Stats.Lat_stall
+  | W_recv { kind; _ } -> kind
+  | W_getb | W_send_full _ | W_get_latch _ | W_stall_fault | W_barrier _
+  | W_commit | W_serial | W_asleep | W_halted ->
+    Stats.Sync
+
 (* First reason the core cannot issue its current bundle this cycle, or
    [None] when it can. Has no side effects. *)
 let blocker t cs =
   let now = t.now in
-  if now < cs.miss_stall_until then Some Stats.D_stall
-  else if now < cs.fetch_done then Some Stats.I_stall
+  if now < cs.stall_until then Some W_stall_fault
+  else if now < cs.miss_stall_until then Some W_dmem
+  else if now < cs.fetch_done then Some W_ifetch
   else begin
     let bundle = Image.fetch cs.image cs.pc in
     let check_op acc op =
@@ -197,7 +267,8 @@ let blocker t cs =
               | Some _ -> acc
               | None ->
                 ensure_reg cs r;
-                if cs.ready.(r) > now then Some (producer_stall cs.prod.(r))
+                if cs.ready.(r) > now then
+                  Some (W_reg (producer_stall cs.prod.(r)))
                 else None)
             None (Inst.uses op)
         in
@@ -205,23 +276,27 @@ let blocker t cs =
         else begin
           match op with
           | Inst.Load _ | Inst.Store _ ->
-            if cs.mem_busy > now then Some Stats.D_stall else None
+            if cs.mem_busy > now then Some W_dmem else None
           | Inst.Br { btr; _ } ->
-            if cs.btr_ready.(btr) > now then Some Stats.Lat_stall else None
+            if cs.btr_ready.(btr) > now then Some W_btr else None
           | Inst.Recv { sender; kind; _ } ->
             if Net.recv_ready t.net ~now ~core:cs.id ~sender then None
             else
               Some
-                (match kind with
-                | Inst.Rv_data -> Stats.Recv_data
-                | Inst.Rv_pred -> Stats.Recv_pred
-                | Inst.Rv_sync -> Stats.Sync)
+                (W_recv
+                   {
+                     sender;
+                     kind =
+                       (match kind with
+                       | Inst.Rv_data -> Stats.Recv_data
+                       | Inst.Rv_pred -> Stats.Recv_pred
+                       | Inst.Rv_sync -> Stats.Sync);
+                   })
           | Inst.Getb _ ->
-            if Net.getb_ready t.net ~now ~core:cs.id then None
-            else Some Stats.Sync
+            if Net.getb_ready t.net ~now ~core:cs.id then None else Some W_getb
           | Inst.Send { target; _ } | Inst.Spawn { target; _ } ->
             if Net.pending t.net ~src:cs.id ~dst:target >= t.cfg.net_capacity
-            then Some Stats.Sync
+            then Some (W_send_full target)
             else None
           | Inst.Alu _ | Inst.Fpu _ | Inst.Cmp _ | Inst.Select _ | Inst.Mov _
           | Inst.Pbr _ | Inst.Bcast _ | Inst.Put _ | Inst.Get _ | Inst.Sleep
@@ -270,23 +345,38 @@ let exec_comm_out t cs snapshot op =
   | Inst.Put { dir; src } -> (
     match Net.put t.net ~now ~src_core:cs.id dir (read_operand snapshot src) with
     | Ok () -> ()
-    | Error msg -> failwith (Printf.sprintf "core %d cycle %d: %s" cs.id now msg))
+    | Error e ->
+      failwith
+        (Printf.sprintf "core %d cycle %d: %s" cs.id now
+           (Net.put_error_to_string ~src_core:cs.id e)))
   | Inst.Bcast { src } ->
     Net.bcast t.net ~now ~src_core:cs.id (read_operand snapshot src)
   | Inst.Send { target; src } -> (
-    match
-      Net.send t.net ~now ~src:cs.id ~dst:target
-        (Net.Value (read_operand snapshot src))
-    with
+    let payload = Net.Value (read_operand snapshot src) in
+    match Net.send t.net ~now ~src:cs.id ~dst:target payload with
     | Ok () -> ()
-    | Error msg -> failwith (Printf.sprintf "core %d cycle %d: %s" cs.id now msg))
+    | Error Net.Channel_full ->
+      (* Overflow NACK: the send is parked and retried with backoff rather
+         than wedging the machine (can only arise under fault injection,
+         where a retrying message holds its channel slot longer than the
+         occupancy the issue check saw). *)
+      Net.defer t.net ~now ~src:cs.id ~dst:target payload
+    | Error (Net.Bad_destination _ as e) ->
+      failwith
+        (Printf.sprintf "core %d cycle %d: %s" cs.id now
+           (Net.send_error_to_string e)))
   | Inst.Spawn { target; entry } -> (
     let addr = Image.resolve t.prog.images.(target) entry in
     t.st.spawns <- t.st.spawns + 1;
     trace t (Trace.Spawned { cycle = t.now; by = cs.id; target });
-    match Net.send t.net ~now ~src:cs.id ~dst:target (Net.Start addr) with
+    let payload = Net.Start addr in
+    match Net.send t.net ~now ~src:cs.id ~dst:target payload with
     | Ok () -> ()
-    | Error msg -> failwith (Printf.sprintf "core %d cycle %d: %s" cs.id now msg))
+    | Error Net.Channel_full -> Net.defer t.net ~now ~src:cs.id ~dst:target payload
+    | Error (Net.Bad_destination _ as e) ->
+      failwith
+        (Printf.sprintf "core %d cycle %d: %s" cs.id now
+           (Net.send_error_to_string e)))
   | Inst.Alu _ | Inst.Fpu _ | Inst.Cmp _ | Inst.Select _ | Inst.Load _
   | Inst.Store _ | Inst.Mov _ | Inst.Pbr _ | Inst.Br _ | Inst.Getb _
   | Inst.Get _ | Inst.Recv _ | Inst.Sleep | Inst.Mode_switch _ | Inst.Tm_begin
@@ -321,8 +411,17 @@ let exec_main t cs snapshot op : int option =
     None
   | Inst.Load { dst; base; offset } ->
     let addr = read base + read offset in
+    let ecc_before = match t.ecc with Some e -> Ecc.corrected e | None -> 0 in
     let v = Tm.read t.tm ~core:cs.id addr in
     let completion = Coherence.access t.hier ~now ~core:cs.id Coherence.Dload addr in
+    let completion =
+      (* A demand ECC correction adds the detect/correct/writeback penalty
+         on top of whatever the hierarchy charged. *)
+      match t.ecc with
+      | Some e when Ecc.corrected e > ecc_before ->
+        completion + t.cfg.fault.Fault.ecc_penalty
+      | Some _ | None -> completion
+    in
     cs.mem_busy <- max cs.mem_busy completion;
     if completion > now + t.cfg.cache.Coherence.lat_l1 then
       cs.miss_stall_until <- max cs.miss_stall_until completion;
@@ -361,9 +460,11 @@ let exec_main t cs snapshot op : int option =
       write_reg cs dst v ~ready:(now + lat) ~prod:P_other;
       None
     | None ->
-      failwith
-        (Printf.sprintf "core %d cycle %d: GET with no paired PUT (lock-step broken?)"
-           cs.id now))
+      (* No paired PUT: the lock-step contract is broken (compiler or
+         program bug). Wedge the core so the watchdog reports a structured
+         diagnosis naming it, instead of tearing the simulator down. *)
+      cs.status <- Stuck (W_get_latch dir);
+      None)
   | Inst.Recv { sender; dst; kind } -> (
     match Net.recv t.net ~now ~core:cs.id ~sender with
     | Some v ->
@@ -440,6 +541,9 @@ let finish_issue t cs snapshot bundle =
     cs.pc <- (match target with Some tgt -> tgt | None -> cs.pc + 1);
     initiate_fetch t cs
   | Asleep | Halted -> ()
+  | Stuck _ ->
+    (* The bundle did not complete; freeze the pc for the diagnosis. *)
+    ()
   | At_barrier _ | At_commit | Wait_serial ->
     (* Resume point: past this bundle (barrier ops never co-issue with a
        taken branch in generated code, but honour one if present). *)
@@ -475,11 +579,11 @@ let decoupled_step t =
       match cs.status with
       | Halted -> record_idle t cs
       | Asleep -> try_wake t cs
-      | Wait_serial | At_barrier _ | At_commit ->
+      | Wait_serial | At_barrier _ | At_commit | Stuck _ ->
         record_stall t ~core:cs.id Stats.Sync
       | Running -> (
         match blocker t cs with
-        | Some reason -> record_stall t ~core:cs.id reason
+        | Some w -> record_stall t ~core:cs.id (stall_of_wait w)
         | None ->
           let bundle = Image.fetch cs.image cs.pc in
           let snapshot = snapshot_sources cs bundle in
@@ -498,7 +602,7 @@ let coupled_step t =
   List.iter
     (fun cs ->
       match cs.status with
-      | Running | At_barrier _ -> ()
+      | Running | At_barrier _ | Stuck _ -> ()
       | Asleep | Halted | At_commit | Wait_serial ->
         failwith
           (Printf.sprintf "core %d in unexpected state during coupled mode" cs.id))
@@ -508,7 +612,7 @@ let coupled_step t =
   if any_blocked then begin
     (* Group stall: a core with its own reason records it; the rest record
        the peers' dominant reason (D over I over the rest). *)
-    let reasons = List.filter_map snd blockers in
+    let reasons = List.filter_map (fun (_, b) -> Option.map stall_of_wait b) blockers in
     let dominant =
       if List.mem Stats.D_stall reasons then Stats.D_stall
       else if List.mem Stats.I_stall reasons then Stats.I_stall
@@ -517,7 +621,7 @@ let coupled_step t =
     List.iter
       (fun (cs, b) ->
         record_stall t ~core:cs.id
-          (match b with Some r -> r | None -> dominant))
+          (match b with Some w -> stall_of_wait w | None -> dominant))
       blockers
   end
   else begin
@@ -540,9 +644,30 @@ let coupled_step t =
   Array.iter
     (fun cs ->
       match cs.status with
-      | At_barrier _ -> record_stall t ~core:cs.id Stats.Sync
+      | At_barrier _ | Stuck _ -> record_stall t ~core:cs.id Stats.Sync
       | Running | Asleep | Halted | At_commit | Wait_serial -> ())
     t.cores
+
+(* --- Fault injection ------------------------------------------------------ *)
+
+(* One injection opportunity per cycle: maybe flip a bit somewhere in data
+   memory, and maybe freeze each running core for [stall_cycles]. Message
+   faults are rolled by the network at each transmission, and spurious TM
+   aborts at each commit round. *)
+let inject_faults t =
+  match t.inj with
+  | None -> ()
+  | Some f ->
+    if Fault.roll_flip f then begin
+      let addr = Fault.pick_addr f ~size:(Memory.size t.mem) in
+      Memory.corrupt t.mem addr ~flip:(Fault.flip_bit f)
+    end;
+    Array.iter
+      (fun cs ->
+        if cs.status = Running && Fault.roll_stall f then
+          cs.stall_until <-
+            max cs.stall_until (t.now + t.cfg.fault.Fault.stall_cycles))
+      t.cores
 
 (* --- End-of-cycle resolution ---------------------------------------------- *)
 
@@ -555,7 +680,8 @@ let resolve_mode_barrier t =
     let target =
       match statuses.(0) with
       | At_barrier m -> m
-      | Running | Asleep | Halted | At_commit | Wait_serial -> assert false
+      | Running | Asleep | Halted | At_commit | Wait_serial | Stuck _ ->
+        assert false
     in
     Array.iter
       (fun cs ->
@@ -563,7 +689,8 @@ let resolve_mode_barrier t =
         | At_barrier m when m = target -> ()
         | At_barrier _ ->
           failwith "mode-switch barrier with disagreeing target modes"
-        | Running | Asleep | Halted | At_commit | Wait_serial -> assert false);
+        | Running | Asleep | Halted | At_commit | Wait_serial | Stuck _ ->
+          assert false);
         cs.status <- Running;
         initiate_fetch t cs)
       t.cores;
@@ -583,6 +710,29 @@ let rollback t cs =
     cs.pc <- pc;
     cs.tm_serial <- true
 
+(* Shared recovery tail for real conflicts and spurious aborts: roll the
+   aborted cores back to their chunk snapshots and re-execute them serially
+   in core order. *)
+let abort_and_serialize t aborted =
+  List.iter (fun c -> rollback t t.cores.(c)) aborted;
+  (match aborted with
+  | [] -> assert false
+  | head :: rest ->
+    let cs = t.cores.(head) in
+    cs.status <- Running;
+    initiate_fetch t cs;
+    List.iter (fun c -> t.cores.(c).status <- Wait_serial) rest);
+  t.serial_queue <- aborted
+
+let release_committed t committed =
+  List.iter
+    (fun c ->
+      let cs = t.cores.(c) in
+      cs.status <- Running;
+      cs.tm_snapshot <- None;
+      initiate_fetch t cs)
+    committed
+
 (* A TM round resolves only when EVERY core is in a transaction and waiting
    at TM_COMMIT. This enforces the paper's in-order chunk commit: chunk i+1
    can never commit before chunk i, even if its core raced ahead, so the
@@ -598,36 +748,45 @@ let resolve_tm_round t =
   if all_ready then begin
     t.st.tm_rounds <- t.st.tm_rounds + 1;
     t.last_progress <- t.now;
-    match Tm.commit_round t.tm ~cores:participants with
-    | `All_committed ->
-      trace t (Trace.Tm_round { cycle = t.now; conflict_at = None });
+    let spurious =
+      match t.inj with
+      | Some f when Fault.roll_tm_abort f ->
+        Some (Fault.victim f ~n:t.cfg.n_cores)
+      | Some _ | None -> None
+    in
+    match spurious with
+    | Some v -> (
+      (* A corrupted speculative chunk is indistinguishable from a real
+         conflict to the recovery machinery: commit the clean prefix, abort
+         the victim and everything after it, and reuse the serial
+         re-execution path. The prefix commit can itself surface a real
+         conflict, in which case the earlier core wins. *)
+      let prefix = List.filter (fun c -> c < v) participants in
+      let first =
+        match if prefix = [] then `All_committed else Tm.commit_round t.tm ~cores:prefix with
+        | `All_committed -> v
+        | `Conflict_at c ->
+          t.st.tm_conflicts <- t.st.tm_conflicts + 1;
+          c
+      in
       List.iter
-        (fun c ->
-          let cs = t.cores.(c) in
-          cs.status <- Running;
-          cs.tm_snapshot <- None;
-          initiate_fetch t cs)
-        participants
-    | `Conflict_at first ->
-      t.st.tm_conflicts <- t.st.tm_conflicts + 1;
+        (fun c -> if c >= v then Tm.abort t.tm ~core:c)
+        participants;
       trace t (Trace.Tm_round { cycle = t.now; conflict_at = Some first });
       let committed, aborted = List.partition (fun c -> c < first) participants in
-      List.iter
-        (fun c ->
-          let cs = t.cores.(c) in
-          cs.status <- Running;
-          cs.tm_snapshot <- None;
-          initiate_fetch t cs)
-        committed;
-      List.iter (fun c -> rollback t t.cores.(c)) aborted;
-      (match aborted with
-      | [] -> assert false
-      | head :: rest ->
-        let cs = t.cores.(head) in
-        cs.status <- Running;
-        initiate_fetch t cs;
-        List.iter (fun c -> t.cores.(c).status <- Wait_serial) rest);
-      t.serial_queue <- aborted
+      release_committed t committed;
+      abort_and_serialize t aborted)
+    | None -> (
+      match Tm.commit_round t.tm ~cores:participants with
+      | `All_committed ->
+        trace t (Trace.Tm_round { cycle = t.now; conflict_at = None });
+        release_committed t participants
+      | `Conflict_at first ->
+        t.st.tm_conflicts <- t.st.tm_conflicts + 1;
+        trace t (Trace.Tm_round { cycle = t.now; conflict_at = Some first });
+        let committed, aborted = List.partition (fun c -> c < first) participants in
+        release_committed t committed;
+        abort_and_serialize t aborted)
   end
 
 let resolve_serial_queue t =
@@ -655,37 +814,158 @@ let finished t =
        t.cores
   && Net.idle t.net
 
+(* --- Structured watchdog diagnosis ---------------------------------------- *)
+
+let stall_kind_name = function
+  | Stats.I_stall -> "I-stall"
+  | Stats.D_stall -> "D-stall"
+  | Stats.Lat_stall -> "latency"
+  | Stats.Recv_data -> "recv data"
+  | Stats.Recv_pred -> "recv pred"
+  | Stats.Sync -> "sync"
+
+let wait_to_string = function
+  | W_reg k -> Printf.sprintf "operand in flight (%s)" (stall_kind_name k)
+  | W_ifetch -> "instruction fetch in flight"
+  | W_dmem -> "memory unit busy"
+  | W_btr -> "branch-target register in flight"
+  | W_recv { sender; kind } ->
+    Printf.sprintf "RECV from core %d (%s): nothing deliverable" sender
+      (stall_kind_name kind)
+  | W_getb -> "GETB: broadcast not yet visible"
+  | W_send_full dst -> Printf.sprintf "SEND: channel to core %d full" dst
+  | W_get_latch dir ->
+    let d =
+      match dir with
+      | Inst.North -> "north"
+      | Inst.South -> "south"
+      | Inst.East -> "east"
+      | Inst.West -> "west"
+    in
+    Printf.sprintf "GET %s on an empty latch (no paired PUT)" d
+  | W_stall_fault -> "injected stall fault"
+  | W_barrier m -> Format.asprintf "at mode barrier -> %a" Inst.pp_mode m
+  | W_commit -> "at TM commit, waiting for the round"
+  | W_serial -> "waiting for the serial-re-execution token"
+  | W_asleep -> "asleep"
+  | W_halted -> "halted"
+
+let core_wait t cs =
+  match cs.status with
+  | Running -> blocker t cs
+  | Stuck w -> Some w
+  | Asleep -> Some W_asleep
+  | Halted -> Some W_halted
+  | At_barrier m -> Some (W_barrier m)
+  | At_commit -> Some W_commit
+  | Wait_serial -> Some W_serial
+
+(* Which core is [cs] waiting on, when its wait names one. *)
+let blame_of t cs w =
+  match w with
+  | W_recv { sender; _ } -> Some sender
+  | W_get_latch dir -> Mesh.neighbour (Net.mesh t.net) cs.id dir
+  | W_send_full dst -> Some dst
+  | W_commit ->
+    Array.to_list t.cores
+    |> List.find_opt (fun c -> c.status <> At_commit)
+    |> Option.map (fun c -> c.id)
+  | W_barrier _ ->
+    Array.to_list t.cores
+    |> List.find_opt (fun c ->
+           match c.status with At_barrier _ -> false | _ -> true)
+    |> Option.map (fun c -> c.id)
+  | W_serial -> (
+    match t.serial_queue with
+    | head :: _ when head <> cs.id -> Some head
+    | _ -> None)
+  | W_reg _ | W_ifetch | W_dmem | W_btr | W_getb | W_stall_fault | W_asleep
+  | W_halted ->
+    None
+
 let diagnose t =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf
-    (Printf.sprintf "no progress since cycle %d (now %d), mode %s\n" t.last_progress
-       t.now
-       (match t.mode with Inst.Coupled -> "coupled" | Inst.Decoupled -> "decoupled"));
+  let d_cores =
+    Array.map
+      (fun cs ->
+        {
+          d_core = cs.id;
+          d_pc = cs.pc;
+          d_wait = core_wait t cs;
+          d_bundle =
+            Format.asprintf "%a" Bundle.pp
+              (if cs.pc < Image.length cs.image then Image.fetch cs.image cs.pc
+               else []);
+        })
+      t.cores
+  in
+  let d_blame =
+    Array.to_list d_cores
+    |> List.filter_map (fun d ->
+           match d.d_wait with
+           | Some ((W_asleep | W_halted) as _w) -> None
+           | Some w ->
+             Option.map (fun b -> (d.d_core, b)) (blame_of t t.cores.(d.d_core) w)
+           | None -> None)
+    |> function
+    | [] -> None
+    | edge :: _ -> Some edge
+  in
+  {
+    d_cycle = t.now;
+    d_last_progress = t.last_progress;
+    d_mode = t.mode;
+    d_cores;
+    d_queue = Net.in_flight_summary t.net;
+    d_blame;
+  }
+
+let pp_diagnosis ppf d =
+  Format.fprintf ppf "no progress since cycle %d (now %d), mode %a@,"
+    d.d_last_progress d.d_cycle Inst.pp_mode d.d_mode;
   Array.iter
-    (fun cs ->
-      let status =
-        match cs.status with
-        | Running -> (
-          match blocker t cs with
-          | Some Stats.I_stall -> "running (I-stall)"
-          | Some Stats.D_stall -> "running (D-stall)"
-          | Some Stats.Lat_stall -> "running (latency)"
-          | Some Stats.Recv_data -> "running (recv data)"
-          | Some Stats.Recv_pred -> "running (recv pred)"
-          | Some Stats.Sync -> "running (sync)"
-          | None -> "running (issueable?)")
-        | Asleep -> "asleep"
-        | Halted -> "halted"
-        | At_barrier m -> Format.asprintf "at barrier -> %a" Inst.pp_mode m
-        | At_commit -> "at TM commit"
-        | Wait_serial -> "waiting for serial token"
-      in
-      Buffer.add_string buf
-        (Printf.sprintf "  core %d: pc=%d %s bundle={%s}\n" cs.id cs.pc status
-           (Format.asprintf "%a" Bundle.pp
-              (if cs.pc < Image.length cs.image then Image.fetch cs.image cs.pc else []))))
-    t.cores;
-  Buffer.contents buf
+    (fun c ->
+      Format.fprintf ppf "  core %d: pc=%d %s bundle={%s}@," c.d_core c.d_pc
+        (match c.d_wait with
+        | Some w -> wait_to_string w
+        | None -> "issueable?")
+        c.d_bundle)
+    d.d_cores;
+  (match d.d_queue with
+  | [] -> ()
+  | q ->
+    Format.fprintf ppf "  in flight:@,";
+    List.iter
+      (fun (src, dst, descr) ->
+        Format.fprintf ppf "    %d -> %d: %s@," src dst descr)
+      q);
+  match d.d_blame with
+  | None -> ()
+  | Some (blocked, blamed) ->
+    Format.fprintf ppf "  blame: core %d is waiting on core %d@," blocked blamed
+
+let diagnosis_to_string d = Format.asprintf "@[<v>%a@]" pp_diagnosis d
+
+(* --- Run loop -------------------------------------------------------------- *)
+
+let finalize_counters t =
+  let ns = Net.stats t.net in
+  t.st.net_retries <- ns.Net.retries;
+  t.st.net_nacks <- ns.Net.nacks;
+  (match t.inj with
+  | None -> ()
+  | Some f ->
+    let c = Fault.counters f in
+    t.st.faults_injected <- c.Fault.injected;
+    t.st.msgs_dropped <- c.Fault.msgs_dropped;
+    t.st.msgs_corrupted <- c.Fault.msgs_corrupted;
+    t.st.spurious_aborts <- c.Fault.spurious_aborts;
+    t.st.stall_faults <- c.Fault.stall_faults);
+  match t.ecc with
+  | None -> ()
+  | Some e ->
+    t.st.ecc_corrected <- Ecc.corrected e;
+    t.st.ecc_scrubbed <- Ecc.scrubbed e;
+    t.st.flips_masked <- Ecc.masked e
 
 let run t =
   let outcome = ref None in
@@ -693,6 +973,8 @@ let run t =
     t.now <- t.now + 1;
     if t.now > t.cfg.max_cycles then outcome := Some Out_of_cycles
     else begin
+      inject_faults t;
+      Net.service t.net ~now:t.now;
       (match t.mode with
       | Inst.Coupled ->
         t.st.coupled_cycles <- t.st.coupled_cycles + 1;
@@ -704,10 +986,16 @@ let run t =
       resolve_tm_round t;
       resolve_serial_queue t;
       if finished t then outcome := Some Finished
+      else if (match t.inj with Some f -> Fault.exceeded f | None -> false)
+      then outcome := Some (Fault_limit (diagnose t))
       else if t.now - t.last_progress > t.cfg.watchdog then
         outcome := Some (Deadlock (diagnose t))
     end
   done;
   t.st.cycles <- t.now;
+  (* End-of-run scrub: correct any injected flip that was never read, so the
+     architectural image (and its checksum) matches the fault-free run. *)
+  Memory.scrub t.mem;
+  finalize_counters t;
   let outcome = match !outcome with Some o -> o | None -> assert false in
   { outcome; cycles = t.now; checksum = Memory.checksum t.mem }

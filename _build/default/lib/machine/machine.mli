@@ -22,14 +22,70 @@
     round. Chunks commit in core order, and on a conflict
     the violating core and its successors roll back (registers restored
     from the TM_BEGIN snapshot — standing in for the paper's
-    compiler-generated recovery code) and re-execute serially. *)
+    compiler-generated recovery code) and re-execute serially.
+
+    {b Faults.} With a nonzero rate in {!Config.t.fault} the machine runs a
+    seeded injector (DESIGN.md "Fault model & recovery"): queue-mode
+    messages can be dropped or corrupted (recovered by the network's
+    ack/timeout/retry protocol), memory words can be bit-flipped (detected
+    and corrected by the ECC model, with an end-of-run scrub so the final
+    checksum still verifies), TM rounds can spuriously abort (recovered by
+    the existing rollback + serial re-execution), and cores can suffer
+    transient stall faults. When the injected-fault count reaches
+    [degrade_threshold], the run stops with {!Fault_limit} so the caller
+    can retry in a simpler execution mode. *)
 
 type t
+
+(** Why a core cannot make progress — the vocabulary of the watchdog's
+    structured diagnosis. *)
+type wait =
+  | W_reg of Stats.stall_kind  (** scoreboard: source operand in flight *)
+  | W_ifetch
+  | W_dmem
+  | W_btr  (** branch-target register still being written *)
+  | W_recv of { sender : int; kind : Stats.stall_kind }
+  | W_getb
+  | W_send_full of int  (** receive queue of that core at capacity *)
+  | W_get_latch of Voltron_isa.Inst.dir  (** GET with no paired PUT *)
+  | W_stall_fault  (** injected transient stall in effect *)
+  | W_barrier of Voltron_isa.Inst.mode
+  | W_commit
+  | W_serial
+  | W_asleep
+  | W_halted
+
+val wait_to_string : wait -> string
+
+type core_diag = {
+  d_core : int;
+  d_pc : int;
+  d_wait : wait option;  (** [None]: the core could issue (not the culprit) *)
+  d_bundle : string;  (** rendering of the bundle the core is stuck on *)
+}
+
+type diagnosis = {
+  d_cycle : int;
+  d_last_progress : int;
+  d_mode : Voltron_isa.Inst.mode;
+  d_cores : core_diag array;
+  d_queue : (int * int * string) list;
+      (** in-flight messages: src, dst, payload + delivery state *)
+  d_blame : (int * int) option;
+      (** the first blocked core whose wait names another core, and that
+          core: the edge to start a hang investigation from *)
+}
+
+val pp_diagnosis : Format.formatter -> diagnosis -> unit
+val diagnosis_to_string : diagnosis -> string
 
 type outcome =
   | Finished
   | Out_of_cycles
-  | Deadlock of string  (** watchdog diagnostic *)
+  | Deadlock of diagnosis  (** watchdog fired: structured wait-state dump *)
+  | Fault_limit of diagnosis
+      (** fault injection crossed [degrade_threshold]; the caller should
+          degrade to a simpler execution mode and re-run *)
 
 type result = {
   outcome : outcome;

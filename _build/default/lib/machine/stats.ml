@@ -24,6 +24,16 @@ type t = {
   mutable spawns : int;
   mutable tm_rounds : int;
   mutable tm_conflicts : int;
+  mutable faults_injected : int;
+  mutable msgs_dropped : int;
+  mutable msgs_corrupted : int;
+  mutable net_retries : int;
+  mutable net_nacks : int;
+  mutable ecc_corrected : int;
+  mutable ecc_scrubbed : int;
+  mutable flips_masked : int;
+  mutable spurious_aborts : int;
+  mutable stall_faults : int;
 }
 
 type stall_kind =
@@ -62,6 +72,16 @@ let create ~n_cores =
     spawns = 0;
     tm_rounds = 0;
     tm_conflicts = 0;
+    faults_injected = 0;
+    msgs_dropped = 0;
+    msgs_corrupted = 0;
+    net_retries = 0;
+    net_nacks = 0;
+    ecc_corrected = 0;
+    ecc_scrubbed = 0;
+    flips_masked = 0;
+    spurious_aborts = 0;
+    stall_faults = 0;
   }
 
 let record_stall t ~core kind =
@@ -100,6 +120,13 @@ let avg_stall_fraction t kind =
 let pp_summary ppf t =
   Format.fprintf ppf "cycles=%d coupled=%d decoupled=%d switches=%d spawns=%d@."
     t.cycles t.coupled_cycles t.decoupled_cycles t.mode_switches t.spawns;
+  if t.faults_injected > 0 then
+    Format.fprintf ppf
+      "  faults=%d drops=%d corrupts=%d retries=%d nacks=%d ecc=%d/%d \
+       masked=%d tm-aborts=%d stalls=%d@."
+      t.faults_injected t.msgs_dropped t.msgs_corrupted t.net_retries
+      t.net_nacks t.ecc_corrected t.ecc_scrubbed t.flips_masked
+      t.spurious_aborts t.stall_faults;
   Array.iteri
     (fun i c ->
       Format.fprintf ppf

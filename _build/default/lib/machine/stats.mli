@@ -30,6 +30,16 @@ type t = {
   mutable spawns : int;
   mutable tm_rounds : int;
   mutable tm_conflicts : int;
+  mutable faults_injected : int;  (** all kinds, from the injector *)
+  mutable msgs_dropped : int;
+  mutable msgs_corrupted : int;
+  mutable net_retries : int;  (** retransmissions by the ack/timeout protocol *)
+  mutable net_nacks : int;  (** parity + overflow NACKs *)
+  mutable ecc_corrected : int;  (** flips corrected on demand by a read *)
+  mutable ecc_scrubbed : int;  (** flips corrected by the end-of-run scrub *)
+  mutable flips_masked : int;  (** flips overwritten before ever being read *)
+  mutable spurious_aborts : int;
+  mutable stall_faults : int;
 }
 
 type stall_kind =

@@ -1,1 +1,1 @@
-lib/mem/memory.ml: Array List Printf
+lib/mem/memory.ml: Array List Printf Voltron_fault

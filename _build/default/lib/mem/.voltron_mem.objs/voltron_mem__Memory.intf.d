@@ -1,1 +1,1 @@
-lib/mem/memory.mli:
+lib/mem/memory.mli: Voltron_fault

@@ -1,10 +1,14 @@
-type t = { data : int array }
+module Ecc = Voltron_fault.Ecc
+
+type t = { data : int array; mutable ecc : Ecc.t option }
 
 let create n =
   if n <= 0 then invalid_arg "Memory.create: size must be positive";
-  { data = Array.make n 0 }
+  { data = Array.make n 0; ecc = None }
 
 let size t = Array.length t.data
+
+let attach_ecc t e = t.ecc <- Some e
 
 let check t addr what =
   if addr < 0 || addr >= Array.length t.data then
@@ -14,11 +18,31 @@ let check t addr what =
 
 let read t addr =
   check t addr "read";
+  (match t.ecc with
+  | None -> ()
+  | Some e -> (
+    match Ecc.check e ~addr with
+    | Some golden -> t.data.(addr) <- golden
+    | None -> ()));
   t.data.(addr)
 
 let write t addr v =
   check t addr "write";
+  (match t.ecc with None -> () | Some e -> Ecc.overwrite e ~addr);
   t.data.(addr) <- v
+
+let corrupt t addr ~flip =
+  check t addr "corrupt";
+  match t.ecc with
+  | None -> ()  (* no ECC, no fault model: refuse to corrupt silently *)
+  | Some e ->
+    Ecc.note_flip e ~addr ~golden:t.data.(addr);
+    t.data.(addr) <- flip t.data.(addr)
+
+let scrub t =
+  match t.ecc with
+  | None -> ()
+  | Some e -> Ecc.scrub e ~f:(fun addr golden -> t.data.(addr) <- golden)
 
 let load_init t init = List.iter (fun (addr, v) -> write t addr v) init
 

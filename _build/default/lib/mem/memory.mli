@@ -3,7 +3,14 @@
     The simulator separates *function* from *timing*: architectural data
     always lives here (so every mode of execution can be checked against the
     reference interpreter's memory image), while the cache hierarchy in
-    {!Coherence} models only tags, states and latencies. *)
+    {!Coherence} models only tags, states and latencies.
+
+    With an {!Voltron_fault.Ecc} model attached, words carry a (modelled)
+    SEC code: {!corrupt} flips a stored bit, {!read} detects and corrects
+    corrupted words on demand, {!write} masks a pending flip, and {!scrub}
+    corrects any leftovers — so a faulty run's final image equals the
+    fault-free one. Without an attached model, {!corrupt} is a no-op and
+    the fast path is unchanged. *)
 
 type t
 
@@ -15,6 +22,16 @@ val read : t -> int -> int
 val write : t -> int -> int -> unit
 (** Out-of-bounds accesses raise [Invalid_argument] — the simulator treats
     them as a (simulated) program crash. *)
+
+val attach_ecc : t -> Voltron_fault.Ecc.t -> unit
+(** Enable the ECC model; required before {!corrupt} has any effect. *)
+
+val corrupt : t -> int -> flip:(int -> int) -> unit
+(** Fault-injection entry point: apply [flip] to the stored word,
+    remembering the golden value in the attached ECC model. *)
+
+val scrub : t -> unit
+(** Correct every still-corrupted word (end-of-run ECC scrub). *)
 
 val load_init : t -> (int * int) list -> unit
 val snapshot : t -> int array

@@ -1,1 +1,1 @@
-lib/net/operand_network.ml: Array List Mesh Printf Voltron_isa
+lib/net/operand_network.ml: Array List Mesh Printf Voltron_fault Voltron_isa

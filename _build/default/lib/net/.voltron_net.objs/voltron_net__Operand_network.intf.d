@@ -1,1 +1,1 @@
-lib/net/operand_network.mli: Mesh Voltron_isa
+lib/net/operand_network.mli: Mesh Voltron_fault Voltron_isa

@@ -1,13 +1,23 @@
+module Fault = Voltron_fault.Fault
+
 type payload = Value of int | Start of int
 
 type latch = { mutable filled : bool; mutable value : int; mutable time : int }
+
+(* In-flight delivery state. [Clean] messages arrive at [ready_time];
+   [Lost]/[Corrupt] ones are injected faults (or an overflow NACK) that the
+   sender retransmits at [retry_at] with exponential backoff. *)
+type condition = Clean | Lost | Corrupt
 
 type message = {
   msg_src : int;
   msg_dst : int;
   msg_payload : payload;
-  ready_time : int;  (** cycle at which the receive queue can deliver it *)
+  mutable ready_time : int;  (** cycle at which the receive queue can deliver *)
   seq : int;  (** global enqueue order: FIFO per (src, dst) pair *)
+  mutable condition : condition;
+  mutable attempt : int;  (** 1-based transmission count *)
+  mutable retry_at : int;  (** next retransmission cycle when not [Clean] *)
 }
 
 type bcast_slot = { mutable b_value : int; mutable b_time : int; mutable b_src : int }
@@ -16,6 +26,8 @@ type stats = {
   mutable msgs_sent : int;
   mutable total_latency : int;
   mutable max_occupancy : int;
+  mutable retries : int;  (** retransmissions of lost/corrupted/NACKed msgs *)
+  mutable nacks : int;  (** parity NACKs + receive-queue overflow NACKs *)
 }
 
 type t = {
@@ -28,7 +40,22 @@ type t = {
   mutable in_flight : message list;  (** unsorted; small *)
   mutable next_seq : int;
   net_stats : stats;
+  faults : Fault.t option;
 }
+
+type put_error = Off_mesh | Latch_full of int
+
+let put_error_to_string ~src_core = function
+  | Off_mesh ->
+    Printf.sprintf "put: core %d has no neighbour in that direction" src_core
+  | Latch_full dst ->
+    Printf.sprintf "put: latch into core %d still full (unconsumed PUT)" dst
+
+type send_error = Bad_destination of int | Channel_full
+
+let send_error_to_string = function
+  | Bad_destination dst -> Printf.sprintf "send: bad destination core %d" dst
+  | Channel_full -> "send: channel full"
 
 let dir_index (d : Voltron_isa.Inst.dir) =
   match d with
@@ -37,7 +64,7 @@ let dir_index (d : Voltron_isa.Inst.dir) =
   | Voltron_isa.Inst.East -> 2
   | Voltron_isa.Inst.West -> 3
 
-let create net_mesh ~receive_capacity =
+let create ?faults net_mesh ~receive_capacity =
   let n = Mesh.n_cores net_mesh in
   {
     net_mesh;
@@ -49,7 +76,9 @@ let create net_mesh ~receive_capacity =
     consumed_bcast = Array.make n true;
     in_flight = [];
     next_seq = 0;
-    net_stats = { msgs_sent = 0; total_latency = 0; max_occupancy = 0 };
+    net_stats =
+      { msgs_sent = 0; total_latency = 0; max_occupancy = 0; retries = 0; nacks = 0 };
+    faults;
   }
 
 let mesh t = t.net_mesh
@@ -60,14 +89,10 @@ let stats t = t.net_stats
 
 let put t ~now ~src_core dir value =
   match Mesh.neighbour t.net_mesh src_core dir with
-  | None ->
-    Error
-      (Printf.sprintf "put: core %d has no neighbour in that direction" src_core)
+  | None -> Error Off_mesh
   | Some dst ->
     let latch = t.latches.(dst).(dir_index (Voltron_isa.Inst.opposite dir)) in
-    if latch.filled then
-      Error
-        (Printf.sprintf "put: latch into core %d still full (unconsumed PUT)" dst)
+    if latch.filled then Error (Latch_full dst)
     else begin
       latch.filled <- true;
       latch.value <- value;
@@ -116,36 +141,113 @@ let pending t ~src ~dst =
   List.length
     (List.filter (fun m -> m.msg_dst = dst && m.msg_src = src) t.in_flight)
 
+(* Retransmission must not reorder a (src, dst) channel: RECV consumes by
+   sender id only, so FIFO within a channel is program semantics, not just
+   timing. Two payload classes share a channel without ordering constraints
+   (a Start is consumed only by a sleeping core), so the unit of ordering is
+   (src, dst, class). *)
+let same_channel a b =
+  a.msg_src = b.msg_src && a.msg_dst = b.msg_dst
+  &&
+  match (a.msg_payload, b.msg_payload) with
+  | Value _, Value _ | Start _, Start _ -> true
+  | Value _, Start _ | Start _, Value _ -> false
+
+let head_of_channel t m =
+  not (List.exists (fun m' -> same_channel m m' && m'.seq < m.seq) t.in_flight)
+
+(* In a fault-free run every message is [Clean] and same-channel hop counts
+   are equal, so ready order equals seq order and the head-of-channel test
+   never blocks a ready message: delivery timing is bit-identical to a
+   network without the retry machinery. *)
+let deliverable t ~now m =
+  m.condition = Clean && m.ready_time <= now && head_of_channel t m
+
+(* (Re)launch [m] at [now], rolling fault injection on each transmission.
+   After [max_retries] retransmissions the delivery is forced clean, so a
+   message occupies its channel for a bounded time even at rate 1.0. *)
+let transmit t ~now m =
+  let hops = Mesh.hops t.net_mesh m.msg_src m.msg_dst in
+  m.ready_time <- now + 1 + hops;
+  m.condition <- Clean;
+  match t.faults with
+  | None -> ()
+  | Some f ->
+    let cfg = Fault.config f in
+    if m.attempt <= cfg.Fault.max_retries then
+      if Fault.roll_drop f then begin
+        (* Sender-side ack timeout: no arrival, retry after backoff. *)
+        m.condition <- Lost;
+        m.retry_at <- now + Fault.backoff f ~attempt:m.attempt
+      end
+      else if Fault.roll_corrupt f then begin
+        (* Parity fails on arrival; the NACK triggers a backoff'd resend. *)
+        m.condition <- Corrupt;
+        m.retry_at <- m.ready_time + Fault.backoff f ~attempt:m.attempt
+      end
+
+let enqueue t ~now ~src ~dst payload =
+  let hops = Mesh.hops t.net_mesh src dst in
+  let msg =
+    {
+      msg_src = src;
+      msg_dst = dst;
+      msg_payload = payload;
+      ready_time = now + 1 + hops;
+      seq = t.next_seq;
+      condition = Clean;
+      attempt = 1;
+      retry_at = 0;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.in_flight <- msg :: t.in_flight;
+  let s = t.net_stats in
+  s.msgs_sent <- s.msgs_sent + 1;
+  s.total_latency <- s.total_latency + 2 + hops;
+  s.max_occupancy <- max s.max_occupancy (List.length t.in_flight);
+  msg
+
 let send t ~now ~src ~dst payload =
-  if dst < 0 || dst >= Mesh.n_cores t.net_mesh then
-    Error (Printf.sprintf "send: bad destination core %d" dst)
-  else if pending t ~src ~dst >= t.capacity then Error "send: channel full"
+  if dst < 0 || dst >= Mesh.n_cores t.net_mesh then Error (Bad_destination dst)
+  else if pending t ~src ~dst >= t.capacity then Error Channel_full
   else begin
-    let hops = Mesh.hops t.net_mesh src dst in
-    let msg =
-      {
-        msg_src = src;
-        msg_dst = dst;
-        msg_payload = payload;
-        ready_time = now + 1 + hops;
-        seq = t.next_seq;
-      }
-    in
-    t.next_seq <- t.next_seq + 1;
-    t.in_flight <- msg :: t.in_flight;
-    let s = t.net_stats in
-    s.msgs_sent <- s.msgs_sent + 1;
-    s.total_latency <- s.total_latency + 2 + hops;
-    s.max_occupancy <- max s.max_occupancy (List.length t.in_flight);
+    let msg = enqueue t ~now ~src ~dst payload in
+    transmit t ~now msg;
     Ok ()
   end
 
-(* Find (and remove) the ready message matching [p] with the smallest seq. *)
+let defer t ~now ~src ~dst payload =
+  if dst < 0 || dst >= Mesh.n_cores t.net_mesh then invalid_arg "Net.defer";
+  let msg = enqueue t ~now ~src ~dst payload in
+  (* Receive-queue overflow: the entry NACK parks the message at the sender,
+     which retries on the same backoff schedule as a lost message. *)
+  let cfg =
+    match t.faults with Some f -> Fault.config f | None -> Fault.disabled
+  in
+  msg.condition <- Lost;
+  msg.retry_at <- now + Fault.backoff_of cfg ~attempt:msg.attempt;
+  t.net_stats.nacks <- t.net_stats.nacks + 1
+
+let service t ~now =
+  List.iter
+    (fun m ->
+      if m.condition <> Clean && m.retry_at <= now then begin
+        let s = t.net_stats in
+        s.retries <- s.retries + 1;
+        if m.condition = Corrupt then s.nacks <- s.nacks + 1;
+        m.attempt <- m.attempt + 1;
+        transmit t ~now m
+      end)
+    t.in_flight
+
+(* Find (and remove) the deliverable message matching [p] with the smallest
+   seq. *)
 let take t ~now p =
   let best =
     List.fold_left
       (fun acc m ->
-        if m.ready_time <= now && p m then
+        if deliverable t ~now m && p m then
           match acc with
           | Some b when b.seq <= m.seq -> acc
           | Some _ | None -> Some m
@@ -171,7 +273,7 @@ let recv t ~now ~core ~sender =
 let recv_ready t ~now ~core ~sender =
   List.exists
     (fun m ->
-      m.ready_time <= now && m.msg_dst = core && m.msg_src = sender
+      deliverable t ~now m && m.msg_dst = core && m.msg_src = sender
       && match m.msg_payload with Value _ -> true | Start _ -> false)
     t.in_flight
 
@@ -191,6 +293,25 @@ let take_start t ~now ~core =
   | Some { msg_payload = Start addr; _ } -> Some addr
   | Some { msg_payload = Value _; _ } -> assert false
   | None -> None
+
+let in_flight_summary t =
+  List.sort (fun a b -> compare a.seq b.seq) t.in_flight
+  |> List.map (fun m ->
+         let payload =
+           match m.msg_payload with
+           | Value v -> Printf.sprintf "value %d" v
+           | Start a -> Printf.sprintf "start @%d" a
+         in
+         let state =
+           match m.condition with
+           | Clean -> Printf.sprintf "deliverable @%d" m.ready_time
+           | Lost ->
+             Printf.sprintf "lost, retry @%d (attempt %d)" m.retry_at m.attempt
+           | Corrupt ->
+             Printf.sprintf "corrupt, retry @%d (attempt %d)" m.retry_at
+               m.attempt
+         in
+         (m.msg_src, m.msg_dst, payload ^ ", " ^ state))
 
 let idle t =
   t.in_flight = []

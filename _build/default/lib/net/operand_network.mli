@@ -18,6 +18,16 @@
     receive queue), per §3.1. SPAWN travels the same network carrying a
     start address.
 
+    {b Resilience}: with a {!Voltron_fault.Fault} injector attached, each
+    transmission can be dropped or corrupted. Delivery is protected by an
+    ack/NACK + timeout protocol: a lost message is retransmitted after a
+    bounded exponential backoff, a corrupted one fails its parity check on
+    arrival and is NACKed back for resend, and after [max_retries]
+    retransmissions delivery is forced clean so no channel wedges forever.
+    Messages deliver strictly in per-(sender, receiver, class) FIFO order
+    even across retries — a retried message blocks younger ones on its
+    channel — which keeps queue-mode program semantics intact under faults.
+
     The machine drives this module cycle-by-cycle; all "stall" outcomes are
     reported as [None] and accounted by the caller. *)
 
@@ -25,14 +35,24 @@ type t
 
 type payload = Value of int | Start of int  (** Start carries a code address *)
 
-val create : Mesh.t -> receive_capacity:int -> t
+val create : ?faults:Voltron_fault.Fault.t -> Mesh.t -> receive_capacity:int -> t
+(** [faults] attaches a fault injector; omitted, the network is perfect and
+    cycle-for-cycle identical to one without the retry machinery. *)
+
 val mesh : t -> Mesh.t
 
 (** {1 Direct mode} *)
 
-val put : t -> now:int -> src_core:int -> Voltron_isa.Inst.dir -> int -> (unit, string) result
-(** Fails if the direction leaves the mesh or the latch is still full
-    (compiler scheduling bug — surfaced, not masked). *)
+type put_error =
+  | Off_mesh  (** the direction leaves the mesh *)
+  | Latch_full of int  (** unconsumed PUT into that core *)
+
+val put_error_to_string : src_core:int -> put_error -> string
+
+val put :
+  t -> now:int -> src_core:int -> Voltron_isa.Inst.dir -> int ->
+  (unit, put_error) result
+(** Both error cases are compiler scheduling bugs — surfaced, not masked. *)
 
 val get : t -> now:int -> core:int -> Voltron_isa.Inst.dir -> int option
 (** [None] when the latch is empty (caller stalls); [Some v] consumes. A
@@ -46,13 +66,30 @@ val getb : t -> now:int -> core:int -> int option
 
 (** {1 Queue mode} *)
 
-val send : t -> now:int -> src:int -> dst:int -> payload -> (unit, string) result
-(** Fails ([Error]) when the (sender, receiver) channel already holds
-    [receive_capacity] undelivered messages — the caller stalls and
-    retries. Capacity is per channel, not per receiver: a producer running
-    far ahead can only fill its own slots, never starve another sender
-    whose message the receiver needs next (that sharing would deadlock
-    rate-mismatched fine-grain threads). *)
+type send_error =
+  | Bad_destination of int  (** no such core *)
+  | Channel_full  (** the (sender, receiver) channel is at capacity *)
+
+val send_error_to_string : send_error -> string
+
+val send :
+  t -> now:int -> src:int -> dst:int -> payload -> (unit, send_error) result
+(** [Error Channel_full] when the (sender, receiver) channel already holds
+    [receive_capacity] undelivered messages — the caller stalls, or hands
+    the message to {!defer}. Capacity is per channel, not per receiver: a
+    producer running far ahead can only fill its own slots, never starve
+    another sender whose message the receiver needs next (that sharing
+    would deadlock rate-mismatched fine-grain threads). *)
+
+val defer : t -> now:int -> src:int -> dst:int -> payload -> unit
+(** Overflow path: enqueue the message as NACKed-at-entry; {!service}
+    retransmits it on the standard backoff schedule instead of the sender
+    hard-failing. Counted in [stats.nacks]. *)
+
+val service : t -> now:int -> unit
+(** Advance the retry protocol one cycle: retransmit every lost, corrupted
+    or deferred message whose backoff timer has expired. A no-op on a
+    fault-free network; the machine calls it once per cycle. *)
 
 val recv : t -> now:int -> core:int -> sender:int -> int option
 (** Oldest ready [Value] message from [sender]; [None] stalls. *)
@@ -72,10 +109,16 @@ val pending : t -> src:int -> dst:int -> int
 val idle : t -> bool
 (** No message in flight anywhere and all latches empty. *)
 
+val in_flight_summary : t -> (int * int * string) list
+(** Snapshot of every undelivered message as (src, dst, description), in
+    seq order — the receive-queue dump in the watchdog's diagnosis. *)
+
 type stats = {
   mutable msgs_sent : int;
   mutable total_latency : int;
   mutable max_occupancy : int;
+  mutable retries : int;  (** retransmissions of lost/corrupted/NACKed msgs *)
+  mutable nacks : int;  (** parity NACKs + receive-queue overflow NACKs *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest List Voltron Voltron_fault Voltron_machine Voltron_mem Voltron_workloads

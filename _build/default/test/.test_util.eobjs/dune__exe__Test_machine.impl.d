@@ -1,1 +1,1 @@
-test/test_machine.ml: Alcotest List Voltron_isa Voltron_machine Voltron_mem
+test/test_machine.ml: Alcotest Array List String Voltron_isa Voltron_machine Voltron_mem

@@ -1,1 +1,1 @@
-test/test_net.ml: Alcotest Hashtbl List Option QCheck QCheck_alcotest Voltron_isa Voltron_net
+test/test_net.ml: Alcotest Hashtbl List Option QCheck QCheck_alcotest Voltron_fault Voltron_isa Voltron_net

@@ -33,7 +33,10 @@ let run_ok machine =
   (match result.Machine.outcome with
   | Machine.Finished -> ()
   | Machine.Out_of_cycles -> Alcotest.fail "simulation ran out of cycles"
-  | Machine.Deadlock d -> Alcotest.fail ("deadlock: " ^ d));
+  | Machine.Deadlock d ->
+    Alcotest.fail ("deadlock: " ^ Machine.diagnosis_to_string d)
+  | Machine.Fault_limit d ->
+    Alcotest.fail ("fault limit: " ^ Machine.diagnosis_to_string d));
   result
 
 let test_single_core_arith () =
@@ -294,7 +297,8 @@ let test_tm_conflict_rollback () =
     (Voltron_mem.Memory.read mem 1)
 
 let test_deadlock_detected () =
-  (* A RECV that can never be satisfied must hit the watchdog, not hang. *)
+  (* A RECV that can never be satisfied must hit the watchdog, not hang —
+     and the diagnosis must name the blocked core and what it waits on. *)
   let image =
     assemble [ (None, [ Inst.Recv { sender = 0; dst = 1; kind = Inst.Rv_data } ]) ]
   in
@@ -302,8 +306,86 @@ let test_deadlock_detected () =
   let prog = Program.make ~images:[| image |] ~mem_size:64 ~mem_init:[] in
   let m = Machine.create cfg prog in
   match (Machine.run m).Machine.outcome with
-  | Machine.Deadlock _ -> ()
-  | Machine.Finished | Machine.Out_of_cycles ->
+  | Machine.Deadlock d ->
+    Alcotest.(check bool) "core 0 waits on a RECV from core 0" true
+      (match d.Machine.d_cores.(0).Machine.d_wait with
+      | Some (Machine.W_recv { sender = 0; _ }) -> true
+      | _ -> false);
+    Alcotest.(check bool) "blame edge names the missing sender" true
+      (d.Machine.d_blame = Some (0, 0));
+    (* The rendering is self-contained enough to debug from. *)
+    let s = Machine.diagnosis_to_string d in
+    let contains sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "diagnosis mentions RECV" true (contains "RECV")
+  | Machine.Finished | Machine.Out_of_cycles | Machine.Fault_limit _ ->
+    Alcotest.fail "expected deadlock detection"
+
+let test_deadlock_get_no_put () =
+  (* Coupled mode: core 1 GETs from the west but core 0 never PUTs; core 0
+     meanwhile waits at the mode barrier. Both edges of the cycle must show
+     up in the diagnosis. *)
+  let c0 =
+    assemble
+      [
+        (None, [ Inst.Spawn { target = 1; entry = "w" } ]);
+        (None, switch Inst.Coupled);
+        (None, [ Inst.Nop ]);
+        (None, switch Inst.Decoupled);
+        (None, [ Inst.Halt ]);
+      ]
+  in
+  let c1 =
+    assemble
+      [
+        (Some "w", switch Inst.Coupled);
+        (None, [ Inst.Nop ]);
+        (None, [ Inst.Get { dir = Inst.West; dst = 5 } ]);
+        (None, switch Inst.Decoupled);
+        (None, [ Inst.Sleep ]);
+      ]
+  in
+  let cfg = { (Config.default ~n_cores:2) with Config.watchdog = 500 } in
+  let prog = Program.make ~images:[| c0; c1 |] ~mem_size:64 ~mem_init:[] in
+  let m = Machine.create cfg prog in
+  match (Machine.run m).Machine.outcome with
+  | Machine.Deadlock d ->
+    Alcotest.(check bool) "core 1 stuck on the empty west latch" true
+      (match d.Machine.d_cores.(1).Machine.d_wait with
+      | Some (Machine.W_get_latch Inst.West) -> true
+      | _ -> false);
+    Alcotest.(check bool) "blame edge crosses the pair" true
+      (d.Machine.d_blame = Some (0, 1) || d.Machine.d_blame = Some (1, 0))
+  | Machine.Finished | Machine.Out_of_cycles | Machine.Fault_limit _ ->
+    Alcotest.fail "expected deadlock detection"
+
+let test_deadlock_tm_commit () =
+  (* In-order chunk commit needs every core at TM_COMMIT; core 1 is asleep,
+     so core 0's round can never resolve. The diagnosis must blame the
+     missing participant. *)
+  let c0 =
+    assemble
+      [
+        (None, [ Inst.Tm_begin ]);
+        (None, [ Inst.Store { base = imm 0; offset = imm 0; src = imm 1 } ]);
+        (None, [ Inst.Tm_commit ]);
+        (None, [ Inst.Halt ]);
+      ]
+  in
+  let c1 = assemble [ (None, [ Inst.Sleep ]) ] in
+  let cfg = { (Config.default ~n_cores:2) with Config.watchdog = 500 } in
+  let prog = Program.make ~images:[| c0; c1 |] ~mem_size:64 ~mem_init:[] in
+  let m = Machine.create cfg prog in
+  match (Machine.run m).Machine.outcome with
+  | Machine.Deadlock d ->
+    Alcotest.(check bool) "core 0 waits for the commit round" true
+      (d.Machine.d_cores.(0).Machine.d_wait = Some Machine.W_commit);
+    Alcotest.(check bool) "blame points at the absent core 1" true
+      (d.Machine.d_blame = Some (0, 1))
+  | Machine.Finished | Machine.Out_of_cycles | Machine.Fault_limit _ ->
     Alcotest.fail "expected deadlock detection"
 
 (* --- Tracing ------------------------------------------------------------------ *)
@@ -496,7 +578,7 @@ let test_send_backpressure () =
   let m = Machine.create cfg prog in
   (match (Machine.run m).Machine.outcome with
   | Machine.Finished -> ()
-  | Machine.Out_of_cycles | Machine.Deadlock _ ->
+  | Machine.Out_of_cycles | Machine.Deadlock _ | Machine.Fault_limit _ ->
     Alcotest.fail "backpressure must drain, not deadlock");
   Alcotest.(check int) "last value delivered in order" 3
     (Voltron_mem.Memory.read (Machine.memory m) 0);
@@ -554,7 +636,12 @@ let () =
           Alcotest.test_case "conflict rollback" `Quick test_tm_conflict_rollback;
         ] );
       ( "robustness",
-        [ Alcotest.test_case "deadlock watchdog" `Quick test_deadlock_detected ] );
+        [
+          Alcotest.test_case "deadlock watchdog" `Quick test_deadlock_detected;
+          Alcotest.test_case "coupled GET without PUT" `Quick
+            test_deadlock_get_no_put;
+          Alcotest.test_case "TM commit livelock" `Quick test_deadlock_tm_commit;
+        ] );
       ( "trace",
         [
           Alcotest.test_case "events and hotspots" `Quick test_trace_events;

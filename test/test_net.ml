@@ -38,7 +38,7 @@ let test_direct_put_get () =
   let n = mk_net mesh2 in
   (match Net.put n ~now:5 ~src_core:0 Inst.East 42 with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Net.put_error_to_string ~src_core:0 e));
   Alcotest.(check (option int)) "same-cycle get" (Some 42)
     (Net.get n ~now:5 ~core:1 Inst.West);
   Alcotest.(check (option int)) "latch drained" None
@@ -47,12 +47,15 @@ let test_direct_put_get () =
 let test_direct_put_off_mesh () =
   let n = mk_net mesh2 in
   match Net.put n ~now:0 ~src_core:0 Inst.West 1 with
-  | Error _ -> ()
+  | Error Net.Off_mesh -> ()
+  | Error (Net.Latch_full _) -> Alcotest.fail "wrong error: latch full"
   | Ok () -> Alcotest.fail "put off the mesh must fail"
 
 let test_direct_stale_get_detected () =
   let n = mk_net mesh2 in
-  (match Net.put n ~now:1 ~src_core:0 Inst.East 7 with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Net.put n ~now:1 ~src_core:0 Inst.East 7 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Net.put_error_to_string ~src_core:0 e));
   Alcotest.(check bool) "late get is a lock-step violation" true
     (try
        ignore (Net.get n ~now:3 ~core:1 Inst.West);
@@ -75,7 +78,7 @@ let test_queue_latency () =
   let n = mk_net mesh4 in
   (match Net.send n ~now:0 ~src:0 ~dst:3 (Net.Value 5) with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Net.send_error_to_string e));
   (* 1 cycle into the queue + 2 hops: ready at 3, so recv at 2 stalls. *)
   Alcotest.(check bool) "not ready at 2" false (Net.recv_ready n ~now:2 ~core:3 ~sender:0);
   Alcotest.(check (option int)) "ready at 3" (Some 5) (Net.recv n ~now:3 ~core:3 ~sender:0)
@@ -105,22 +108,23 @@ let test_queue_capacity () =
   for i = 1 to 4 do
     match Net.send n ~now:i ~src:0 ~dst:1 (Net.Value i) with
     | Ok () -> ()
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Net.send_error_to_string e)
   done;
   (match Net.send n ~now:5 ~src:0 ~dst:1 (Net.Value 5) with
-  | Error _ -> ()
+  | Error Net.Channel_full -> ()
+  | Error (Net.Bad_destination _) -> Alcotest.fail "wrong error: bad destination"
   | Ok () -> Alcotest.fail "channel over capacity");
   (* Capacity is per (sender, receiver) channel: another sender still gets
      through to the same receiver (a shared queue would deadlock
      rate-mismatched threads). *)
   (match Net.send n ~now:5 ~src:3 ~dst:1 (Net.Value 99) with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Net.send_error_to_string e));
   (* Draining one frees a slot. *)
   ignore (Net.recv n ~now:50 ~core:1 ~sender:0);
   match Net.send n ~now:51 ~src:0 ~dst:1 (Net.Value 5) with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Net.send_error_to_string e)
 
 let test_spawn_start_message () =
   let n = mk_net mesh2 in
@@ -139,6 +143,91 @@ let test_idle () =
   Alcotest.(check bool) "busy with message" false (Net.idle n);
   ignore (Net.recv n ~now:10 ~core:1 ~sender:0);
   Alcotest.(check bool) "idle after drain" true (Net.idle n)
+
+(* --- Resilience: retry/backoff protocol ----------------------------------- *)
+
+module Fault = Voltron_fault.Fault
+
+let drain_service n ~upto =
+  for now = 0 to upto do
+    Net.service n ~now
+  done
+
+let test_defer_then_service () =
+  (* Overflow path: a 5th message on a full channel is deferred (entry NACK)
+     and retransmitted by [service] on the backoff schedule — it arrives
+     after the queued four, in order, with the NACK and retry counted. *)
+  let n = mk_net mesh2 in
+  for i = 1 to 4 do
+    ignore (Net.send n ~now:0 ~src:0 ~dst:1 (Net.Value i))
+  done;
+  (match Net.send n ~now:0 ~src:0 ~dst:1 (Net.Value 5) with
+  | Error Net.Channel_full -> Net.defer n ~now:0 ~src:0 ~dst:1 (Net.Value 5)
+  | Error (Net.Bad_destination _) | Ok () ->
+    Alcotest.fail "expected channel-full overflow");
+  drain_service n ~upto:100;
+  let received = List.init 5 (fun _ -> Net.recv n ~now:100 ~core:1 ~sender:0) in
+  Alcotest.(check (list (option int)))
+    "deferred message arrives last, order kept"
+    [ Some 1; Some 2; Some 3; Some 4; Some 5 ]
+    received;
+  let s = Net.stats n in
+  Alcotest.(check int) "one overflow nack" 1 s.Net.nacks;
+  Alcotest.(check bool) "retransmission happened" true (s.Net.retries >= 1)
+
+let test_drop_retry_bounded () =
+  (* drop_rate 1.0 with max_retries 2: the message is lost exactly twice,
+     then the third transmission is forced clean — bounded recovery even at
+     rate 1.0. *)
+  let cfg =
+    { Fault.disabled with Fault.drop_rate = 1.0; retry_timeout = 2; max_retries = 2 }
+  in
+  let f = Fault.create cfg in
+  let n = Net.create ~faults:f mesh2 ~receive_capacity:4 in
+  (match Net.send n ~now:0 ~src:0 ~dst:1 (Net.Value 7) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Net.send_error_to_string e));
+  Alcotest.(check (option int)) "nothing deliverable while lost" None
+    (Net.recv n ~now:1 ~core:1 ~sender:0);
+  drain_service n ~upto:30;
+  Alcotest.(check (option int)) "delivered after retries" (Some 7)
+    (Net.recv n ~now:30 ~core:1 ~sender:0);
+  Alcotest.(check int) "dropped twice" 2 (Fault.counters f).Fault.msgs_dropped;
+  Alcotest.(check int) "two retransmissions" 2 (Net.stats n).Net.retries
+
+let test_corrupt_nack_retry () =
+  (* corrupt_rate 1.0 with max_retries 1: parity fails on arrival, the NACK
+     triggers one backoff'd resend, and the clean retry carries the
+     original payload. *)
+  let cfg =
+    { Fault.disabled with Fault.corrupt_rate = 1.0; retry_timeout = 2; max_retries = 1 }
+  in
+  let f = Fault.create cfg in
+  let n = Net.create ~faults:f mesh2 ~receive_capacity:4 in
+  ignore (Net.send n ~now:0 ~src:0 ~dst:1 (Net.Value 42));
+  drain_service n ~upto:30;
+  Alcotest.(check (option int)) "payload intact after resend" (Some 42)
+    (Net.recv n ~now:30 ~core:1 ~sender:0);
+  Alcotest.(check int) "corrupted once" 1 (Fault.counters f).Fault.msgs_corrupted;
+  let s = Net.stats n in
+  Alcotest.(check int) "parity nack counted" 1 s.Net.nacks;
+  Alcotest.(check int) "one retransmission" 1 s.Net.retries
+
+let test_head_of_line_order () =
+  (* A retried message blocks younger traffic on its channel: the younger
+     clean message must not overtake, or queue-mode FIFO semantics break. *)
+  let n = mk_net mesh2 in
+  Net.defer n ~now:0 ~src:0 ~dst:1 (Net.Value 1);
+  (match Net.send n ~now:0 ~src:0 ~dst:1 (Net.Value 2) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Net.send_error_to_string e));
+  Alcotest.(check bool) "younger message held behind the deferred one" false
+    (Net.recv_ready n ~now:10 ~core:1 ~sender:0);
+  drain_service n ~upto:60;
+  Alcotest.(check (option int)) "older delivered first" (Some 1)
+    (Net.recv n ~now:60 ~core:1 ~sender:0);
+  Alcotest.(check (option int)) "then the younger" (Some 2)
+    (Net.recv n ~now:60 ~core:1 ~sender:0)
 
 (* Property: messages between a random pair sequence are delivered exactly
    once and in per-pair FIFO order. *)
@@ -196,5 +285,12 @@ let () =
           Alcotest.test_case "spawn" `Quick test_spawn_start_message;
           Alcotest.test_case "idle" `Quick test_idle;
           QCheck_alcotest.to_alcotest test_exactly_once;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "defer + service" `Quick test_defer_then_service;
+          Alcotest.test_case "bounded drop retry" `Quick test_drop_retry_bounded;
+          Alcotest.test_case "corrupt nack retry" `Quick test_corrupt_nack_retry;
+          Alcotest.test_case "head-of-line order" `Quick test_head_of_line_order;
         ] );
     ]
