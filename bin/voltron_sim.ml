@@ -1,8 +1,9 @@
 (* Command-line driver: run a workload on a simulated Voltron, inspect the
-   compiler's plan, or disassemble the generated per-core code.
+   compiler's plan, statically check the generated code, or disassemble it.
 
      voltron_sim run --bench 164.gzip --cores 4 --strategy hybrid
      voltron_sim plan --bench cjpeg --cores 4
+     voltron_sim check --all --cores 4
      voltron_sim disasm --bench micro:gsm_llp --cores 2 --strategy llp
      voltron_sim list *)
 
@@ -11,6 +12,20 @@ module Stats = Voltron_machine.Stats
 module Select = Voltron_compiler.Select
 module Driver = Voltron_compiler.Driver
 module Config = Voltron_machine.Config
+module Check = Voltron_check.Check
+
+let print_diags oc diags =
+  let ppf = Format.formatter_of_out_channel oc in
+  List.iter (fun d -> Format.fprintf ppf "  %a@." Check.pp_diag d) diags;
+  Format.pp_print_flush ppf ()
+
+(* Run [f], rendering a static-checker failure as a normal CLI error. *)
+let or_check_failure f =
+  try f ()
+  with Check.Failed diags ->
+    prerr_endline "static check failed:";
+    print_diags stderr diags;
+    exit 1
 
 let program_of_name name scale =
   match name with
@@ -143,9 +158,20 @@ let fault_threshold_arg =
           "Degrade to a simpler execution mode (hybrid -> decoupled-only -> \
            serial) after this many injected faults; 0 never degrades.")
 
+let no_check_arg =
+  Arg.(
+    value & flag
+    & info [ "no-check" ]
+        ~doc:
+          "Skip the static cross-core checker that normally gates \
+           compilation (channel balance, barrier alignment, PUT/GET \
+           pairing, deadlock and race detection).")
+
 let run_cmd =
   let run bench file cores strategy scale optimize unroll fault_rate fault_seed
-      fault_threshold =
+      fault_threshold no_check =
+    or_check_failure @@ fun () ->
+    let check = not no_check in
     let name, p = resolve_program bench file scale in
     let p = apply_opts optimize unroll p in
     let choice = choice_of_string strategy in
@@ -162,7 +188,7 @@ let run_cmd =
                 ~degrade_threshold:fault_threshold ~rate:fault_rate ();
           }
         in
-        let r = Voltron.Run.run_resilient ~choice ~tweak ~n_cores:cores p in
+        let r = Voltron.Run.run_resilient ~choice ~check ~tweak ~n_cores:cores p in
         Printf.printf "faults     : every kind at rate %g, seed %d%s\n"
           fault_rate fault_seed
           (if fault_threshold > 0 then
@@ -178,7 +204,7 @@ let run_cmd =
           r.Voltron.Run.attempts;
         r.Voltron.Run.final
       end
-      else Voltron.Run.run ~choice ~n_cores:cores p
+      else Voltron.Run.run ~choice ~check ~n_cores:cores p
     in
     (match m.Voltron.Run.outcome with
     | Voltron.Run.Completed -> ()
@@ -199,7 +225,7 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ file_arg $ cores_arg $ strategy_arg $ scale_arg
       $ optimize_arg $ unroll_arg $ fault_rate_arg $ fault_seed_arg
-      $ fault_threshold_arg)
+      $ fault_threshold_arg $ no_check_arg)
 
 let plan_cmd =
   let plan bench file cores scale =
@@ -222,8 +248,65 @@ let plan_cmd =
     (Cmd.info "plan" ~doc:"Show the hybrid compiler's per-region strategy choices.")
     Term.(const plan $ bench_arg $ file_arg $ cores_arg $ scale_arg)
 
+let check_cmd =
+  let check bench file all cores strategy scale =
+    let targets =
+      if all then
+        List.map (fun (b : Suite.benchmark) -> b.Suite.bench_name) Suite.all
+        @ [ "micro:gsm_llp"; "micro:gzip_strands"; "micro:gsm_ilp" ]
+        |> List.map (fun n -> (n, program_of_name n scale))
+      else [ resolve_program bench file scale ]
+    in
+    let strategies =
+      if all then [ "seq"; "ilp"; "tlp"; "llp"; "hybrid" ] else [ strategy ]
+    in
+    let machine = Config.default ~n_cores:cores in
+    let failures = ref 0 in
+    List.iter
+      (fun (name, p) ->
+        List.iter
+          (fun s ->
+            let choice = choice_of_string s in
+            match Driver.compile ~machine ~choice p with
+            | c ->
+              if c.Driver.check_diags = [] then
+                Printf.printf "%-24s %-7s clean\n%!" name s
+              else begin
+                Printf.printf "%-24s %-7s %d warning(s)\n%!" name s
+                  (List.length c.Driver.check_diags);
+                print_diags stdout c.Driver.check_diags
+              end
+            | exception Check.Failed diags ->
+              incr failures;
+              Printf.printf "%-24s %-7s FAILED\n%!" name s;
+              print_diags stdout diags)
+          strategies)
+      targets;
+    if !failures > 0 then begin
+      Printf.eprintf "%d check failure(s)\n" !failures;
+      exit 1
+    end
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Check every benchmark (and the micro kernels) under every \
+             strategy instead of one program.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically check generated code: channel balance, barrier \
+          alignment, coupled PUT/GET pairing, deadlocks and data races.")
+    Term.(
+      const check $ bench_arg $ file_arg $ all_arg $ cores_arg $ strategy_arg
+      $ scale_arg)
+
 let disasm_cmd =
   let disasm bench file cores strategy scale =
+    or_check_failure @@ fun () ->
     let _, p = resolve_program bench file scale in
     let machine = Config.default ~n_cores:cores in
     let compiled = Driver.compile ~machine ~choice:(choice_of_string strategy) p in
@@ -280,6 +363,7 @@ let asm_cmd =
 
 let trace_cmd =
   let trace bench file cores strategy scale limit timeline =
+    or_check_failure @@ fun () ->
     let _, p = resolve_program bench file scale in
     let machine = Config.default ~n_cores:cores in
     let compiled = Driver.compile ~machine ~choice:(choice_of_string strategy) p in
@@ -329,4 +413,7 @@ let () =
     Cmd.info "voltron_sim" ~version:"1.0"
       ~doc:"Voltron dual-mode multicore simulator and compiler"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; plan_cmd; disasm_cmd; asm_cmd; trace_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; plan_cmd; check_cmd; disasm_cmd; asm_cmd; trace_cmd; list_cmd ]))

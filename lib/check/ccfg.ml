@@ -1,0 +1,198 @@
+(* Per-core control-flow reconstruction from a compiled Image.
+
+   The checker works on what will actually execute, so it rebuilds basic
+   blocks from the bundle stream rather than trusting compiler IR: leaders
+   are address 0, every label, and every address following a control
+   bundle (branch, HALT, SLEEP, MODE_SWITCH). Branch targets are resolved
+   by a linear scan that tracks the last PBR into each branch-target
+   register — exactly the pairing codegen emits; a BR whose btr contents
+   cannot be pinned down is kept with an [Unresolved] terminator and
+   reported as a problem so downstream passes under-approximate instead of
+   guessing. *)
+
+module Inst = Voltron_isa.Inst
+module Image = Voltron_isa.Image
+module Bundle = Voltron_isa.Bundle
+
+type terminator =
+  | Fall
+  | Jump of { label : Inst.label; target : int }
+      (** unconditional branch; [target] is a block index *)
+  | Cond of { label : Inst.label; target : int }
+      (** taken goes to [target], not-taken falls through *)
+  | Barrier of Inst.mode  (** MODE_SWITCH; falls through once released *)
+  | Stop_halt
+  | Stop_sleep
+  | Unresolved  (** a BR whose target we could not resolve statically *)
+
+type block = {
+  b_index : int;
+  b_start : int;  (** first bundle address *)
+  b_stop : int;  (** one past the last bundle address *)
+  b_labels : Inst.label list;  (** labels placed at [b_start] *)
+  b_term : terminator;
+}
+
+type t = {
+  core : int;
+  image : Image.t;
+  blocks : block array;
+  block_of_addr : int array;
+  problems : string list;  (** malformed-code notes found while building *)
+}
+
+let ends_block (bundle : Bundle.t) =
+  List.exists
+    (fun (i : Inst.t) ->
+      match i with
+      | Inst.Br _ | Inst.Halt | Inst.Sleep | Inst.Mode_switch _ -> true
+      | _ -> false)
+    bundle
+
+let build ~core image =
+  let n = Image.length image in
+  if n = 0 then
+    { core; image; blocks = [||]; block_of_addr = [||]; problems = [] }
+  else begin
+    let problems = ref [] in
+    let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+    (* Resolve each BR's target label by tracking the last PBR per btr. *)
+    let br_label = Array.make n None in
+    let btrs = Hashtbl.create 4 in
+    for addr = 0 to n - 1 do
+      List.iter
+        (fun (i : Inst.t) ->
+          match i with
+          | Inst.Pbr { btr; target } -> Hashtbl.replace btrs btr target
+          | Inst.Br { btr; _ } -> br_label.(addr) <- Hashtbl.find_opt btrs btr
+          | _ -> ())
+        (Image.fetch image addr)
+    done;
+    (* Leaders: entry, every label, every post-control address. *)
+    let leader = Array.make n false in
+    leader.(0) <- true;
+    for addr = 0 to n - 1 do
+      if Image.labels_at image addr <> [] then leader.(addr) <- true
+    done;
+    for addr = 0 to n - 2 do
+      if ends_block (Image.fetch image addr) then leader.(addr + 1) <- true
+    done;
+    let starts =
+      Array.to_list (Array.init n (fun a -> a)) |> List.filter (fun a -> leader.(a))
+    in
+    let block_of_addr = Array.make n 0 in
+    let n_blocks = List.length starts in
+    let addr_to_index = Hashtbl.create 16 in
+    List.iteri (fun i a -> Hashtbl.replace addr_to_index a i) starts;
+    let blocks =
+      List.mapi
+        (fun i start ->
+          let stop =
+            match List.nth_opt starts (i + 1) with Some s -> s | None -> n
+          in
+          for a = start to stop - 1 do
+            block_of_addr.(a) <- i
+          done;
+          let last = Image.fetch image (stop - 1) in
+          let resolve_target label =
+            match Hashtbl.find_opt addr_to_index (Image.resolve image label) with
+            | Some idx -> Some idx
+            | None ->
+              problem "core %d: branch at %d targets mid-block label %s" core
+                (stop - 1) label;
+              None
+            | exception Not_found ->
+              problem "core %d: branch at %d targets unknown label %s" core
+                (stop - 1) label;
+              None
+          in
+          let term =
+            let br =
+              List.find_opt
+                (fun (i : Inst.t) -> match i with Inst.Br _ -> true | _ -> false)
+                last
+            in
+            match br with
+            | Some (Inst.Br { pred; _ }) -> (
+              match br_label.(stop - 1) with
+              | None ->
+                problem "core %d: branch at %d has no preceding PBR" core (stop - 1);
+                Unresolved
+              | Some label -> (
+                match resolve_target label with
+                | None -> Unresolved
+                | Some target ->
+                  if pred = None then Jump { label; target }
+                  else Cond { label; target }))
+            | Some _ | None ->
+              if List.exists (fun i -> i = Inst.Halt) last then Stop_halt
+              else if List.exists (fun i -> i = Inst.Sleep) last then Stop_sleep
+              else (
+                match
+                  List.find_opt
+                    (fun (i : Inst.t) ->
+                      match i with Inst.Mode_switch _ -> true | _ -> false)
+                    last
+                with
+                | Some (Inst.Mode_switch m) -> Barrier m
+                | _ ->
+                  if stop = n then
+                    problem "core %d: code at %d falls off the end of the image"
+                      core (n - 1);
+                  Fall)
+          in
+          {
+            b_index = i;
+            b_start = start;
+            b_stop = stop;
+            b_labels = Image.labels_at image start;
+            b_term = term;
+          })
+        starts
+      |> Array.of_list
+    in
+    assert (Array.length blocks = n_blocks);
+    { core; image; blocks; block_of_addr; problems = List.rev !problems }
+  end
+
+let n_blocks t = Array.length t.blocks
+
+let successors t i =
+  let b = t.blocks.(i) in
+  let fall = if i + 1 < Array.length t.blocks then [ i + 1 ] else [] in
+  match b.b_term with
+  | Fall | Barrier _ -> fall
+  | Jump { target; _ } -> [ target ]
+  | Cond { target; _ } -> target :: fall
+  | Stop_halt | Stop_sleep | Unresolved -> []
+
+let block_starting_at t addr =
+  if addr < 0 || addr >= Array.length t.block_of_addr then None
+  else
+    let i = t.block_of_addr.(addr) in
+    if t.blocks.(i).b_start = addr then Some i else None
+
+(* Flattened (address, slot-in-bundle, instruction) stream of a block, in
+   issue order. *)
+let ops t (b : block) =
+  let out = ref [] in
+  for addr = b.b_stop - 1 downto b.b_start do
+    let bundle = Image.fetch t.image addr in
+    let len = List.length bundle in
+    List.iteri
+      (fun j i -> out := (addr, len - 1 - j, i) :: !out)
+      (List.rev bundle)
+  done;
+  !out
+
+(* Blocks reachable from [entry], as a sorted index list. *)
+let reachable t entry =
+  let seen = Hashtbl.create 16 in
+  let rec go i =
+    if not (Hashtbl.mem seen i) then begin
+      Hashtbl.replace seen i ();
+      List.iter go (successors t i)
+    end
+  in
+  if entry < Array.length t.blocks then go entry;
+  Hashtbl.fold (fun i () acc -> i :: acc) seen [] |> List.sort compare

@@ -1,0 +1,57 @@
+(** Per-core control-flow reconstruction from a compiled {!Voltron_isa.Image}.
+
+    The checker deliberately rebuilds basic blocks from the bundle stream —
+    the thing the machine will actually fetch — instead of trusting any
+    compiler-side IR. Leaders are address 0, every label, and every address
+    following a control bundle. BR targets are resolved by the same
+    PBR-pairing discipline codegen emits (last PBR into the branch-target
+    register wins); a BR that cannot be resolved that way is kept as an
+    {!terminator.Unresolved} terminator and noted in {!t.problems}, so
+    downstream passes under-approximate rather than guess. *)
+
+type terminator =
+  | Fall
+  | Jump of { label : Voltron_isa.Inst.label; target : int }
+      (** unconditional branch; [target] is a block index *)
+  | Cond of { label : Voltron_isa.Inst.label; target : int }
+      (** taken goes to [target], not-taken falls through *)
+  | Barrier of Voltron_isa.Inst.mode
+      (** MODE_SWITCH; falls through once every core reaches it *)
+  | Stop_halt
+  | Stop_sleep
+  | Unresolved
+
+type block = {
+  b_index : int;
+  b_start : int;  (** first bundle address *)
+  b_stop : int;  (** one past the last bundle address *)
+  b_labels : Voltron_isa.Inst.label list;  (** labels placed at [b_start] *)
+  b_term : terminator;
+}
+
+type t = {
+  core : int;
+  image : Voltron_isa.Image.t;
+  blocks : block array;
+  block_of_addr : int array;  (** bundle address -> block index *)
+  problems : string list;  (** malformed-code notes found while building *)
+}
+
+val build : core:int -> Voltron_isa.Image.t -> t
+
+val n_blocks : t -> int
+
+val successors : t -> int -> int list
+(** Static successor block indices; empty for halting/sleeping blocks and
+    for unresolved branches. *)
+
+val block_starting_at : t -> int -> int option
+(** The block whose first bundle sits at this address, if any — used to
+    find SPAWN entry points. *)
+
+val ops : t -> block -> (int * int * Voltron_isa.Inst.t) list
+(** The block's instructions in issue order as
+    [(bundle address, slot within bundle, instruction)]. *)
+
+val reachable : t -> int -> int list
+(** Block indices reachable from the given entry block, sorted. *)

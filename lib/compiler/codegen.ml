@@ -9,6 +9,7 @@ module Cfg = Voltron_ir.Cfg
 module Memdep = Voltron_analysis.Memdep
 module Depgraph = Voltron_analysis.Depgraph
 module Doall_a = Voltron_analysis.Doall
+module Check = Voltron_check.Check
 
 type strategy =
   | Seq
@@ -33,6 +34,7 @@ type t = {
   synth : Synth.t;
   builders : Image.builder array;
   profile : Voltron_analysis.Profile.t Lazy.t;
+  mutable infos : Check.region_info list;  (** reverse emission order *)
 }
 
 let create machine (program : Hir.program) =
@@ -46,9 +48,47 @@ let create machine (program : Hir.program) =
     synth = Synth.create program lctx;
     builders = Array.init machine.Config.n_cores (fun _ -> Image.builder ());
     profile = lazy (Voltron_analysis.Profile.collect program);
+    infos = [];
   }
 
 let layout t = t.lay
+
+let check_infos t = List.rev t.infos
+
+(* Summarise a partitioned region for the static checker while the
+   dependence analysis is still in scope: every memory operation with its
+   assigned core, plus an aliasing oracle keyed by dependence-graph index.
+   The checker uses this to re-verify the partitioners' contract that
+   possibly-dependent memory operations never straddle cores in decoupled
+   mode (paper §3.3). *)
+let record_region_info t ~name ~mode ~(partition : Partition.t) ~memdep
+    ~(dg : Depgraph.t) =
+  let accesses =
+    Array.to_list
+      (Array.mapi
+         (fun i (op : Cfg.lop) ->
+           if Memdep.is_mem memdep op then
+             Some
+               {
+                 Check.ma_id = i;
+                 ma_core = partition.Partition.core_of.(i);
+                 ma_write = Memdep.is_write memdep op;
+                 ma_text = Format.asprintf "%a" Inst.pp op.Cfg.inst;
+               }
+           else None)
+         dg.Depgraph.ops)
+    |> List.filter_map Fun.id
+  in
+  t.infos <-
+    {
+      Check.ri_name = name;
+      ri_decoupled = (mode = Inst.Decoupled);
+      ri_accesses = accesses;
+      ri_may_alias =
+        (fun i j ->
+          Memdep.ever_alias memdep dg.Depgraph.ops.(i) dg.Depgraph.ops.(j));
+    }
+    :: t.infos
 
 let check_register_closed ~name stmts =
   let defs = Hir.defined_vregs stmts in
@@ -125,6 +165,7 @@ let emit_parallel t ~name stmts strategy =
     in
     emit_blocks t 0 cfg sched.Sched.block_code.(0)
   else begin
+    record_region_info t ~name ~mode ~partition ~memdep ~dg;
     let sched = Sched.schedule_region ~machine:t.machine ~cfg ~dg ~partition ~mode in
     let participants = sched.Sched.participants in
     let workers = List.filter (fun c -> c <> 0) participants in

@@ -39,6 +39,12 @@ val create : Voltron_machine.Config.t -> Voltron_ir.Hir.program -> t
 
 val layout : t -> Voltron_ir.Layout.t
 
+val check_infos : t -> Voltron_check.Check.region_info list
+(** Region summaries for the static checker, in emission order: every
+    partitioned region's memory accesses with their core assignment and a
+    may-alias oracle, recorded here while the dependence analysis is still
+    in scope so the checker never has to re-derive compiler state. *)
+
 val emit_region : t -> name:string -> Voltron_ir.Hir.stmt list -> strategy -> unit
 (** Raises [Invalid_argument] if the region reads registers it does not
     define (regions must be register-closed; pass data between regions

@@ -1,15 +1,18 @@
 module Config = Voltron_machine.Config
 module Machine = Voltron_machine.Machine
 module Hir = Voltron_ir.Hir
+module Check = Voltron_check.Check
 
 type compiled = {
   executable : Voltron_isa.Program.t;
   plan : Select.planned_region list;
   oracle_checksum : int;
   array_footprint : int;
+  check_diags : Check.diag list;
 }
 
-let compile ~machine ?(choice = `Hybrid) ?profile (p : Hir.program) =
+let compile ~machine ?(choice = `Hybrid) ?(check = true) ?profile
+    (p : Hir.program) =
   let profile =
     match profile with
     | Some pr -> pr
@@ -25,6 +28,16 @@ let compile ~machine ?(choice = `Hybrid) ?profile (p : Hir.program) =
         pr.Select.pr_strategy)
     plan;
   let executable = Codegen.finalize cg in
+  let check_diags =
+    if check then begin
+      let diags =
+        Check.check_program ~infos:(Codegen.check_infos cg) machine executable
+      in
+      if Check.has_errors diags then raise (Check.Failed diags);
+      diags
+    end
+    else []
+  in
   {
     executable;
     plan;
@@ -32,6 +45,7 @@ let compile ~machine ?(choice = `Hybrid) ?profile (p : Hir.program) =
       Voltron_mem.Memory.checksum_prefix oracle.Voltron_ir.Interp.memory
         array_footprint;
     array_footprint;
+    check_diags;
   }
 
 let compile_baseline p =

@@ -5,17 +5,27 @@ type compiled = {
   plan : Select.planned_region list;
   oracle_checksum : int;  (** reference interpreter's memory checksum *)
   array_footprint : int;  (** words to compare (arrays only, no scratch) *)
+  check_diags : Voltron_check.Check.diag list;
+      (** static checker output (warnings only — errors raise); empty when
+          compiled with [~check:false] *)
 }
 
 val compile :
   machine:Voltron_machine.Config.t ->
   ?choice:Select.choice ->
+  ?check:bool ->
   ?profile:Voltron_analysis.Profile.t ->
   Voltron_ir.Hir.program ->
   compiled
 (** Profiles (unless given), selects a strategy per region ([`Hybrid] by
     default), generates per-core code, and records the oracle checksum
-    over the array footprint for verification. *)
+    over the array footprint for verification.
+
+    Unless [~check:false] is given, the static cross-core checker
+    ({!Voltron_check.Check}) runs over the generated images as a
+    post-codegen gate: checker errors raise {!Voltron_check.Check.Failed}
+    with the full diagnostic list; warnings are returned in
+    [check_diags]. *)
 
 val compile_baseline : Voltron_ir.Hir.program -> compiled
 (** Single-core sequential build (the paper's baseline). *)

@@ -27,9 +27,10 @@ let outcome_to_string = function
   | Fault_limited d ->
     "fault limit reached:\n" ^ Machine.diagnosis_to_string d
 
-let run ?(choice = `Hybrid) ?profile ?(tweak = fun c -> c) ~n_cores program =
+let run ?(choice = `Hybrid) ?(check = true) ?profile ?(tweak = fun c -> c)
+    ~n_cores program =
   let machine = tweak (Config.default ~n_cores) in
-  let compiled = Driver.compile ~machine ~choice ?profile program in
+  let compiled = Driver.compile ~machine ~choice ~check ?profile program in
   let m = Machine.create machine compiled.Driver.executable in
   let result = Machine.run m in
   let outcome =
@@ -77,8 +78,8 @@ let strategy_of_level ~choice ~n_cores = function
   | Fault.Decoupled_only -> (`Tlp, n_cores)
   | Fault.Serial_core0 -> (`Seq, 1)
 
-let run_resilient ?(choice = `Hybrid) ?profile ?(tweak = fun c -> c) ~n_cores
-    program =
+let run_resilient ?(choice = `Hybrid) ?(check = true) ?profile
+    ?(tweak = fun c -> c) ~n_cores program =
   let rec go level acc =
     let choice', n_cores' = strategy_of_level ~choice ~n_cores level in
     let tweak' c =
@@ -90,7 +91,9 @@ let run_resilient ?(choice = `Hybrid) ?profile ?(tweak = fun c -> c) ~n_cores
         { c with Config.fault = { c.Config.fault with Fault.degrade_threshold = 0 } }
       | Fault.Full | Fault.Decoupled_only -> c
     in
-    let m = run ~choice:choice' ?profile ~tweak:tweak' ~n_cores:n_cores' program in
+    let m =
+      run ~choice:choice' ~check ?profile ~tweak:tweak' ~n_cores:n_cores' program
+    in
     let attempt =
       { a_level = level; a_choice = choice'; a_n_cores = n_cores'; a_measurement = m }
     in

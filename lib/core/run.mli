@@ -24,6 +24,7 @@ val completed : measurement -> bool
 
 val run :
   ?choice:Voltron_compiler.Select.choice ->
+  ?check:bool ->
   ?profile:Voltron_analysis.Profile.t ->
   ?tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
   n_cores:int ->
@@ -34,7 +35,11 @@ val run :
     latencies, network capacity, fault injection, ...) before compiling —
     used by the ablation benches and the resilience sweep. A simulator
     deadlock, cycle-cap overrun or fault-limit stop is returned as the
-    measurement's [outcome] (with [verified = false]), not raised. *)
+    measurement's [outcome] (with [verified = false]), not raised.
+
+    The static cross-core checker gates compilation by default: checker
+    errors raise {!Voltron_check.Check.Failed}. Pass [~check:false] to
+    skip it. *)
 
 (** {1 Graceful degradation} *)
 
@@ -53,6 +58,7 @@ type resilient = {
 
 val run_resilient :
   ?choice:Voltron_compiler.Select.choice ->
+  ?check:bool ->
   ?profile:Voltron_analysis.Profile.t ->
   ?tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
   n_cores:int ->

@@ -348,7 +348,7 @@ let exec_comm_out t cs snapshot op =
     | Error e ->
       failwith
         (Printf.sprintf "core %d cycle %d: %s" cs.id now
-           (Net.put_error_to_string ~src_core:cs.id e)))
+           (Net.error_to_string (Net.Put_failed { src_core = cs.id; error = e }))))
   | Inst.Bcast { src } ->
     Net.bcast t.net ~now ~src_core:cs.id (read_operand snapshot src)
   | Inst.Send { target; src } -> (
@@ -364,7 +364,7 @@ let exec_comm_out t cs snapshot op =
     | Error (Net.Bad_destination _ as e) ->
       failwith
         (Printf.sprintf "core %d cycle %d: %s" cs.id now
-           (Net.send_error_to_string e)))
+           (Net.error_to_string (Net.Send_failed e))))
   | Inst.Spawn { target; entry } -> (
     let addr = Image.resolve t.prog.images.(target) entry in
     t.st.spawns <- t.st.spawns + 1;
@@ -376,7 +376,7 @@ let exec_comm_out t cs snapshot op =
     | Error (Net.Bad_destination _ as e) ->
       failwith
         (Printf.sprintf "core %d cycle %d: %s" cs.id now
-           (Net.send_error_to_string e)))
+           (Net.error_to_string (Net.Send_failed e))))
   | Inst.Alu _ | Inst.Fpu _ | Inst.Cmp _ | Inst.Select _ | Inst.Load _
   | Inst.Store _ | Inst.Mov _ | Inst.Pbr _ | Inst.Br _ | Inst.Getb _
   | Inst.Get _ | Inst.Recv _ | Inst.Sleep | Inst.Mode_switch _ | Inst.Tm_begin

@@ -45,17 +45,30 @@ type t = {
 
 type put_error = Off_mesh | Latch_full of int
 
-let put_error_to_string ~src_core = function
-  | Off_mesh ->
-    Printf.sprintf "put: core %d has no neighbour in that direction" src_core
-  | Latch_full dst ->
-    Printf.sprintf "put: latch into core %d still full (unconsumed PUT)" dst
-
 type send_error = Bad_destination of int | Channel_full
 
-let send_error_to_string = function
-  | Bad_destination dst -> Printf.sprintf "send: bad destination core %d" dst
-  | Channel_full -> "send: channel full"
+type error =
+  | Put_failed of { src_core : int; error : put_error }
+  | Send_failed of send_error
+
+(* Single rendering point for typed network errors: the machine's watchdog
+   diagnosis and the static checker's diagnostics both go through here, so
+   an error reads the same whether it was predicted or hit at runtime. *)
+let pp_error ppf = function
+  | Put_failed { src_core; error = Off_mesh } ->
+    Format.fprintf ppf "put: core %d has no neighbour in that direction" src_core
+  | Put_failed { error = Latch_full dst; _ } ->
+    Format.fprintf ppf "put: latch into core %d still full (unconsumed PUT)" dst
+  | Send_failed (Bad_destination dst) ->
+    Format.fprintf ppf "send: bad destination core %d" dst
+  | Send_failed Channel_full -> Format.pp_print_string ppf "send: channel full"
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let put_error_to_string ~src_core error =
+  error_to_string (Put_failed { src_core; error })
+
+let send_error_to_string e = error_to_string (Send_failed e)
 
 let dir_index (d : Voltron_isa.Inst.dir) =
   match d with

@@ -72,6 +72,19 @@ type send_error =
 
 val send_error_to_string : send_error -> string
 
+(** {2 Unified error rendering}
+
+    Both error families funnel through one printer so the runtime
+    watchdog's diagnosis and the static checker's diagnostics describe the
+    same failure with the same words. *)
+
+type error =
+  | Put_failed of { src_core : int; error : put_error }
+  | Send_failed of send_error
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
 val send :
   t -> now:int -> src:int -> dst:int -> payload -> (unit, send_error) result
 (** [Error Channel_full] when the (sender, receiver) channel already holds

@@ -90,6 +90,22 @@ let test_cross_iteration_alias () =
   check Unknown None (f 1 0);
   check Unknown (f 1 0) (f 2 0)
 
+(* Loop-carried dependences at distance greater than one: a[i] against
+   a[i+k] collides k iterations apart for any stride-compatible k, while
+   offsets that the stride can never make up stay disjoint. *)
+let test_cross_iteration_distance () =
+  let open Affine in
+  let v = 9 in
+  let f k c = Some (add (scale k (var_ v)) (const_ c)) in
+  let check expect a b =
+    Alcotest.(check bool) "verdict" true (cross_iteration_alias ~var:v a b = expect)
+  in
+  check May_cross (f 1 0) (f 1 2) (* a[i] vs a[i+2]: distance 2 *);
+  check May_cross (f 1 0) (f 1 7) (* distance 7 *);
+  check May_cross (f 2 0) (f 2 6) (* a[2i] vs a[2i+6]: distance 3 *);
+  check Never (f 3 0) (f 3 7) (* stride 3 never makes up an offset of 7 *);
+  check May_cross (f 1 2) (f 1 0) (* symmetric *)
+
 (* --- Profile ------------------------------------------------------------------- *)
 
 let test_profile_trips_and_raw () =
@@ -285,6 +301,47 @@ let test_memdep_same_cell () =
     Alcotest.(check bool) "ever aliases" true (Memdep.ever_alias md x y)
   | _ -> Alcotest.fail "two mem ops"
 
+(* Spill-slot-style accesses: two accesses into the same array through
+   indices loaded from memory (not affine in anything) must conservatively
+   alias — dropping the edge would let the partitioner reorder them across
+   cores.  Accesses to a different array still never alias. *)
+let test_memdep_unknown_index_conservative () =
+  let cfg, md = lower_one (fun b a a2 ->
+      let x = B.load b a2 (imm 0) in
+      let y = B.load b a2 (imm 1) in
+      let v = B.load b a x in
+      B.store b a y v)
+  in
+  let mem_ops = List.filter (Memdep.is_mem md) (Voltron_ir.Cfg.all_ops cfg) in
+  match mem_ops with
+  | [ slot0; slot1; ld; st ] ->
+    Alcotest.(check bool) "unknown indices alias conservatively" true
+      (Memdep.ever_alias md ld st);
+    Alcotest.(check bool) "also within one instance" true
+      (Memdep.same_instance_alias md ld st);
+    Alcotest.(check bool) "distinct slots stay disjoint" false
+      (Memdep.same_instance_alias md slot0 slot1);
+    Alcotest.(check bool) "different arrays still never alias" false
+      (Memdep.ever_alias md slot0 st)
+  | _ -> Alcotest.fail "four mem ops"
+
+(* Loop-carried dependence at distance 2: a[i+2] = f(a[i]) never collides
+   within one iteration, but iteration i's store feeds iteration i+2's
+   load, so the cross-iteration edge must survive. *)
+let test_memdep_loop_carried_distance_2 () =
+  let cfg, md = lower_one (fun b a _ ->
+      B.for_ b ~from:(imm 0) ~limit:(imm 16) (fun i ->
+          let v = B.load b a i in
+          B.store b a (B.add b i (imm 2)) v))
+  in
+  let mem_ops = List.filter (Memdep.is_mem md) (Voltron_ir.Cfg.all_ops cfg) in
+  match mem_ops with
+  | [ ld; st ] ->
+    Alcotest.(check bool) "disjoint within one iteration" false
+      (Memdep.same_instance_alias md ld st);
+    Alcotest.(check bool) "carried across iterations" true (Memdep.ever_alias md ld st)
+  | _ -> Alcotest.fail "two mem ops"
+
 let test_depgraph_edges () =
   let cfg, md = lower_one (fun b a _ ->
       let v = B.load b a (imm 0) in
@@ -308,6 +365,7 @@ let () =
           Alcotest.test_case "linear forms" `Quick test_index_forms_linear;
           Alcotest.test_case "body defs killed" `Quick test_index_forms_kills_loop_body_defs;
           Alcotest.test_case "cross-iteration alias" `Quick test_cross_iteration_alias;
+          Alcotest.test_case "cross-iteration distance" `Quick test_cross_iteration_distance;
         ] );
       ( "profile",
         [
@@ -326,6 +384,10 @@ let () =
         [
           Alcotest.test_case "arrays disjoint" `Quick test_memdep_arrays_disjoint;
           Alcotest.test_case "same cell" `Quick test_memdep_same_cell;
+          Alcotest.test_case "unknown index conservative" `Quick
+            test_memdep_unknown_index_conservative;
+          Alcotest.test_case "loop carried distance 2" `Quick
+            test_memdep_loop_carried_distance_2;
           Alcotest.test_case "depgraph edges" `Quick test_depgraph_edges;
         ] );
     ]
