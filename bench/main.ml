@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- fig10 fig13  # specific figures
      dune exec bench/main.exe -- quick        # reduced-scale, no bechamel
      dune exec bench/main.exe -- bechamel     # toolchain timing only
+     dune exec bench/main.exe -- json --scale 0.2  # write BENCH.json
 
    Shape targets (paper): 2-core averages ILP 1.23 / TLP 1.16 / LLP 1.18,
    hybrid 1.46; 4-core 1.33 / 1.23 / 1.37, hybrid 1.83; decoupled mode
@@ -14,6 +15,9 @@
    recorded in EXPERIMENTS.md. *)
 
 module E = Voltron.Experiments
+module Suite = Voltron_workloads.Suite
+module Json = Voltron_obs.Json
+module Metrics = Voltron_obs.Metrics
 
 let line () = print_endline (String.make 78 '=')
 
@@ -28,7 +32,9 @@ let run_figure ~scale name =
   | "fig14" -> E.print_fig14 (E.fig14 ~scale ())
   | "micro" -> E.print_micro (E.micro ~scale ())
   | "resilience" -> E.print_resilience (E.resilience ~scale ())
-  | other -> Printf.printf "unknown figure: %s\n" other);
+  | other ->
+    Printf.eprintf "unknown figure: %s\n" other;
+    exit 2);
   print_newline ()
 
 let run_ablations ~scale () =
@@ -66,6 +72,153 @@ let run_ablations ~scale () =
 
 let figures =
   [ "fig3"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "micro"; "resilience" ]
+
+(* --- JSON export (BENCH.json) ---------------------------------------------- *)
+
+let json_of_per_type rows =
+  Json.List
+    (List.map
+       (fun (r : E.per_type_speedup) ->
+         Json.Obj
+           [
+             ("bench", Json.Str r.E.bench);
+             ("ilp", Json.Float r.E.sp_ilp);
+             ("tlp", Json.Float r.E.sp_tlp);
+             ("llp", Json.Float r.E.sp_llp);
+           ])
+       rows)
+
+let json_of_figure ~scale = function
+  | "fig3" ->
+    Json.List
+      (List.map
+         (fun (c : E.classification) ->
+           Json.Obj
+             [
+               ("bench", Json.Str c.E.cl_bench);
+               ("ilp_pct", Json.Float c.E.pct_ilp);
+               ("tlp_pct", Json.Float c.E.pct_tlp);
+               ("llp_pct", Json.Float c.E.pct_llp);
+               ("single_pct", Json.Float c.E.pct_single);
+             ])
+         (E.fig3 ~scale ()))
+  | "fig10" -> json_of_per_type (E.fig10 ~scale ())
+  | "fig11" -> json_of_per_type (E.fig11 ~scale ())
+  | "fig12" ->
+    Json.List
+      (List.map
+         (fun (s : E.stall_breakdown) ->
+           Json.Obj
+             [
+               ("bench", Json.Str s.E.sb_bench);
+               ("coupled_i", Json.Float s.E.coupled_i);
+               ("coupled_d", Json.Float s.E.coupled_d);
+               ("coupled_other", Json.Float s.E.coupled_other);
+               ("decoupled_i", Json.Float s.E.decoupled_i);
+               ("decoupled_d", Json.Float s.E.decoupled_d);
+               ("decoupled_recv", Json.Float s.E.decoupled_recv);
+               ("decoupled_pred", Json.Float s.E.decoupled_pred);
+               ("decoupled_sync", Json.Float s.E.decoupled_sync);
+             ])
+         (E.fig12 ~scale ()))
+  | "fig13" ->
+    Json.List
+      (List.map
+         (fun (h : E.hybrid_speedup) ->
+           Json.Obj
+             [
+               ("bench", Json.Str h.E.hs_bench);
+               ("cores2", Json.Float h.E.hs_2core);
+               ("cores4", Json.Float h.E.hs_4core);
+             ])
+         (E.fig13 ~scale ()))
+  | "fig14" ->
+    Json.List
+      (List.map
+         (fun (m : E.mode_split) ->
+           Json.Obj
+             [
+               ("bench", Json.Str m.E.ms_bench);
+               ("coupled_pct", Json.Float m.E.coupled_pct);
+               ("decoupled_pct", Json.Float m.E.decoupled_pct);
+             ])
+         (E.fig14 ~scale ()))
+  | "micro" ->
+    Json.List
+      (List.map
+         (fun (m : E.micro_result) ->
+           Json.Obj
+             [
+               ("name", Json.Str m.E.mi_name);
+               ("paper", Json.Float m.E.mi_paper);
+               ("measured", Json.Float m.E.mi_measured);
+             ])
+         (E.micro ~scale ()))
+  | "resilience" ->
+    Json.List
+      (List.map
+         (fun (r : E.resilience_row) ->
+           Json.Obj
+             [
+               ("bench", Json.Str r.E.rs_bench);
+               ("rate", Json.Float r.E.rs_rate);
+               ("level", Json.Str r.E.rs_level);
+               ("cycles", Json.Int r.E.rs_cycles);
+               ("overhead", Json.Float r.E.rs_overhead);
+               ("speedup", Json.Float r.E.rs_speedup);
+               ("faults", Json.Int r.E.rs_faults);
+               ("retries", Json.Int r.E.rs_retries);
+               ("ecc", Json.Int r.E.rs_ecc);
+               ("aborts", Json.Int r.E.rs_aborts);
+               ("verified", Json.Bool r.E.rs_verified);
+             ])
+         (E.resilience ~scale ()))
+  | other ->
+    Printf.eprintf "unknown figure: %s\n" other;
+    exit 2
+
+(* Key counters per benchmark: one 4-core hybrid run each, with the unified
+   metrics record alongside its speedup. *)
+let json_of_counters ~scale () =
+  List.map
+    (fun (b : Suite.benchmark) ->
+      let name = b.Suite.bench_name in
+      let p = b.Suite.build ~scale () in
+      let base = Voltron.Run.baseline_cycles p in
+      let m = Voltron.Run.run ~n_cores:4 p in
+      let metrics =
+        Metrics.of_stats ~label:name ~cycles:m.Voltron.Run.cycles
+          ~coherence:m.Voltron.Run.coh_stats ~network:m.Voltron.Run.net_stats
+          m.Voltron.Run.stats
+      in
+      ( name,
+        Json.Obj
+          [
+            ("baseline_cycles", Json.Int base);
+            ("cycles", Json.Int m.Voltron.Run.cycles);
+            ( "speedup",
+              Json.Float (float_of_int base /. float_of_int m.Voltron.Run.cycles)
+            );
+            ("verified", Json.Bool m.Voltron.Run.verified);
+            ("metrics", Metrics.to_json metrics);
+          ] ))
+    Suite.all
+
+let run_json ~scale wanted =
+  let wanted = if wanted = [] then figures else wanted in
+  let path = "BENCH.json" in
+  Printf.printf "collecting %s (scale %.2f) ...\n%!" (String.concat " " wanted)
+    scale;
+  let figs = List.map (fun f -> (f, json_of_figure ~scale f)) wanted in
+  let counters = json_of_counters ~scale () in
+  Json.write_file path
+    (Json.Obj
+       [
+         ("scale", Json.Float scale);
+         ("figures", Json.Obj figs);
+         ("benchmarks", Json.Obj counters);
+       ]);
+  Printf.printf "wrote %s\n" path
 
 (* --- Bechamel: wall-clock cost of each figure's pipeline ------------------- *)
 
@@ -108,15 +261,43 @@ let run_bechamel () =
     (List.sort compare !rows);
   print_newline ()
 
+let modes = [ "quick"; "bechamel"; "ablations"; "json" ]
+
+(* Strict argument parsing: an unknown figure or mode name is an error, not
+   a silent no-op (a typo like "fig12 " used to run the whole suite). *)
+let parse_args args =
+  let rec go scale acc = function
+    | [] -> (scale, List.rev acc)
+    | "--scale" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f when f > 0. -> go (Some f) acc rest
+      | Some _ | None ->
+        Printf.eprintf "bad --scale value: %s\n" v;
+        exit 2)
+    | [ "--scale" ] ->
+      Printf.eprintf "--scale needs a value\n";
+      exit 2
+    | a :: rest when List.mem a figures || List.mem a modes -> go scale (a :: acc) rest
+    | a :: _ ->
+      Printf.eprintf
+        "unknown argument: %s\n  figures: %s\n  modes: %s\n  options: --scale F\n"
+        a (String.concat " " figures) (String.concat " " modes);
+      exit 2
+  in
+  go None [] args
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let scale = if List.mem "quick" args then 0.25 else 1.0 in
+  let raw = List.tl (Array.to_list Sys.argv) in
+  let scale_override, args = parse_args raw in
+  let default_scale = if List.mem "quick" args then 0.25 else 1.0 in
+  let scale = Option.value scale_override ~default:default_scale in
   let wanted = List.filter (fun a -> List.mem a figures) args in
-  let wanted = if wanted = [] then figures else wanted in
   let t0 = Unix.gettimeofday () in
-  if args = [ "bechamel" ] then run_bechamel ()
-  else if args = [ "ablations" ] then run_ablations ~scale:1.0 ()
+  if List.mem "json" args then run_json ~scale wanted
+  else if args = [ "bechamel" ] then run_bechamel ()
+  else if args = [ "ablations" ] then run_ablations ~scale ()
   else begin
+    let wanted = if wanted = [] then figures else wanted in
     Printf.printf
       "Voltron evaluation harness — reproducing the paper's figures (scale %.2f)\n"
       scale;

@@ -3,16 +3,20 @@
 
      voltron_sim run --bench 164.gzip --cores 4 --strategy hybrid
      voltron_sim plan --bench cjpeg --cores 4
+     voltron_sim profile --bench 164.gzip --cores 4
      voltron_sim check --all --cores 4
      voltron_sim disasm --bench micro:gsm_llp --cores 2 --strategy llp
      voltron_sim list *)
 
 module Suite = Voltron_workloads.Suite
 module Stats = Voltron_machine.Stats
+module Machine = Voltron_machine.Machine
 module Select = Voltron_compiler.Select
 module Driver = Voltron_compiler.Driver
 module Config = Voltron_machine.Config
 module Check = Voltron_check.Check
+module Json = Voltron_obs.Json
+module Metrics = Voltron_obs.Metrics
 
 let print_diags oc diags =
   let ppf = Format.formatter_of_out_channel oc in
@@ -167,9 +171,16 @@ let no_check_arg =
            compilation (channel balance, barrier alignment, PUT/GET \
            pairing, deadlock and race detection).")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the result as machine-readable JSON to $(docv).")
+
 let run_cmd =
   let run bench file cores strategy scale optimize unroll fault_rate fault_seed
-      fault_threshold no_check =
+      fault_threshold no_check json_out =
     or_check_failure @@ fun () ->
     let check = not no_check in
     let name, p = resolve_program bench file scale in
@@ -217,15 +228,38 @@ let run_cmd =
     Printf.printf "cycles     : %d\n" m.Voltron.Run.cycles;
     Printf.printf "speedup    : %.2fx\n"
       (float_of_int base /. float_of_int m.Voltron.Run.cycles);
-    Format.printf "%a" Stats.pp_summary m.Voltron.Run.stats;
+    Stats.pp_summary ~coherence:m.Voltron.Run.coh_stats
+      ~network:m.Voltron.Run.net_stats Format.std_formatter m.Voltron.Run.stats;
     Format.printf "%a@." Voltron_machine.Energy.pp m.Voltron.Run.energy;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let metrics =
+        Metrics.of_stats ~label:name ~cycles:m.Voltron.Run.cycles
+          ~coherence:m.Voltron.Run.coh_stats ~network:m.Voltron.Run.net_stats
+          m.Voltron.Run.stats
+      in
+      Json.write_file path
+        (Json.Obj
+           [
+             ("benchmark", Json.Str name);
+             ("strategy", Json.Str strategy);
+             ("cores", Json.Int cores);
+             ("baseline_cycles", Json.Int base);
+             ( "speedup",
+               Json.Float
+                 (float_of_int base /. float_of_int m.Voltron.Run.cycles) );
+             ("verified", Json.Bool m.Voltron.Run.verified);
+             ("metrics", Metrics.to_json metrics);
+           ]);
+      Printf.printf "json       : wrote %s\n" path);
     if not m.Voltron.Run.verified then exit 1
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate a benchmark or VC file.")
     Term.(
       const run $ bench_arg $ file_arg $ cores_arg $ strategy_arg $ scale_arg
       $ optimize_arg $ unroll_arg $ fault_rate_arg $ fault_seed_arg
-      $ fault_threshold_arg $ no_check_arg)
+      $ fault_threshold_arg $ no_check_arg $ json_arg)
 
 let plan_cmd =
   let plan bench file cores scale =
@@ -341,7 +375,13 @@ let asm_cmd =
       Printf.eprintf "fault limit reached:\n%s\n"
         (Voltron_machine.Machine.diagnosis_to_string d);
       exit 1);
-    Format.printf "%a" Stats.pp_summary (Voltron_machine.Machine.stats m);
+    Stats.pp_summary
+      ~coherence:
+        (Voltron_mem.Coherence.total_stats (Voltron_machine.Machine.coherence m))
+      ~network:
+        (Voltron_net.Operand_network.stats (Voltron_machine.Machine.network m))
+      Format.std_formatter
+      (Voltron_machine.Machine.stats m);
     (* Show the first few data words, the usual place for results. *)
     let mem = Voltron_machine.Machine.memory m in
     let n = min 8 (Voltron_mem.Memory.size mem) in
@@ -362,7 +402,7 @@ let asm_cmd =
     Term.(const asm $ file_req $ cores_arg)
 
 let trace_cmd =
-  let trace bench file cores strategy scale limit timeline =
+  let trace bench file cores strategy scale limit timeline json_out =
     or_check_failure @@ fun () ->
     let _, p = resolve_program bench file scale in
     let machine = Config.default ~n_cores:cores in
@@ -381,7 +421,13 @@ let trace_cmd =
       prerr_endline
         ("fault limit reached: " ^ Voltron_machine.Machine.diagnosis_to_string d));
     Voltron_machine.Trace.report ~timeline Format.std_formatter tracer
-      compiled.Driver.executable
+      compiled.Driver.executable;
+    match json_out with
+    | None -> ()
+    | Some path ->
+      Voltron_obs.Chrome_trace.write ~path ~n_cores:cores
+        ~cycles:result.Voltron_machine.Machine.cycles tracer;
+      Printf.printf "wrote Chrome trace to %s (open in chrome://tracing)\n" path
   in
   let limit_arg =
     Arg.(value & opt int 100_000 & info [ "limit" ] ~docv:"N" ~doc:"Events to keep.")
@@ -389,12 +435,92 @@ let trace_cmd =
   let timeline_arg =
     Arg.(value & opt int 60 & info [ "timeline" ] ~docv:"N" ~doc:"Events to print.")
   in
+  let trace_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the events as Chrome trace-event JSON to $(docv) \
+             (loadable in chrome://tracing or Perfetto).")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run with a structured tracer: event timeline plus per-label hotspots.")
     Term.(
       const trace $ bench_arg $ file_arg $ cores_arg $ strategy_arg $ scale_arg
-      $ limit_arg $ timeline_arg)
+      $ limit_arg $ timeline_arg $ trace_json_arg)
+
+let profile_cmd =
+  let profile bench file cores strategy scale sample_every json_out =
+    or_check_failure @@ fun () ->
+    let name, p = resolve_program bench file scale in
+    let machine = Config.default ~n_cores:cores in
+    let compiled = Driver.compile ~machine ~choice:(choice_of_string strategy) p in
+    let m = Machine.create machine compiled.Driver.executable in
+    let rp = Voltron_obs.Region_profile.attach m compiled in
+    let sampler =
+      if sample_every > 0 then
+        Some (Voltron_obs.Sampler.attach ~every:sample_every m)
+      else None
+    in
+    let result = Machine.run m in
+    (match result.Machine.outcome with
+    | Machine.Finished -> ()
+    | Machine.Out_of_cycles ->
+      Printf.eprintf "out of cycles\n";
+      exit 1
+    | Machine.Deadlock d ->
+      Printf.eprintf "deadlock:\n%s\n" (Machine.diagnosis_to_string d);
+      exit 1
+    | Machine.Fault_limit d ->
+      Printf.eprintf "fault limit reached:\n%s\n" (Machine.diagnosis_to_string d);
+      exit 1);
+    Printf.printf "benchmark  : %s\n" name;
+    Printf.printf "strategy   : %s on %d cores\n" strategy cores;
+    Printf.printf "cycles     : %d\n\n" result.Machine.cycles;
+    Format.printf "%a" Voltron_obs.Region_profile.pp rp;
+    (match sampler with
+    | None -> ()
+    | Some s ->
+      Format.printf "@.samples (every %d cycles):@.%a" sample_every
+        Voltron_obs.Sampler.pp s);
+    match json_out with
+    | None -> ()
+    | Some path ->
+      let metrics = Metrics.snapshot ~label:name m in
+      Json.write_file path
+        (Json.Obj
+           ([
+              ("benchmark", Json.Str name);
+              ("strategy", Json.Str strategy);
+              ("cores", Json.Int cores);
+              ("cycles", Json.Int result.Machine.cycles);
+              ("regions", Voltron_obs.Region_profile.to_json rp);
+              ("metrics", Metrics.to_json metrics);
+            ]
+           @
+           match sampler with
+           | None -> []
+           | Some s -> [ ("samples", Voltron_obs.Sampler.to_json s) ]));
+      Printf.printf "\nwrote profile JSON to %s\n" path
+  in
+  let sample_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "sample-every" ] ~docv:"N"
+          ~doc:
+            "Also record an IPC/occupancy/miss-rate time-series sample every \
+             $(docv) cycles; 0 disables the sampler.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run with per-region cycle attribution: where every core-cycle of \
+          every region went (busy, each stall kind, idle), per execution mode.")
+    Term.(
+      const profile $ bench_arg $ file_arg $ cores_arg $ strategy_arg
+      $ scale_arg $ sample_arg $ json_arg)
 
 let list_cmd =
   let list () =
@@ -416,4 +542,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; plan_cmd; check_cmd; disasm_cmd; asm_cmd; trace_cmd; list_cmd ]))
+          [
+            run_cmd;
+            plan_cmd;
+            profile_cmd;
+            check_cmd;
+            disasm_cmd;
+            asm_cmd;
+            trace_cmd;
+            list_cmd;
+          ]))

@@ -26,6 +26,13 @@ and doall_plan = {
   dp_speculative : bool;
 }
 
+type region_extent = {
+  re_name : string;
+  re_ranges : (int * int) array;
+      (** per core: the half-open bundle-address range [lo, hi) the region
+          occupies in that core's image *)
+}
+
 type t = {
   machine : Config.t;
   program : Hir.program;
@@ -35,6 +42,7 @@ type t = {
   builders : Image.builder array;
   profile : Voltron_analysis.Profile.t Lazy.t;
   mutable infos : Check.region_info list;  (** reverse emission order *)
+  mutable extents : region_extent list;  (** reverse emission order *)
 }
 
 let create machine (program : Hir.program) =
@@ -49,11 +57,14 @@ let create machine (program : Hir.program) =
     builders = Array.init machine.Config.n_cores (fun _ -> Image.builder ());
     profile = lazy (Voltron_analysis.Profile.collect program);
     infos = [];
+    extents = [];
   }
 
 let layout t = t.lay
 
 let check_infos t = List.rev t.infos
+
+let region_extents t = List.rev t.extents
 
 (* Summarise a partitioned region for the static checker while the
    dependence analysis is still in scope: every memory operation with its
@@ -328,14 +339,22 @@ let emit_doall t ~name plan =
 
 let emit_region t ~name stmts strategy =
   check_register_closed ~name stmts;
-  match strategy with
+  (* Every bundle the region adds — master glue, spawns, worker bodies,
+     joins — lands between these two snapshots, so the extent is exact
+     per core (regions are contiguous in emission order). *)
+  let lo = Array.map Image.next_addr t.builders in
+  (match strategy with
   | Seq -> emit_solo t 0 stmts
   | Coupled_ilp | Strands | Dswp ->
     if t.machine.Config.n_cores <= 1 then emit_solo t 0 stmts
     else emit_parallel t ~name stmts strategy
   | Doall plan ->
     if t.machine.Config.n_cores <= 1 then emit_solo t 0 stmts
-    else emit_doall t ~name plan
+    else emit_doall t ~name plan);
+  let ranges =
+    Array.mapi (fun c lo_c -> (lo_c, Image.next_addr t.builders.(c))) lo
+  in
+  t.extents <- { re_name = name; re_ranges = ranges } :: t.extents
 
 let finalize t =
   emit_one t 0 [ Inst.Halt ];

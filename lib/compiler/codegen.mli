@@ -39,6 +39,19 @@ val create : Voltron_machine.Config.t -> Voltron_ir.Hir.program -> t
 
 val layout : t -> Voltron_ir.Layout.t
 
+type region_extent = {
+  re_name : string;
+  re_ranges : (int * int) array;
+      (** per core: the half-open bundle-address range [lo, hi) the region
+          occupies in that core's image — everything the region emitted,
+          including spawn glue, worker bodies and joins *)
+}
+
+val region_extents : t -> region_extent list
+(** One extent per {!emit_region} call, in emission order (the same order
+    as the driver's plan). Drives the observability layer's pc->region
+    attribution map. *)
+
 val check_infos : t -> Voltron_check.Check.region_info list
 (** Region summaries for the static checker, in emission order: every
     partitioned region's memory accesses with their core assignment and a

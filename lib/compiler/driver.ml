@@ -6,6 +6,7 @@ module Check = Voltron_check.Check
 type compiled = {
   executable : Voltron_isa.Program.t;
   plan : Select.planned_region list;
+  region_extents : Codegen.region_extent list;
   oracle_checksum : int;
   array_footprint : int;
   check_diags : Check.diag list;
@@ -41,6 +42,7 @@ let compile ~machine ?(choice = `Hybrid) ?(check = true) ?profile
   {
     executable;
     plan;
+    region_extents = Codegen.region_extents cg;
     oracle_checksum =
       Voltron_mem.Memory.checksum_prefix oracle.Voltron_ir.Interp.memory
         array_footprint;

@@ -3,6 +3,9 @@
 type compiled = {
   executable : Voltron_isa.Program.t;
   plan : Select.planned_region list;
+  region_extents : Codegen.region_extent list;
+      (** per-core pc ranges of each planned region, in plan order — the
+          observability layer's region<->pc map *)
   oracle_checksum : int;  (** reference interpreter's memory checksum *)
   array_footprint : int;  (** words to compare (arrays only, no scratch) *)
   check_diags : Voltron_check.Check.diag list;

@@ -12,6 +12,8 @@ type run_outcome =
 type measurement = {
   cycles : int;
   stats : Voltron_machine.Stats.t;
+  coh_stats : Voltron_mem.Coherence.stats;
+  net_stats : Voltron_net.Operand_network.stats;
   outcome : run_outcome;
   verified : bool;
   plan : Voltron_compiler.Select.planned_region list;
@@ -28,10 +30,11 @@ let outcome_to_string = function
     "fault limit reached:\n" ^ Machine.diagnosis_to_string d
 
 let run ?(choice = `Hybrid) ?(check = true) ?profile ?(tweak = fun c -> c)
-    ~n_cores program =
+    ?(prepare = fun _ _ -> ()) ~n_cores program =
   let machine = tweak (Config.default ~n_cores) in
   let compiled = Driver.compile ~machine ~choice ~check ?profile program in
   let m = Machine.create machine compiled.Driver.executable in
+  prepare compiled m;
   let result = Machine.run m in
   let outcome =
     match result.Machine.outcome with
@@ -47,6 +50,8 @@ let run ?(choice = `Hybrid) ?(check = true) ?profile ?(tweak = fun c -> c)
   {
     cycles = result.Machine.cycles;
     stats = Machine.stats m;
+    coh_stats = Voltron_mem.Coherence.total_stats (Machine.coherence m);
+    net_stats = Voltron_net.Operand_network.stats (Machine.network m);
     outcome;
     verified = outcome = Completed && sum = compiled.Driver.oracle_checksum;
     plan = compiled.Driver.plan;

@@ -13,6 +13,9 @@ val outcome_to_string : run_outcome -> string
 type measurement = {
   cycles : int;
   stats : Voltron_machine.Stats.t;
+  coh_stats : Voltron_mem.Coherence.stats;
+      (** whole-hierarchy cache/coherence totals *)
+  net_stats : Voltron_net.Operand_network.stats;
   outcome : run_outcome;
   verified : bool;
       (** [Completed] and memory image matched the reference interpreter *)
@@ -27,15 +30,19 @@ val run :
   ?check:bool ->
   ?profile:Voltron_analysis.Profile.t ->
   ?tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
+  ?prepare:(Voltron_compiler.Driver.compiled -> Voltron_machine.Machine.t -> unit) ->
   n_cores:int ->
   Voltron_ir.Hir.program ->
   measurement
 (** Compile (default [`Hybrid]) for an [n_cores] Voltron and simulate to
     completion. [tweak] adjusts the machine configuration (cache
     latencies, network capacity, fault injection, ...) before compiling —
-    used by the ablation benches and the resilience sweep. A simulator
-    deadlock, cycle-cap overrun or fault-limit stop is returned as the
-    measurement's [outcome] (with [verified = false]), not raised.
+    used by the ablation benches and the resilience sweep. [prepare] sees
+    the compiled program and the machine before the run starts — the
+    observability layer's attachment point (tracers, region attribution,
+    samplers). A simulator deadlock, cycle-cap overrun or fault-limit stop
+    is returned as the measurement's [outcome] (with [verified = false]),
+    not raised.
 
     The static cross-core checker gates compilation by default: checker
     errors raise {!Voltron_check.Check.Failed}. Pass [~check:false] to

@@ -112,6 +112,10 @@ type t = {
   mutable serial_queue : int list;
   mutable last_progress : int;
   mutable tracer : Trace.t option;
+  (* Per-region cycle attribution: the store plus the pc->region map the
+     observability layer derived from the compiler's region extents. *)
+  mutable attr : (Stats.region_acct * (core:int -> pc:int -> int)) option;
+  mutable on_cycle : (now:int -> unit) option;
 }
 
 let initial_regs = 64
@@ -181,6 +185,8 @@ let create cfg (prog : Program.t) =
       serial_queue = [];
       last_progress = 0;
       tracer = None;
+      attr = None;
+      on_cycle = None;
     }
   in
   (* Core 0's first fetch starts at cycle 0. *)
@@ -191,10 +197,31 @@ let memory t = t.mem
 let stats t = t.st
 let coherence t = t.hier
 let network t = t.net
+let now t = t.now
+let mode t = t.mode
 let set_tracer t tr = t.tracer <- Some tr
+
+let set_attribution t ~region_of acct =
+  if acct.Stats.ra_n_cores <> t.cfg.Config.n_cores then
+    invalid_arg "Machine.set_attribution: core count mismatch";
+  t.attr <- Some (acct, region_of)
+
+let set_on_cycle t f = t.on_cycle <- Some f
 
 let trace t ev =
   match t.tracer with None -> () | Some tr -> Trace.record tr ev
+
+(* The attribution cell for [core] at [pc] under the current mode, when an
+   attribution is attached and the map yields a region in range. *)
+let att_cell t ~core ~pc =
+  match t.attr with
+  | None -> None
+  | Some (acct, region_of) ->
+    let r = region_of ~core ~pc in
+    if r < 0 || r >= acct.Stats.ra_n_regions then None
+    else
+      let mode_idx = match t.mode with Inst.Coupled -> 0 | Inst.Decoupled -> 1 in
+      Some acct.Stats.ra_cells.(r).(mode_idx).(core)
 
 (* --- Register file with growth ------------------------------------------- *)
 
@@ -226,6 +253,11 @@ let reg t ~core r = read_reg t.cores.(core) r
 
 let record_stall t ~core kind =
   Stats.record_stall t.st ~core kind;
+  (match att_cell t ~core ~pc:t.cores.(core).pc with
+  | None -> ()
+  | Some cell ->
+    let i = Stats.stall_kind_index kind in
+    cell.Stats.rc_stalls.(i) <- cell.Stats.rc_stalls.(i) + 1);
   trace t (Trace.Stall { cycle = t.now; core; kind })
 
 (* --- Stall analysis ------------------------------------------------------ *)
@@ -521,6 +553,9 @@ let finish_issue t cs snapshot bundle =
   let core_st = Stats.core t.st cs.id in
   core_st.busy <- core_st.busy + 1;
   core_st.bundles <- core_st.bundles + 1;
+  (match att_cell t ~core:cs.id ~pc:issued_pc with
+  | None -> ()
+  | Some cell -> cell.Stats.rc_busy <- cell.Stats.rc_busy + 1);
   List.iter
     (fun op ->
       if op <> Inst.Nop then begin
@@ -561,7 +596,10 @@ let finish_issue t cs snapshot bundle =
 
 let record_idle t cs =
   let core_st = Stats.core t.st cs.id in
-  core_st.idle <- core_st.idle + 1
+  core_st.idle <- core_st.idle + 1;
+  match att_cell t ~core:cs.id ~pc:cs.pc with
+  | None -> ()
+  | Some cell -> cell.Stats.rc_idle <- cell.Stats.rc_idle + 1
 
 let try_wake t cs =
   match Net.take_start t.net ~now:t.now ~core:cs.id with
@@ -598,6 +636,14 @@ let decoupled_step t =
 let coupled_step t =
   let running =
     Array.to_list t.cores |> List.filter (fun cs -> cs.status = Running)
+  in
+  let waiting_before =
+    Array.map
+      (fun cs ->
+        match cs.status with
+        | At_barrier _ | Stuck _ -> true
+        | Running | Asleep | Halted | At_commit | Wait_serial -> false)
+      t.cores
   in
   List.iter
     (fun cs ->
@@ -640,12 +686,12 @@ let coupled_step t =
       issues;
     List.iter (fun (cs, bundle, snapshot) -> finish_issue t cs snapshot bundle) issues
   end;
-  (* Cores already waiting at the exit barrier count sync stalls. *)
-  Array.iter
-    (fun cs ->
-      match cs.status with
-      | At_barrier _ | Stuck _ -> record_stall t ~core:cs.id Stats.Sync
-      | Running | Asleep | Halted | At_commit | Wait_serial -> ())
+  (* Cores already waiting at the exit barrier count sync stalls. Only
+     those waiting when the cycle began: a core that issued the barrier
+     bundle this very cycle already recorded that cycle as busy. *)
+  Array.iteri
+    (fun i cs ->
+      if waiting_before.(i) then record_stall t ~core:cs.id Stats.Sync)
     t.cores
 
 (* --- Fault injection ------------------------------------------------------ *)
@@ -816,13 +862,7 @@ let finished t =
 
 (* --- Structured watchdog diagnosis ---------------------------------------- *)
 
-let stall_kind_name = function
-  | Stats.I_stall -> "I-stall"
-  | Stats.D_stall -> "D-stall"
-  | Stats.Lat_stall -> "latency"
-  | Stats.Recv_data -> "recv data"
-  | Stats.Recv_pred -> "recv pred"
-  | Stats.Sync -> "sync"
+let stall_kind_name = Stats.stall_kind_label
 
 let wait_to_string = function
   | W_reg k -> Printf.sprintf "operand in flight (%s)" (stall_kind_name k)
@@ -985,6 +1025,7 @@ let run t =
       resolve_mode_barrier t;
       resolve_tm_round t;
       resolve_serial_queue t;
+      (match t.on_cycle with None -> () | Some f -> f ~now:t.now);
       if finished t then outcome := Some Finished
       else if (match t.inj with Some f -> Fault.exceeded f | None -> false)
       then outcome := Some (Fault_limit (diagnose t))

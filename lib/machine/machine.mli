@@ -104,9 +104,34 @@ val stats : t -> Stats.t
 val coherence : t -> Voltron_mem.Coherence.t
 val network : t -> Voltron_net.Operand_network.t
 
+val now : t -> int
+(** Current simulated cycle (valid mid-run, e.g. from an {!set_on_cycle}
+    hook; equals [Stats.cycles] once the run finishes). *)
+
+val mode : t -> Voltron_isa.Inst.mode
+(** Current execution mode. *)
+
 val reg : t -> core:int -> int -> int
 (** Inspect a register after (or during) a run — used by tests. *)
 
 val set_tracer : t -> Trace.t -> unit
 (** Attach a structured tracer recording issues, stalls, mode switches,
     spawns and TM rounds (see {!Trace}). *)
+
+(** {1 Observability hooks} *)
+
+val set_attribution :
+  t -> region_of:(core:int -> pc:int -> int) -> Stats.region_acct -> unit
+(** Attach per-region cycle attribution. Every busy cycle is credited at
+    its issue pc, and every stall/idle cycle at the core's current pc,
+    into the acct cell for [region_of ~core ~pc] x the machine's execution
+    mode at that cycle. Out-of-range region indices are dropped — map
+    every pc (glue, HALT, ...) to a catch-all region to keep the acct's
+    totals equal to the run's core-cycles. Raises [Invalid_argument] on a
+    core-count mismatch. *)
+
+val set_on_cycle : t -> (now:int -> unit) -> unit
+(** Invoke a callback at the end of every simulated cycle (after the step
+    and barrier/TM resolution) — the interval sampler's hook. The callback
+    may read [stats], [coherence], [network] and [now], but must not
+    mutate the machine. *)

@@ -108,6 +108,58 @@ let stall_of c = function
   | Recv_pred -> c.recv_pred_stall
   | Sync -> c.sync_stall
 
+let all_stall_kinds =
+  [ I_stall; D_stall; Lat_stall; Recv_data; Recv_pred; Sync ]
+
+let n_stall_kinds = List.length all_stall_kinds
+
+let stall_kind_index = function
+  | I_stall -> 0
+  | D_stall -> 1
+  | Lat_stall -> 2
+  | Recv_data -> 3
+  | Recv_pred -> 4
+  | Sync -> 5
+
+let stall_kind_label = function
+  | I_stall -> "I-stall"
+  | D_stall -> "D-stall"
+  | Lat_stall -> "latency"
+  | Recv_data -> "recv-data"
+  | Recv_pred -> "recv-pred"
+  | Sync -> "sync"
+
+(* --- Per-region attribution store ----------------------------------------- *)
+
+type region_cell = {
+  mutable rc_busy : int;
+  mutable rc_idle : int;
+  rc_stalls : int array;  (** indexed by [stall_kind_index] *)
+}
+
+type region_acct = {
+  ra_n_regions : int;
+  ra_n_cores : int;
+  ra_cells : region_cell array array array;
+      (** [region][mode (0 coupled, 1 decoupled)][core] *)
+}
+
+let fresh_region_cell () =
+  { rc_busy = 0; rc_idle = 0; rc_stalls = Array.make n_stall_kinds 0 }
+
+let create_region_acct ~n_regions ~n_cores =
+  {
+    ra_n_regions = n_regions;
+    ra_n_cores = n_cores;
+    ra_cells =
+      Array.init n_regions (fun _ ->
+          Array.init 2 (fun _ ->
+              Array.init n_cores (fun _ -> fresh_region_cell ())));
+  }
+
+let region_cell_cycles c =
+  c.rc_busy + c.rc_idle + Array.fold_left ( + ) 0 c.rc_stalls
+
 let avg_stall_fraction t kind =
   if t.cycles = 0 then 0.
   else
@@ -117,7 +169,9 @@ let avg_stall_fraction t kind =
     in
     Voltron_util.Stat.mean per_core
 
-let pp_summary ppf t =
+let rate num den = if den = 0 then 0. else float_of_int num /. float_of_int den
+
+let pp_summary ?coherence ?network ppf t =
   Format.fprintf ppf "cycles=%d coupled=%d decoupled=%d switches=%d spawns=%d@."
     t.cycles t.coupled_cycles t.decoupled_cycles t.mode_switches t.spawns;
   if t.faults_injected > 0 then
@@ -133,4 +187,28 @@ let pp_summary ppf t =
         "  core %d: busy=%d I=%d D=%d lat=%d recvD=%d recvP=%d sync=%d idle=%d ops=%d@."
         i c.busy c.i_stall c.d_stall c.lat_stall c.recv_data_stall
         c.recv_pred_stall c.sync_stall c.idle c.ops)
-    t.per_core
+    t.per_core;
+  (match coherence with
+  | None -> ()
+  | Some (cs : Voltron_mem.Coherence.stats) ->
+    Format.fprintf ppf
+      "  caches: accesses=%d l1d-miss=%d (%.2f%%) l1i-miss=%d (%.2f%%) \
+       l2-miss=%d (%.2f%%) c2c=%d upgrades=%d writebacks=%d bus-wait=%d@."
+      cs.Voltron_mem.Coherence.accesses cs.Voltron_mem.Coherence.l1d_misses
+      (100. *. rate cs.Voltron_mem.Coherence.l1d_misses cs.Voltron_mem.Coherence.accesses)
+      cs.Voltron_mem.Coherence.l1i_misses
+      (100. *. rate cs.Voltron_mem.Coherence.l1i_misses cs.Voltron_mem.Coherence.accesses)
+      cs.Voltron_mem.Coherence.l2_misses
+      (100. *. rate cs.Voltron_mem.Coherence.l2_misses cs.Voltron_mem.Coherence.accesses)
+      cs.Voltron_mem.Coherence.c2c_transfers cs.Voltron_mem.Coherence.upgrades
+      cs.Voltron_mem.Coherence.writebacks cs.Voltron_mem.Coherence.bus_wait_cycles);
+  match network with
+  | None -> ()
+  | Some (ns : Voltron_net.Operand_network.stats) ->
+    Format.fprintf ppf
+      "  network: msgs=%d avg-latency=%.2f max-occupancy=%d retries=%d nacks=%d@."
+      ns.Voltron_net.Operand_network.msgs_sent
+      (rate ns.Voltron_net.Operand_network.total_latency
+         ns.Voltron_net.Operand_network.msgs_sent)
+      ns.Voltron_net.Operand_network.max_occupancy
+      ns.Voltron_net.Operand_network.retries ns.Voltron_net.Operand_network.nacks

@@ -26,6 +26,8 @@ let events t = Vec.to_list t.buf
 
 let dropped t = t.n_dropped
 
+let limit t = t.limit
+
 type hotspot = {
   hs_core : int;
   hs_label : string;
@@ -63,14 +65,7 @@ let hotspots t (prog : Program.t) =
     table []
   |> List.sort (fun a b -> compare b.hs_issues a.hs_issues)
 
-let stall_name (kind : Stats.stall_kind) =
-  match kind with
-  | Stats.I_stall -> "I-stall"
-  | Stats.D_stall -> "D-stall"
-  | Stats.Lat_stall -> "latency"
-  | Stats.Recv_data -> "recv-data"
-  | Stats.Recv_pred -> "recv-pred"
-  | Stats.Sync -> "sync"
+let stall_name = Stats.stall_kind_label
 
 let pp_event ppf = function
   | Issue { cycle; core; pc; ops } ->
@@ -105,4 +100,7 @@ let report ?(timeline = 60) ppf t prog =
       if i < 20 then
         Format.fprintf ppf "  core %d %-24s %8d issues %8d ops@." h.hs_core
           h.hs_label h.hs_issues h.hs_ops)
-    (hotspots t prog)
+    (hotspots t prog);
+  (* A truncated timeline must never read as a complete one. *)
+  if t.n_dropped > 0 then
+    Format.fprintf ppf "… %d events dropped (limit %d)@." t.n_dropped t.limit

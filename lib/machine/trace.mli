@@ -25,6 +25,12 @@ val events : t -> event list
 val dropped : t -> int
 (** Events beyond the limit (counted, not stored). *)
 
+val limit : t -> int
+(** The cap this tracer was created with. *)
+
+val stall_name : Stats.stall_kind -> string
+(** Alias of {!Stats.stall_kind_label}. *)
+
 type hotspot = {
   hs_core : int;
   hs_label : string;  (** nearest preceding label in that core's image *)
@@ -39,4 +45,6 @@ val pp_event : Format.formatter -> event -> unit
 
 val report :
   ?timeline:int -> Format.formatter -> t -> Voltron_isa.Program.t -> unit
-(** Print the first [timeline] events (default 60) and the hotspot table. *)
+(** Print the first [timeline] events (default 60) and the hotspot table,
+    ending with a "… N events dropped (limit L)" footer whenever the
+    tracer hit its cap. *)

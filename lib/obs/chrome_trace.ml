@@ -1,0 +1,105 @@
+module Trace = Voltron_machine.Trace
+module Inst = Voltron_isa.Inst
+
+let mode_name = function
+  | Inst.Coupled -> "coupled"
+  | Inst.Decoupled -> "decoupled"
+
+let event ~name ~cat ~ph ~ts ~tid extra =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("cat", Json.Str cat);
+       ("ph", Json.Str ph);
+       ("ts", Json.Int ts);
+       ("pid", Json.Int 0);
+       ("tid", Json.Int tid);
+     ]
+    @ extra)
+
+let thread_name ~tid name =
+  Json.Obj
+    [
+      ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let of_trace ~n_cores ~cycles trace =
+  let machine_tid = n_cores in
+  let meta =
+    List.init n_cores (fun c -> thread_name ~tid:c (Printf.sprintf "core %d" c))
+    @ [ thread_name ~tid:machine_tid "machine" ]
+  in
+  (* The machine starts decoupled: open that span before any event. *)
+  let rev_events =
+    ref
+      [
+        event ~name:(mode_name Inst.Decoupled) ~cat:"mode" ~ph:"B" ~ts:0
+          ~tid:machine_tid [];
+      ]
+  in
+  let push e = rev_events := e :: !rev_events in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Issue { cycle; core; pc; ops } ->
+        push
+          (event
+             ~name:(Printf.sprintf "issue @%d" pc)
+             ~cat:"issue" ~ph:"X" ~ts:cycle ~tid:core
+             [
+               ("dur", Json.Int 1);
+               ( "args",
+                 Json.Obj [ ("pc", Json.Int pc); ("ops", Json.Int ops) ] );
+             ])
+      | Trace.Stall { cycle; core; kind } ->
+        push
+          (event ~name:(Trace.stall_name kind) ~cat:"stall" ~ph:"i" ~ts:cycle
+             ~tid:core
+             [ ("s", Json.Str "t") ])
+      | Trace.Mode_change { cycle; mode } ->
+        push (event ~name:"mode" ~cat:"mode" ~ph:"E" ~ts:cycle ~tid:machine_tid []);
+        push
+          (event ~name:(mode_name mode) ~cat:"mode" ~ph:"B" ~ts:cycle
+             ~tid:machine_tid [])
+      | Trace.Spawned { cycle; by; target } ->
+        push
+          (event ~name:"spawn" ~cat:"spawn" ~ph:"i" ~ts:cycle ~tid:by
+             [
+               ("s", Json.Str "t");
+               ("args", Json.Obj [ ("target", Json.Int target) ]);
+             ])
+      | Trace.Tm_round { cycle; conflict_at } ->
+        push
+          (event ~name:"tm-round" ~cat:"tm" ~ph:"i" ~ts:cycle ~tid:machine_tid
+             [
+               ("s", Json.Str "t");
+               ( "args",
+                 Json.Obj
+                   [
+                     ( "conflict_at",
+                       match conflict_at with
+                       | Some c -> Json.Int c
+                       | None -> Json.Null );
+                   ] );
+             ]))
+    (Trace.events trace);
+  push (event ~name:"mode" ~cat:"mode" ~ph:"E" ~ts:cycles ~tid:machine_tid []);
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ List.rev !rev_events));
+      ("displayTimeUnit", Json.Str "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("n_cores", Json.Int n_cores);
+            ("cycles", Json.Int cycles);
+            ("dropped_events", Json.Int (Trace.dropped trace));
+          ] );
+    ]
+
+let write ~path ~n_cores ~cycles trace =
+  Json.write_file path (of_trace ~n_cores ~cycles trace)

@@ -1,0 +1,21 @@
+(** Chrome trace-event export.
+
+    Converts a recorded {!Voltron_machine.Trace.t} into the Chrome
+    trace-event JSON format (the object form, ["traceEvents"]) loadable
+    in [chrome://tracing] / Perfetto. One timeline track per core
+    (issues as 1-cycle ["X"] complete events, stalls as ["i"] instants)
+    plus a machine track (tid = [n_cores]) carrying the execution-mode
+    B/E spans, spawn and TM-round instants. Timestamps are simulated
+    cycles, written as microseconds. *)
+
+val of_trace :
+  n_cores:int -> cycles:int -> Voltron_machine.Trace.t -> Json.t
+(** [cycles] closes the final mode span — pass the run's cycle count.
+    The machine starts decoupled, so a ["decoupled"] span opens at ts 0;
+    every {!Voltron_machine.Trace.Mode_change} closes the open span and
+    opens the next, and the last one closes at [cycles]. B/E events are
+    balanced by construction and timestamps are nondecreasing in event
+    order. *)
+
+val write :
+  path:string -> n_cores:int -> cycles:int -> Voltron_machine.Trace.t -> unit

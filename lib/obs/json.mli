@@ -1,0 +1,41 @@
+(** Minimal JSON values: emission for every exporter in the observability
+    layer, and enough of a parser for the golden tests (and downstream
+    consumers) to validate what was written. No external dependency — the
+    container deliberately carries no yojson. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Non-finite floats become [null] —
+    JSON has no NaN/infinity. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty rendering, two-space indent. *)
+
+val write_file : string -> t -> unit
+(** Pretty-print to a file, with a trailing newline. *)
+
+val parse : string -> (t, string) result
+(** Strict recursive-descent parser for the full value grammar (objects,
+    arrays, strings with escapes, numbers, [true]/[false]/[null]). The
+    error string carries the byte offset. Numbers without [.], [e] or [E]
+    parse as [Int]. *)
+
+(** {1 Accessors} (total; [None] on shape mismatch) *)
+
+val member : string -> t -> t option
+(** First binding of that key in an [Obj]. *)
+
+val to_list_opt : t -> t list option
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** [Int] values coerce. *)
+
+val to_string_opt : t -> string option

@@ -1,0 +1,170 @@
+module Stats = Voltron_machine.Stats
+module Machine = Voltron_machine.Machine
+module Inst = Voltron_isa.Inst
+module Image = Voltron_isa.Image
+module Program = Voltron_isa.Program
+module Codegen = Voltron_compiler.Codegen
+module Select = Voltron_compiler.Select
+module Driver = Voltron_compiler.Driver
+module Table = Voltron_util.Table
+
+type t = {
+  names : string array;  (** length [ra_n_regions]; last is ["<other>"] *)
+  strategies : string array;
+  acct : Stats.region_acct;
+}
+
+type row = {
+  r_region : string;
+  r_strategy : string;
+  r_mode : Inst.mode;
+  r_busy : int;
+  r_stalls : int array;
+  r_idle : int;
+  r_cycles : int;
+}
+
+let attach m (compiled : Driver.compiled) =
+  let extents = Array.of_list compiled.Driver.region_extents in
+  let plan = Array.of_list compiled.Driver.plan in
+  assert (Array.length extents = Array.length plan);
+  let n_regions = Array.length extents + 1 in
+  let other = n_regions - 1 in
+  let images = compiled.Driver.executable.Program.images in
+  let lookups =
+    Array.map (fun img -> Array.make (max 1 (Image.length img)) other) images
+  in
+  Array.iteri
+    (fun r ext ->
+      Array.iteri
+        (fun core (lo, hi) ->
+          let l = lookups.(core) in
+          for pc = lo to min hi (Array.length l) - 1 do
+            l.(pc) <- r
+          done)
+        ext.Codegen.re_ranges)
+    extents;
+  let region_of ~core ~pc =
+    if core < 0 || core >= Array.length lookups then other
+    else
+      let l = lookups.(core) in
+      if pc >= 0 && pc < Array.length l then l.(pc) else other
+  in
+  let acct =
+    Stats.create_region_acct ~n_regions
+      ~n_cores:(Program.n_cores compiled.Driver.executable)
+  in
+  Machine.set_attribution m ~region_of acct;
+  {
+    names =
+      Array.append
+        (Array.map (fun e -> e.Codegen.re_name) extents)
+        [| "<other>" |];
+    strategies =
+      Array.append
+        (Array.map
+           (fun (pr : Select.planned_region) ->
+             Select.strategy_name pr.Select.pr_strategy)
+           plan)
+        [| "-" |];
+    acct;
+  }
+
+let mode_of_index = function 0 -> Inst.Coupled | _ -> Inst.Decoupled
+
+let row_of_cells t r mode_idx =
+  let cells = t.acct.Stats.ra_cells.(r).(mode_idx) in
+  let stalls = Array.make Stats.n_stall_kinds 0 in
+  let busy = ref 0 and idle = ref 0 in
+  Array.iter
+    (fun (c : Stats.region_cell) ->
+      busy := !busy + c.Stats.rc_busy;
+      idle := !idle + c.Stats.rc_idle;
+      Array.iteri (fun k v -> stalls.(k) <- stalls.(k) + v) c.Stats.rc_stalls)
+    cells;
+  let total = !busy + !idle + Array.fold_left ( + ) 0 stalls in
+  {
+    r_region = t.names.(r);
+    r_strategy = t.strategies.(r);
+    r_mode = mode_of_index mode_idx;
+    r_busy = !busy;
+    r_stalls = stalls;
+    r_idle = !idle;
+    r_cycles = total;
+  }
+
+let rows t =
+  let out = ref [] in
+  for r = t.acct.Stats.ra_n_regions - 1 downto 0 do
+    for mode_idx = 1 downto 0 do
+      let row = row_of_cells t r mode_idx in
+      if row.r_cycles > 0 then out := row :: !out
+    done
+  done;
+  !out
+
+let total_cycles t =
+  let total = ref 0 in
+  Array.iter
+    (fun modes ->
+      Array.iter
+        (fun cells ->
+          Array.iter
+            (fun c -> total := !total + Stats.region_cell_cycles c)
+            cells)
+        modes)
+    t.acct.Stats.ra_cells;
+  !total
+
+let mode_name = function
+  | Inst.Coupled -> "coupled"
+  | Inst.Decoupled -> "decoupled"
+
+let pp ppf t =
+  let header =
+    [ "region"; "strategy"; "mode"; "cycles"; "busy" ]
+    @ List.map Stats.stall_kind_label Stats.all_stall_kinds
+    @ [ "idle" ]
+  in
+  let body =
+    List.map
+      (fun row ->
+        let pct n = Table.cell_pct (100. *. float_of_int n /. float_of_int row.r_cycles) in
+        [
+          row.r_region;
+          row.r_strategy;
+          mode_name row.r_mode;
+          string_of_int row.r_cycles;
+          pct row.r_busy;
+        ]
+        @ List.map
+            (fun k -> pct row.r_stalls.(Stats.stall_kind_index k))
+            Stats.all_stall_kinds
+        @ [ pct row.r_idle ])
+      (rows t)
+  in
+  Format.fprintf ppf "%s@." (Table.render ~header body);
+  Format.fprintf ppf "total core-cycles: %d@." (total_cycles t)
+
+let to_json t =
+  let row_json row =
+    Json.Obj
+      ([
+         ("region", Json.Str row.r_region);
+         ("strategy", Json.Str row.r_strategy);
+         ("mode", Json.Str (mode_name row.r_mode));
+         ("cycles", Json.Int row.r_cycles);
+         ("busy", Json.Int row.r_busy);
+       ]
+      @ List.map
+          (fun k ->
+            ( Stats.stall_kind_label k,
+              Json.Int row.r_stalls.(Stats.stall_kind_index k) ))
+          Stats.all_stall_kinds
+      @ [ ("idle", Json.Int row.r_idle) ])
+  in
+  Json.Obj
+    [
+      ("total_core_cycles", Json.Int (total_cycles t));
+      ("rows", Json.List (List.map row_json (rows t)));
+    ]

@@ -1,0 +1,40 @@
+(** Per-region cycle attribution (the paper's Fig. 12, per region).
+
+    [attach] builds a pc->region map for every core from the compiler's
+    {!Voltron_compiler.Codegen.region_extent}s and installs it into the
+    machine ({!Voltron_machine.Machine.set_attribution}); after the run,
+    every core-cycle of the program sits in exactly one (region, mode)
+    cell — busy, one of the six stall kinds, or idle. Pcs outside every
+    planned region (spawn/join glue, HALT) land in a catch-all ["<other>"]
+    region so the profile's total always equals [n_cores * cycles]. *)
+
+type t
+
+type row = {
+  r_region : string;
+  r_strategy : string;  (** codegen strategy name; ["-"] for ["<other>"] *)
+  r_mode : Voltron_isa.Inst.mode;
+  r_busy : int;
+  r_stalls : int array;  (** indexed by [Stats.stall_kind_index] *)
+  r_idle : int;
+  r_cycles : int;  (** busy + idle + every stall, summed over cores *)
+}
+
+val attach : Voltron_machine.Machine.t -> Voltron_compiler.Driver.compiled -> t
+(** Install attribution on a machine created from [compiled.executable].
+    Call before {!Voltron_machine.Machine.run}. Raises [Invalid_argument]
+    on a core-count mismatch. *)
+
+val rows : t -> row list
+(** One row per (region, mode) with any cycles, in plan order (catch-all
+    last), coupled before decoupled. *)
+
+val total_cycles : t -> int
+(** Sum over every cell — equals [n_cores * cycles] for a run that
+    executed to completion. *)
+
+val pp : Format.formatter -> t -> unit
+(** The per-region table: cycles plus busy / stall-kind / idle fractions
+    per row, and the core-cycle total. *)
+
+val to_json : t -> Json.t

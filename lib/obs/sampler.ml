@@ -1,0 +1,93 @@
+module Machine = Voltron_machine.Machine
+module Inst = Voltron_isa.Inst
+module Table = Voltron_util.Table
+
+type sample = {
+  s_cycle : int;
+  s_mode : Inst.mode;
+  s_ipc : float;
+  s_occupancy : float;
+  s_l1d_miss_rate : float;
+  s_avg_net_latency : float;
+  s_msgs : int;
+}
+
+type t = {
+  every : int;
+  machine : Machine.t;
+  mutable prev : Metrics.t;
+  mutable rev_samples : sample list;
+}
+
+let attach ~every m =
+  if every <= 0 then invalid_arg "Sampler.attach: every must be positive";
+  let t =
+    { every; machine = m; prev = Metrics.snapshot m; rev_samples = [] }
+  in
+  Machine.set_on_cycle m (fun ~now ->
+      if now > 0 && now mod t.every = 0 then begin
+        let cur = Metrics.snapshot t.machine in
+        let d = Metrics.delta ~before:t.prev ~after:cur in
+        let gauge name = Option.value ~default:0. (Metrics.find name d) in
+        t.rev_samples <-
+          {
+            s_cycle = now;
+            s_mode = Machine.mode t.machine;
+            s_ipc = gauge "ipc";
+            s_occupancy = gauge "occupancy";
+            s_l1d_miss_rate = gauge "l1d_miss_rate";
+            s_avg_net_latency = gauge "avg_net_latency";
+            s_msgs = d.Metrics.net.Metrics.msgs_sent;
+          }
+          :: t.rev_samples;
+        t.prev <- cur
+      end);
+  t
+
+let samples t = List.rev t.rev_samples
+
+let mode_name = function
+  | Inst.Coupled -> "coupled"
+  | Inst.Decoupled -> "decoupled"
+
+let pp ppf t =
+  match samples t with
+  | [] -> Format.fprintf ppf "(no samples: run shorter than %d cycles)@." t.every
+  | ss ->
+    let header =
+      [ "cycle"; "mode"; "ipc"; "occupancy"; "l1d-miss"; "net-lat"; "msgs" ]
+    in
+    let body =
+      List.map
+        (fun s ->
+          [
+            string_of_int s.s_cycle;
+            mode_name s.s_mode;
+            Table.cell_f s.s_ipc;
+            Table.cell_pct (100. *. s.s_occupancy);
+            Table.cell_pct (100. *. s.s_l1d_miss_rate);
+            Table.cell_f s.s_avg_net_latency;
+            string_of_int s.s_msgs;
+          ])
+        ss
+    in
+    Format.fprintf ppf "%s" (Table.render ~header body)
+
+let to_json t =
+  let sample_json s =
+    Json.Obj
+      [
+        ("cycle", Json.Int s.s_cycle);
+        ("mode", Json.Str (mode_name s.s_mode));
+        ("ipc", Json.Float s.s_ipc);
+        ("occupancy", Json.Float s.s_occupancy);
+        ("l1d_miss_rate", Json.Float s.s_l1d_miss_rate);
+        ("avg_net_latency", Json.Float s.s_avg_net_latency);
+        ("msgs", Json.Int s.s_msgs);
+      ]
+  in
+  Json.Obj
+    [
+      ("every", Json.Int t.every);
+      ("samples", Json.List (List.map sample_json (samples t)));
+    ]

@@ -1,0 +1,30 @@
+(** Interval time-series sampler.
+
+    Hooks {!Voltron_machine.Machine.set_on_cycle} and, every [every]
+    cycles, records the interval's IPC, occupancy, L1D miss rate, average
+    network latency and message count as a {!Metrics.delta} between
+    consecutive snapshots — "what was the machine doing {e then}", not
+    just the end-of-run average. *)
+
+type sample = {
+  s_cycle : int;  (** end of the sampled interval *)
+  s_mode : Voltron_isa.Inst.mode;  (** mode at the sample point *)
+  s_ipc : float;
+  s_occupancy : float;
+  s_l1d_miss_rate : float;
+  s_avg_net_latency : float;
+  s_msgs : int;  (** queue-mode messages sent in the interval *)
+}
+
+type t
+
+val attach : every:int -> Voltron_machine.Machine.t -> t
+(** Install the sampling hook (displacing any previous [set_on_cycle]
+    callback). Call before {!Voltron_machine.Machine.run}. Raises
+    [Invalid_argument] when [every <= 0]. *)
+
+val samples : t -> sample list
+(** In time order. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Json.t

@@ -1,0 +1,260 @@
+(* Observability layer tests: the per-cycle accounting invariant, region
+   attribution reconciling exactly with the global cycle count, the JSON
+   emitter/parser roundtrip, the Chrome trace-event export's structural
+   guarantees, metrics snapshots/deltas and the interval sampler. *)
+
+module Suite = Voltron_workloads.Suite
+module Config = Voltron_machine.Config
+module Machine = Voltron_machine.Machine
+module Stats = Voltron_machine.Stats
+module Trace = Voltron_machine.Trace
+module Driver = Voltron_compiler.Driver
+module Json = Voltron_obs.Json
+module Metrics = Voltron_obs.Metrics
+module Region_profile = Voltron_obs.Region_profile
+module Sampler = Voltron_obs.Sampler
+module Chrome_trace = Voltron_obs.Chrome_trace
+
+let representative_runs =
+  [
+    ("micro:gsm_llp", Suite.micro_gsm_llp ~scale:1.0 (), `Hybrid, 2);
+    ("micro:gsm_ilp", Suite.micro_gsm_ilp ~scale:1.0 (), `Ilp, 2);
+    ("micro:gzip_strands", Suite.micro_gzip_strands ~scale:1.0 (), `Tlp, 2);
+    ("cjpeg", (Suite.by_name "cjpeg").Suite.build ~scale:0.25 (), `Hybrid, 4);
+    ("179.art", (Suite.by_name "179.art").Suite.build ~scale:0.25 (), `Hybrid, 4);
+  ]
+
+(* Every stepped cycle, every core records exactly one of busy, a stall, or
+   idle — so the per-core totals must reconstruct the run's cycle count. *)
+let test_per_core_invariant () =
+  List.iter
+    (fun (name, p, choice, n_cores) ->
+      let m = Voltron.Run.run ~choice ~n_cores p in
+      (match m.Voltron.Run.outcome with
+      | Voltron.Run.Completed -> ()
+      | o -> Alcotest.fail (name ^ ": " ^ Voltron.Run.outcome_to_string o));
+      let st = m.Voltron.Run.stats in
+      for core = 0 to st.Stats.n_cores - 1 do
+        let c = Stats.core st core in
+        Alcotest.(check int)
+          (Printf.sprintf "%s core %d: busy+stalls+idle = cycles" name core)
+          st.Stats.cycles
+          (c.Stats.busy + Stats.total_stalls c + c.Stats.idle)
+      done)
+    representative_runs
+
+(* Region attribution accounts every core-cycle to exactly one
+   (region, mode) cell: the acct total must equal n_cores * cycles, and
+   each stall kind summed over regions must equal the global counter. *)
+let test_region_attribution_reconciles () =
+  List.iter
+    (fun (name, p, choice, n_cores) ->
+      let machine = Config.default ~n_cores in
+      let compiled = Driver.compile ~machine ~choice p in
+      let m = Machine.create machine compiled.Driver.executable in
+      let rp = Region_profile.attach m compiled in
+      let result = Machine.run m in
+      (match result.Machine.outcome with
+      | Machine.Finished -> ()
+      | _ -> Alcotest.fail (name ^ ": run did not finish"));
+      Alcotest.(check int)
+        (name ^ ": attribution total = n_cores * cycles")
+        (n_cores * result.Machine.cycles)
+        (Region_profile.total_cycles rp);
+      let st = Machine.stats m in
+      let rows = Region_profile.rows rp in
+      List.iter
+        (fun kind ->
+          let from_rows =
+            List.fold_left
+              (fun acc (r : Region_profile.row) ->
+                acc + r.Region_profile.r_stalls.(Stats.stall_kind_index kind))
+              0 rows
+          in
+          let global = ref 0 in
+          for core = 0 to st.Stats.n_cores - 1 do
+            global := !global + Stats.stall_of (Stats.core st core) kind
+          done;
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s sum over regions = global" name
+               (Stats.stall_kind_label kind))
+            !global from_rows)
+        Stats.all_stall_kinds)
+    representative_runs
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 42);
+        ("b", Json.Float 1.5);
+        ("esc", Json.Str "line\nquote\" back\\slash\ttab");
+        ("empty", Json.Obj []);
+        ("arr", Json.List [ Json.Null; Json.Bool true; Json.Int (-7) ]);
+        ("nested", Json.Obj [ ("xs", Json.List [ Json.Str "s" ]) ]);
+      ]
+  in
+  (match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "compact roundtrip" true (v = v')
+  | Error e -> Alcotest.fail ("parse of to_string failed: " ^ e));
+  (match Json.parse (Format.asprintf "%a" Json.pp v) with
+  | Ok v' -> Alcotest.(check bool) "pretty roundtrip" true (v = v')
+  | Error e -> Alcotest.fail ("parse of pp failed: " ^ e));
+  (match Json.parse "{\"a\": 1} trailing" with
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+  | Error _ -> ());
+  (match Json.parse "[1, 2," with
+  | Ok _ -> Alcotest.fail "truncated array accepted"
+  | Error _ -> ());
+  Alcotest.(check string)
+    "non-finite floats emit null" "[null,null]"
+    (Json.to_string (Json.List [ Json.Float nan; Json.Float infinity ]));
+  match Json.parse "{\"u\": \"\\u0041\\u00e9\", \"n\": -3.5e2}" with
+  | Ok v ->
+    Alcotest.(check (option string))
+      "unicode escapes" (Some "A\xc3\xa9")
+      (Option.bind (Json.member "u" v) Json.to_string_opt);
+    Alcotest.(check (option (float 1e-9)))
+      "float literal" (Some (-350.))
+      (Option.bind (Json.member "n" v) Json.to_float_opt)
+  | Error e -> Alcotest.fail ("escape parse failed: " ^ e)
+
+(* The Chrome trace export must parse back, keep timestamps nondecreasing
+   in event order, and balance every B with an E on the same track. *)
+let test_chrome_trace_export () =
+  let p = (Suite.by_name "cjpeg").Suite.build ~scale:0.25 () in
+  let n_cores = 4 in
+  let machine = Config.default ~n_cores in
+  let compiled = Driver.compile ~machine p in
+  let m = Machine.create machine compiled.Driver.executable in
+  let tracer = Trace.create () in
+  Machine.set_tracer m tracer;
+  let result = Machine.run m in
+  (match result.Machine.outcome with
+  | Machine.Finished -> ()
+  | _ -> Alcotest.fail "trace run did not finish");
+  let json =
+    Chrome_trace.of_trace ~n_cores ~cycles:result.Machine.cycles tracer
+  in
+  let reparsed =
+    match Json.parse (Json.to_string json) with
+    | Ok v -> v
+    | Error e -> Alcotest.fail ("chrome trace does not parse: " ^ e)
+  in
+  let events =
+    match Option.bind (Json.member "traceEvents" reparsed) Json.to_list_opt with
+    | Some evs -> evs
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "has events" true (List.length events > n_cores + 2);
+  let field name ev = Json.member name ev in
+  let str name ev = Option.bind (field name ev) Json.to_string_opt in
+  let last_ts = ref 0 in
+  let depth = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match str "ph" ev with
+      | None -> Alcotest.fail "event without ph"
+      | Some "M" -> ()
+      | Some ph ->
+        let ts =
+          match Option.bind (field "ts" ev) Json.to_int_opt with
+          | Some ts -> ts
+          | None -> Alcotest.fail "timed event without ts"
+        in
+        Alcotest.(check bool) "ts nondecreasing" true (ts >= !last_ts);
+        last_ts := ts;
+        let tid =
+          match Option.bind (field "tid" ev) Json.to_int_opt with
+          | Some tid -> tid
+          | None -> Alcotest.fail "event without tid"
+        in
+        let d = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+        (match ph with
+        | "B" -> Hashtbl.replace depth tid (d + 1)
+        | "E" ->
+          Alcotest.(check bool) "E without open B" true (d > 0);
+          Hashtbl.replace depth tid (d - 1)
+        | _ -> ()))
+    events;
+  Hashtbl.iter
+    (fun tid d ->
+      Alcotest.(check int) (Printf.sprintf "track %d spans balanced" tid) 0 d)
+    depth
+
+let test_metrics_snapshot_and_delta () =
+  let p = Suite.micro_gsm_llp ~scale:1.0 () in
+  let m = Voltron.Run.run ~n_cores:2 p in
+  let metrics =
+    Metrics.of_stats ~label:"gsm_llp" ~coherence:m.Voltron.Run.coh_stats
+      ~network:m.Voltron.Run.net_stats m.Voltron.Run.stats
+  in
+  Alcotest.(check (option (float 1e-9)))
+    "find cycles"
+    (Some (float_of_int m.Voltron.Run.cycles))
+    (Metrics.find "cycles" metrics);
+  Alcotest.(check bool)
+    "accesses flow through" true
+    (metrics.Metrics.cache.Metrics.accesses > 0);
+  let d = Metrics.delta ~before:metrics ~after:metrics in
+  List.iter
+    (fun (name, v) ->
+      if name <> "net_max_occupancy" then
+        Alcotest.(check int) ("self-delta " ^ name) 0 v)
+    (Metrics.counters d);
+  (* to_json carries every counter faithfully. *)
+  let j = Metrics.to_json metrics in
+  Alcotest.(check (option int))
+    "json cycles"
+    (Some m.Voltron.Run.cycles)
+    (Option.bind
+       (Option.bind (Json.member "machine" j) (Json.member "cycles"))
+       Json.to_int_opt)
+
+let test_sampler () =
+  let p = (Suite.by_name "cjpeg").Suite.build ~scale:0.25 () in
+  let machine = Config.default ~n_cores:4 in
+  let compiled = Driver.compile ~machine p in
+  let m = Machine.create machine compiled.Driver.executable in
+  let sampler = Sampler.attach ~every:500 m in
+  let result = Machine.run m in
+  (match result.Machine.outcome with
+  | Machine.Finished -> ()
+  | _ -> Alcotest.fail "sampler run did not finish");
+  let samples = Sampler.samples sampler in
+  Alcotest.(check bool)
+    "collected samples" true
+    (List.length samples = result.Machine.cycles / 500);
+  List.iteri
+    (fun i s ->
+      Alcotest.(check int)
+        (Printf.sprintf "sample %d cycle" i)
+        ((i + 1) * 500) s.Sampler.s_cycle;
+      Alcotest.(check bool)
+        (Printf.sprintf "sample %d occupancy in range" i)
+        true
+        (s.Sampler.s_occupancy >= 0. && s.Sampler.s_occupancy <= 1.))
+    samples;
+  Alcotest.(check bool) "attach rejects every<=0" true
+    (match Sampler.attach ~every:0 m with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "accounting",
+        [
+          Alcotest.test_case "per-core invariant" `Quick test_per_core_invariant;
+          Alcotest.test_case "region attribution reconciles" `Quick
+            test_region_attribution_reconciles;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace_export;
+          Alcotest.test_case "metrics snapshot and delta" `Quick
+            test_metrics_snapshot_and_delta;
+          Alcotest.test_case "sampler" `Quick test_sampler;
+        ] );
+    ]
