@@ -18,6 +18,9 @@ module E = Voltron.Experiments
 module Suite = Voltron_workloads.Suite
 module Json = Voltron_obs.Json
 module Metrics = Voltron_obs.Metrics
+module Config = Voltron_machine.Config
+module Machine = Voltron_machine.Machine
+module Driver = Voltron_compiler.Driver
 
 let line () = print_endline (String.make 78 '=')
 
@@ -220,6 +223,121 @@ let run_json ~scale wanted =
        ]);
   Printf.printf "wrote %s\n" path
 
+(* --- perf: simulator wall-clock throughput (PERF.json) --------------------- *)
+
+(* Measures the cycle simulator itself — simulated cycles per host second
+   over the 4-core hybrid workload sweep. Compilation happens outside the
+   timed section, so the number tracks the Machine.run hot loop and nothing
+   else. Each invocation appends one entry to PERF.json's series, so the
+   speedup history is a recorded artifact rather than a claim; re-baseline
+   by replacing bench/perf_baseline.json with the latest entry (see
+   DESIGN.md §10). *)
+
+type perf_row = { pw_bench : string; pw_cycles : int; pw_host_s : float }
+
+let read_json_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.parse s with
+  | Ok v -> Some v
+  | Error e ->
+    Printf.eprintf "warning: %s does not parse as JSON (%s); ignoring it\n" path e;
+    None
+
+let run_perf ~scale ~baseline () =
+  let machine = Config.default ~n_cores:4 in
+  Printf.printf
+    "perf: 4-core hybrid sweep over %d workloads (scale %.2f, fast_forward %b)\n%!"
+    (List.length Suite.all) scale machine.Config.fast_forward;
+  let rows =
+    List.map
+      (fun (b : Suite.benchmark) ->
+        let p = b.Suite.build ~scale () in
+        let compiled = Driver.compile ~machine ~choice:`Hybrid ~check:false p in
+        let m = Machine.create machine compiled.Driver.executable in
+        let t0 = Unix.gettimeofday () in
+        let r = Machine.run m in
+        let host = Unix.gettimeofday () -. t0 in
+        (match r.Machine.outcome with
+        | Machine.Finished -> ()
+        | Machine.Out_of_cycles | Machine.Deadlock _ | Machine.Fault_limit _ ->
+          Printf.eprintf "perf: %s did not finish\n" b.Suite.bench_name;
+          exit 1);
+        let row =
+          { pw_bench = b.Suite.bench_name; pw_cycles = r.Machine.cycles; pw_host_s = host }
+        in
+        Printf.printf "  %-16s %10d cycles %8.3fs %12.0f cyc/s\n%!" row.pw_bench
+          row.pw_cycles row.pw_host_s
+          (float_of_int row.pw_cycles /. row.pw_host_s);
+        row)
+      Suite.all
+  in
+  let total_cycles = List.fold_left (fun a r -> a + r.pw_cycles) 0 rows in
+  let total_host = List.fold_left (fun a r -> a +. r.pw_host_s) 0. rows in
+  let cps = float_of_int total_cycles /. total_host in
+  Printf.printf "  %-16s %10d cycles %8.3fs %12.0f cyc/s\n" "TOTAL" total_cycles
+    total_host cps;
+  let entry =
+    Json.Obj
+      [
+        ("scale", Json.Float scale);
+        ("n_cores", Json.Int 4);
+        ("fast_forward", Json.Bool machine.Config.fast_forward);
+        ("total_cycles", Json.Int total_cycles);
+        ("total_host_s", Json.Float total_host);
+        ("cycles_per_sec", Json.Float cps);
+        ( "workloads",
+          Json.List
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [
+                     ("bench", Json.Str r.pw_bench);
+                     ("cycles", Json.Int r.pw_cycles);
+                     ("host_s", Json.Float r.pw_host_s);
+                     ( "cycles_per_sec",
+                       Json.Float (float_of_int r.pw_cycles /. r.pw_host_s) );
+                   ])
+               rows) );
+      ]
+  in
+  let prior =
+    if Sys.file_exists "PERF.json" then
+      match read_json_file "PERF.json" with
+      | Some v ->
+        Option.value ~default:[]
+          (Option.bind (Json.member "series" v) Json.to_list_opt)
+      | None -> []
+    else []
+  in
+  Json.write_file "PERF.json" (Json.Obj [ ("series", Json.List (prior @ [ entry ])) ]);
+  Printf.printf "wrote PERF.json (%d series entries)\n" (List.length prior + 1);
+  match baseline with
+  | None -> ()
+  | Some path -> (
+    match read_json_file path with
+    | None ->
+      Printf.eprintf "perf: cannot read baseline %s\n" path;
+      exit 1
+    | Some v -> (
+      match Option.bind (Json.member "cycles_per_sec" v) Json.to_float_opt with
+      | None ->
+        Printf.eprintf "perf: baseline %s has no cycles_per_sec\n" path;
+        exit 1
+      | Some base ->
+        let floor = 0.7 *. base in
+        Printf.printf "baseline %s: %.0f cyc/s (floor %.0f, measured %.0f)\n" path
+          base floor cps;
+        if cps < floor then begin
+          Printf.eprintf
+            "perf: throughput regression — %.0f cyc/s is more than 30%% below \
+             the %.0f cyc/s baseline\n"
+            cps base;
+          exit 1
+        end))
+
 (* --- Bechamel: wall-clock cost of each figure's pipeline ------------------- *)
 
 let bechamel_tests =
@@ -261,39 +379,46 @@ let run_bechamel () =
     (List.sort compare !rows);
   print_newline ()
 
-let modes = [ "quick"; "bechamel"; "ablations"; "json" ]
+let modes = [ "quick"; "bechamel"; "ablations"; "json"; "perf" ]
 
 (* Strict argument parsing: an unknown figure or mode name is an error, not
    a silent no-op (a typo like "fig12 " used to run the whole suite). *)
 let parse_args args =
-  let rec go scale acc = function
-    | [] -> (scale, List.rev acc)
+  let rec go scale baseline acc = function
+    | [] -> (scale, baseline, List.rev acc)
     | "--scale" :: v :: rest -> (
       match float_of_string_opt v with
-      | Some f when f > 0. -> go (Some f) acc rest
+      | Some f when f > 0. -> go (Some f) baseline acc rest
       | Some _ | None ->
         Printf.eprintf "bad --scale value: %s\n" v;
         exit 2)
     | [ "--scale" ] ->
       Printf.eprintf "--scale needs a value\n";
       exit 2
-    | a :: rest when List.mem a figures || List.mem a modes -> go scale (a :: acc) rest
+    | "--baseline" :: path :: rest -> go scale (Some path) acc rest
+    | [ "--baseline" ] ->
+      Printf.eprintf "--baseline needs a path\n";
+      exit 2
+    | a :: rest when List.mem a figures || List.mem a modes ->
+      go scale baseline (a :: acc) rest
     | a :: _ ->
       Printf.eprintf
-        "unknown argument: %s\n  figures: %s\n  modes: %s\n  options: --scale F\n"
+        "unknown argument: %s\n  figures: %s\n  modes: %s\n  options: --scale F \
+         --baseline PERF_ENTRY.json\n"
         a (String.concat " " figures) (String.concat " " modes);
       exit 2
   in
-  go None [] args
+  go None None [] args
 
 let () =
   let raw = List.tl (Array.to_list Sys.argv) in
-  let scale_override, args = parse_args raw in
+  let scale_override, baseline, args = parse_args raw in
   let default_scale = if List.mem "quick" args then 0.25 else 1.0 in
   let scale = Option.value scale_override ~default:default_scale in
   let wanted = List.filter (fun a -> List.mem a figures) args in
   let t0 = Unix.gettimeofday () in
-  if List.mem "json" args then run_json ~scale wanted
+  if List.mem "perf" args then run_perf ~scale ~baseline ()
+  else if List.mem "json" args then run_json ~scale wanted
   else if args = [ "bechamel" ] then run_bechamel ()
   else if args = [ "ablations" ] then run_ablations ~scale ()
   else begin

@@ -41,13 +41,6 @@ type t = {
   problems : string list;  (** malformed-code notes found while building *)
 }
 
-let ends_block (bundle : Bundle.t) =
-  List.exists
-    (fun (i : Inst.t) ->
-      match i with
-      | Inst.Br _ | Inst.Halt | Inst.Sleep | Inst.Mode_switch _ -> true
-      | _ -> false)
-    bundle
 
 let build ~core image =
   let n = Image.length image in
@@ -60,13 +53,13 @@ let build ~core image =
     let br_label = Array.make n None in
     let btrs = Hashtbl.create 4 in
     for addr = 0 to n - 1 do
-      List.iter
+      Array.iter
         (fun (i : Inst.t) ->
           match i with
           | Inst.Pbr { btr; target } -> Hashtbl.replace btrs btr target
           | Inst.Br { btr; _ } -> br_label.(addr) <- Hashtbl.find_opt btrs btr
           | _ -> ())
-        (Image.fetch image addr)
+        (Image.decoded image addr).Image.d_ops
     done;
     (* Leaders: entry, every label, every post-control address. *)
     let leader = Array.make n false in
@@ -75,7 +68,7 @@ let build ~core image =
       if Image.labels_at image addr <> [] then leader.(addr) <- true
     done;
     for addr = 0 to n - 2 do
-      if ends_block (Image.fetch image addr) then leader.(addr + 1) <- true
+      if (Image.decoded image addr).Image.d_ends_block then leader.(addr + 1) <- true
     done;
     let starts =
       Array.to_list (Array.init n (fun a -> a)) |> List.filter (fun a -> leader.(a))
@@ -93,7 +86,7 @@ let build ~core image =
           for a = start to stop - 1 do
             block_of_addr.(a) <- i
           done;
-          let last = Image.fetch image (stop - 1) in
+          let last = (Image.decoded image (stop - 1)).Image.d_ops in
           let resolve_target label =
             match Hashtbl.find_opt addr_to_index (Image.resolve image label) with
             | Some idx -> Some idx
@@ -108,7 +101,7 @@ let build ~core image =
           in
           let term =
             let br =
-              List.find_opt
+              Array.find_opt
                 (fun (i : Inst.t) -> match i with Inst.Br _ -> true | _ -> false)
                 last
             in
@@ -125,11 +118,11 @@ let build ~core image =
                   if pred = None then Jump { label; target }
                   else Cond { label; target }))
             | Some _ | None ->
-              if List.exists (fun i -> i = Inst.Halt) last then Stop_halt
-              else if List.exists (fun i -> i = Inst.Sleep) last then Stop_sleep
+              if Array.exists (fun i -> i = Inst.Halt) last then Stop_halt
+              else if Array.exists (fun i -> i = Inst.Sleep) last then Stop_sleep
               else (
                 match
-                  List.find_opt
+                  Array.find_opt
                     (fun (i : Inst.t) ->
                       match i with Inst.Mode_switch _ -> true | _ -> false)
                     last
@@ -177,11 +170,10 @@ let block_starting_at t addr =
 let ops t (b : block) =
   let out = ref [] in
   for addr = b.b_stop - 1 downto b.b_start do
-    let bundle = Image.fetch t.image addr in
-    let len = List.length bundle in
-    List.iteri
-      (fun j i -> out := (addr, len - 1 - j, i) :: !out)
-      (List.rev bundle)
+    let ops = (Image.decoded t.image addr).Image.d_ops in
+    for j = Array.length ops - 1 downto 0 do
+      out := (addr, j, ops.(j)) :: !out
+    done
   done;
   !out
 

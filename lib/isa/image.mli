@@ -8,6 +8,25 @@
 
 type t
 
+(** Predecoded form of one bundle, built once at {!finish} time: packed op
+    array, precomputed register sets and op-class counts, so per-cycle
+    consumers (the simulator's fetch/issue loop) never re-walk the
+    [Inst.t list] or re-allocate [Inst.uses] results. Immutable. *)
+type decoded = {
+  d_ops : Inst.t array;  (** bundle ops, in issue order *)
+  d_comm_out : bool array;  (** per op: PUT/BCAST/SEND/SPAWN (phase 1) *)
+  d_uses : int array array;  (** per op: source registers, in operand order *)
+  d_defs : int array;  (** registers written, in op order *)
+  d_srcs : int array;  (** dedup union of all uses (the snapshot set) *)
+  d_max_reg : int;  (** max register mentioned anywhere, -1 if none *)
+  d_real_ops : int;  (** non-NOP op count *)
+  d_n_mem : int;  (** memory-class ops (incl. TM_BEGIN/TM_COMMIT) *)
+  d_n_comm : int;  (** communication-class ops *)
+  d_n_muldiv : int;  (** MUL/DIV/REM/FPU ops *)
+  d_has_comm_out : bool;
+  d_ends_block : bool;  (** contains BR/HALT/SLEEP/MODE_SWITCH *)
+}
+
 type builder
 
 val builder : unit -> builder
@@ -28,6 +47,14 @@ val finish : builder -> t
 val length : t -> int
 val fetch : t -> int -> Bundle.t
 (** Raises [Invalid_argument] outside [0, length). *)
+
+val decoded : t -> int -> decoded
+(** The predecoded form of the bundle at that address. Raises
+    [Invalid_argument] outside [0, length). *)
+
+val enclosing_label : t -> int -> string
+(** Nearest label at or before the address (alphabetically first when
+    several share it), ["<entry>"] when none — precomputed, O(1). *)
 
 val resolve : t -> Inst.label -> int
 (** Raises [Not_found] for labels absent from this image. *)

@@ -80,6 +80,15 @@ let uses = function
 
 let is_branch = function Br _ -> true | _ -> false
 
+(* Communication-out ops execute in the machine's phase 1, before any
+   core's main phase, so same-cycle PUT/GET and BCAST pairing works. *)
+let is_comm_out = function
+  | Put _ | Bcast _ | Send _ | Spawn _ -> true
+  | Alu _ | Fpu _ | Cmp _ | Select _ | Load _ | Store _ | Mov _ | Pbr _ | Br _
+  | Getb _ | Get _ | Recv _ | Sleep | Mode_switch _ | Tm_begin | Tm_commit
+  | Halt | Nop ->
+    false
+
 let opposite = function
   | North -> South
   | South -> North

@@ -97,6 +97,11 @@ val uses : t -> reg list
 val is_branch : t -> bool
 (** Control ops that may change the PC ([Br] only). *)
 
+val is_comm_out : t -> bool
+(** Communication-out ops ([Put]/[Bcast]/[Send]/[Spawn]): executed in the
+    machine's phase 1, before any core's main phase, so same-cycle PUT/GET
+    and BCAST pairing works across cores. *)
+
 val opposite : dir -> dir
 (** [opposite North = South] etc. — the direction a value put eastward is
     received from. *)

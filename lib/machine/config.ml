@@ -8,6 +8,11 @@ type t = {
   max_cycles : int;
   watchdog : int;
   fault : Voltron_fault.Fault.config;
+  (* Skip over windows where every core is provably blocked until a known
+     future cycle, bulk-crediting the skipped stall cycles (Machine's stall
+     fast-forward). Architecturally invisible; off keeps the reference
+     per-cycle path for differential testing. *)
+  fast_forward : bool;
 }
 
 let default ~n_cores =
@@ -21,6 +26,7 @@ let default ~n_cores =
     max_cycles = 200_000_000;
     watchdog = 100_000;
     fault = Voltron_fault.Fault.disabled;
+    fast_forward = true;
   }
 
 let latency (inst : Voltron_isa.Inst.t) =

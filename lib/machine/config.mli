@@ -13,6 +13,12 @@ type t = {
   max_cycles : int;  (** hard simulation cap *)
   watchdog : int;  (** abort after this many cycles without progress *)
   fault : Voltron_fault.Fault.config;  (** injection + recovery parameters *)
+  fast_forward : bool;
+      (** skip provably-dead stall windows in the simulator, bulk-crediting
+          the skipped cycles to the same stall kinds and attribution cells
+          the per-cycle path would record (architecturally invisible; the
+          machine auto-falls back to per-cycle stepping whenever a tracer,
+          an on-cycle hook or a fault injector is attached) *)
 }
 
 val default : n_cores:int -> t

@@ -94,6 +94,13 @@ type core_state = {
   (* Chunk snapshot for TM rollback: register file + the chunk's start pc. *)
   mutable tm_snapshot : (int array * int) option;
   mutable tm_serial : bool;
+  (* VLIW read-before-write scratch: [snap.(r)] holds the pre-issue value of
+     register [r] for the bundle currently issuing iff
+     [snap_epoch.(r) = snap_gen]. Generation-stamped so taking a snapshot is
+     O(sources), with no per-cycle clearing or allocation. *)
+  mutable snap : int array;
+  mutable snap_epoch : int array;
+  mutable snap_gen : int;
 }
 
 type t = {
@@ -116,6 +123,17 @@ type t = {
      observability layer derived from the compiler's region extents. *)
   mutable attr : (Stats.region_acct * (core:int -> pc:int -> int)) option;
   mutable on_cycle : (now:int -> unit) option;
+  (* Stall fast-forward (Config.fast_forward). [ff_active] is resolved once
+     at run entry: on when nothing per-cycle-observing is attached (tracer,
+     sampler hook, fault injector — attribution is fine, its cells take bulk
+     credit). [wake] is a scratch out-parameter of [blocker]: the first
+     cycle its verdict can change. [sc_wait]/[sc_waiting] are per-core
+     scratch for the step functions, preallocated to stay off the per-cycle
+     allocation path. *)
+  mutable ff_active : bool;
+  mutable wake : int;
+  sc_wait : wait option array;
+  sc_waiting : bool array;
 }
 
 let initial_regs = 64
@@ -137,6 +155,9 @@ let fresh_core cfg image id =
     stall_until = 0;
     tm_snapshot = None;
     tm_serial = false;
+    snap = Array.make initial_regs 0;
+    snap_epoch = Array.make initial_regs 0;
+    snap_gen = 0;
   }
 
 let validate_widths cfg (prog : Program.t) =
@@ -187,6 +208,10 @@ let create cfg (prog : Program.t) =
       tracer = None;
       attr = None;
       on_cycle = None;
+      ff_active = false;
+      wake = max_int;
+      sc_wait = Array.make cfg.n_cores None;
+      sc_waiting = Array.make cfg.n_cores false;
     }
   in
   (* Core 0's first fetch starts at cycle 0. *)
@@ -236,7 +261,11 @@ let ensure_reg cs r =
     in
     cs.regs <- grow cs.regs 0;
     cs.ready <- grow cs.ready 0;
-    cs.prod <- grow cs.prod P_other
+    cs.prod <- grow cs.prod P_other;
+    cs.snap <- grow cs.snap 0;
+    (* Epoch 0 never matches a live generation: [snap_gen] starts at 0 and
+       is bumped before any snapshot is taken. *)
+    cs.snap_epoch <- grow cs.snap_epoch 0
   end
 
 let read_reg cs r =
@@ -251,14 +280,25 @@ let write_reg cs r v ~ready ~prod =
 
 let reg t ~core r = read_reg t.cores.(core) r
 
-let record_stall t ~core kind =
-  Stats.record_stall t.st ~core kind;
-  (match att_cell t ~core ~pc:t.cores.(core).pc with
+(* Credit [k] consecutive stall cycles of the same kind at the core's
+   current pc — [k = 1] is the ordinary per-cycle path, [k > 1] the
+   fast-forward bulk credit (never traced: fast-forward is off whenever a
+   tracer is attached). *)
+let record_stalls t ~core kind k =
+  Stats.add_stall t.st ~core kind k;
+  match att_cell t ~core ~pc:t.cores.(core).pc with
   | None -> ()
   | Some cell ->
     let i = Stats.stall_kind_index kind in
-    cell.Stats.rc_stalls.(i) <- cell.Stats.rc_stalls.(i) + 1);
-  trace t (Trace.Stall { cycle = t.now; core; kind })
+    cell.Stats.rc_stalls.(i) <- cell.Stats.rc_stalls.(i) + k
+
+let record_stall t ~core kind =
+  record_stalls t ~core kind 1;
+  (* Guarded rather than routed through [trace]: the event record must not
+     be allocated on the (tracerless) hot path. *)
+  match t.tracer with
+  | None -> ()
+  | Some tr -> Trace.record tr (Trace.Stall { cycle = t.now; core; kind })
 
 (* --- Stall analysis ------------------------------------------------------ *)
 
@@ -280,111 +320,149 @@ let stall_of_wait = function
     Stats.Sync
 
 (* First reason the core cannot issue its current bundle this cycle, or
-   [None] when it can. Has no side effects. *)
+   [None] when it can. Architecturally side-effect-free; as an
+   out-parameter it leaves in [t.wake] the first cycle at which the verdict
+   it returned can change (the expiry of the FIRST failing condition in
+   scan order — a later condition may then take over, which is why the
+   fast-forward window ends there and not at "when the core can issue").
+   Wake times that need a network walk are only computed under
+   [t.ff_active]; event-driven waits report [max_int]. *)
+(* The per-op and per-register scans are toplevel functions threading
+   their context as arguments: the blocker runs for every running core
+   every cycle, and a local closure here would cost ~20 heap words per
+   core-cycle. *)
+let blocker_check_op t cs now op =
+  match op with
+  | Inst.Load _ | Inst.Store _ ->
+    if cs.mem_busy > now then begin
+      t.wake <- cs.mem_busy;
+      Some W_dmem
+    end
+    else None
+  | Inst.Br { btr; _ } ->
+    if cs.btr_ready.(btr) > now then begin
+      t.wake <- cs.btr_ready.(btr);
+      Some W_btr
+    end
+    else None
+  | Inst.Recv { sender; kind; _ } ->
+    if Net.recv_ready t.net ~now ~core:cs.id ~sender then None
+    else begin
+      if t.ff_active then
+        t.wake <- Net.next_value_ready t.net ~core:cs.id ~sender;
+      Some
+        (W_recv
+           {
+             sender;
+             kind =
+               (match kind with
+               | Inst.Rv_data -> Stats.Recv_data
+               | Inst.Rv_pred -> Stats.Recv_pred
+               | Inst.Rv_sync -> Stats.Sync);
+           })
+    end
+  | Inst.Getb _ ->
+    if Net.getb_ready t.net ~now ~core:cs.id then None
+    else begin
+      if t.ff_active then t.wake <- Net.getb_wake t.net ~core:cs.id;
+      Some W_getb
+    end
+  | Inst.Send { target; _ } | Inst.Spawn { target; _ } ->
+    if Net.pending t.net ~src:cs.id ~dst:target >= t.cfg.net_capacity
+    then begin
+      (* Drains only when the receiver issues its RECV — event-driven. *)
+      t.wake <- max_int;
+      Some (W_send_full target)
+    end
+    else None
+  | Inst.Alu _ | Inst.Fpu _ | Inst.Cmp _ | Inst.Select _ | Inst.Mov _
+  | Inst.Pbr _ | Inst.Bcast _ | Inst.Put _ | Inst.Get _ | Inst.Sleep
+  | Inst.Mode_switch _ | Inst.Tm_begin | Inst.Tm_commit | Inst.Halt
+  | Inst.Nop ->
+    None
+
+let rec blocker_reg_loop t cs now (u : int array) j =
+  if j >= Array.length u then None
+  else
+    let r = u.(j) in
+    if cs.ready.(r) > now then begin
+      t.wake <- cs.ready.(r);
+      Some (W_reg (producer_stall cs.prod.(r)))
+    end
+    else blocker_reg_loop t cs now u (j + 1)
+
+let rec blocker_op_loop t cs now (ops : Inst.t array) (uses : int array array)
+    n_ops i =
+  if i >= n_ops then None
+  else
+    match blocker_reg_loop t cs now uses.(i) 0 with
+    | Some _ as s -> s
+    | None -> (
+      match blocker_check_op t cs now ops.(i) with
+      | Some _ as s -> s
+      | None -> blocker_op_loop t cs now ops uses n_ops (i + 1))
+
 let blocker t cs =
   let now = t.now in
-  if now < cs.stall_until then Some W_stall_fault
-  else if now < cs.miss_stall_until then Some W_dmem
-  else if now < cs.fetch_done then Some W_ifetch
+  if now < cs.stall_until then begin
+    t.wake <- cs.stall_until;
+    Some W_stall_fault
+  end
+  else if now < cs.miss_stall_until then begin
+    t.wake <- cs.miss_stall_until;
+    Some W_dmem
+  end
+  else if now < cs.fetch_done then begin
+    t.wake <- cs.fetch_done;
+    Some W_ifetch
+  end
   else begin
-    let bundle = Image.fetch cs.image cs.pc in
-    let check_op acc op =
-      match acc with
-      | Some _ -> acc
-      | None ->
-        let reg_block =
-          List.fold_left
-            (fun acc r ->
-              match acc with
-              | Some _ -> acc
-              | None ->
-                ensure_reg cs r;
-                if cs.ready.(r) > now then
-                  Some (W_reg (producer_stall cs.prod.(r)))
-                else None)
-            None (Inst.uses op)
-        in
-        if reg_block <> None then reg_block
-        else begin
-          match op with
-          | Inst.Load _ | Inst.Store _ ->
-            if cs.mem_busy > now then Some W_dmem else None
-          | Inst.Br { btr; _ } ->
-            if cs.btr_ready.(btr) > now then Some W_btr else None
-          | Inst.Recv { sender; kind; _ } ->
-            if Net.recv_ready t.net ~now ~core:cs.id ~sender then None
-            else
-              Some
-                (W_recv
-                   {
-                     sender;
-                     kind =
-                       (match kind with
-                       | Inst.Rv_data -> Stats.Recv_data
-                       | Inst.Rv_pred -> Stats.Recv_pred
-                       | Inst.Rv_sync -> Stats.Sync);
-                   })
-          | Inst.Getb _ ->
-            if Net.getb_ready t.net ~now ~core:cs.id then None else Some W_getb
-          | Inst.Send { target; _ } | Inst.Spawn { target; _ } ->
-            if Net.pending t.net ~src:cs.id ~dst:target >= t.cfg.net_capacity
-            then Some (W_send_full target)
-            else None
-          | Inst.Alu _ | Inst.Fpu _ | Inst.Cmp _ | Inst.Select _ | Inst.Mov _
-          | Inst.Pbr _ | Inst.Bcast _ | Inst.Put _ | Inst.Get _ | Inst.Sleep
-          | Inst.Mode_switch _ | Inst.Tm_begin | Inst.Tm_commit | Inst.Halt
-          | Inst.Nop ->
-            None
-        end
-    in
-    List.fold_left check_op None bundle
+    let d = Image.decoded cs.image cs.pc in
+    if d.Image.d_max_reg >= 0 then ensure_reg cs d.Image.d_max_reg;
+    blocker_op_loop t cs now d.Image.d_ops d.Image.d_uses
+      (Array.length d.Image.d_ops) 0
   end
 
 (* --- Bundle execution ----------------------------------------------------- *)
 
 (* VLIW read-before-write: snapshot every source register of the bundle
-   before any of its effects land. *)
-let snapshot_sources cs bundle =
-  let table = Hashtbl.create 8 in
-  List.iter
-    (fun op -> List.iter (fun r -> Hashtbl.replace table r (read_reg cs r)) (Inst.uses op))
-    bundle;
-  table
+   before any of its effects land — into the core's generation-stamped
+   scratch, so a snapshot costs O(sources) writes and no allocation. *)
+let snapshot_sources cs (d : Image.decoded) =
+  if d.Image.d_max_reg >= 0 then ensure_reg cs d.Image.d_max_reg;
+  cs.snap_gen <- cs.snap_gen + 1;
+  let srcs = d.Image.d_srcs in
+  for i = 0 to Array.length srcs - 1 do
+    let r = srcs.(i) in
+    cs.snap.(r) <- cs.regs.(r);
+    cs.snap_epoch.(r) <- cs.snap_gen
+  done
 
-let read_operand snapshot (o : Inst.operand) =
+let read_operand cs (o : Inst.operand) =
   match o with
   | Inst.Imm i -> i
-  | Inst.Reg r -> (
-    match Hashtbl.find_opt snapshot r with
-    | Some v -> v
-    | None -> failwith "Machine: operand missing from bundle source snapshot")
-
-let is_comm_out (op : Inst.t) =
-  match op with
-  | Inst.Put _ | Inst.Bcast _ | Inst.Send _ | Inst.Spawn _ -> true
-  | Inst.Alu _ | Inst.Fpu _ | Inst.Cmp _ | Inst.Select _ | Inst.Load _
-  | Inst.Store _ | Inst.Mov _ | Inst.Pbr _ | Inst.Br _ | Inst.Getb _
-  | Inst.Get _ | Inst.Recv _ | Inst.Sleep | Inst.Mode_switch _ | Inst.Tm_begin
-  | Inst.Tm_commit | Inst.Halt | Inst.Nop ->
-    false
+  | Inst.Reg r ->
+    if r < Array.length cs.snap_epoch && cs.snap_epoch.(r) = cs.snap_gen then
+      cs.snap.(r)
+    else failwith "Machine: operand missing from bundle source snapshot"
 
 (* Phase 1: communication-out ops (PUT/BCAST/SEND/SPAWN), executed for all
    issuing cores before any core's phase 2, so that same-cycle PUT/GET and
    BCAST pairing works across cores. *)
-let exec_comm_out t cs snapshot op =
+let exec_comm_out t cs op =
   let now = t.now in
   match op with
   | Inst.Put { dir; src } -> (
-    match Net.put t.net ~now ~src_core:cs.id dir (read_operand snapshot src) with
+    match Net.put t.net ~now ~src_core:cs.id dir (read_operand cs src) with
     | Ok () -> ()
     | Error e ->
       failwith
         (Printf.sprintf "core %d cycle %d: %s" cs.id now
            (Net.error_to_string (Net.Put_failed { src_core = cs.id; error = e }))))
   | Inst.Bcast { src } ->
-    Net.bcast t.net ~now ~src_core:cs.id (read_operand snapshot src)
+    Net.bcast t.net ~now ~src_core:cs.id (read_operand cs src)
   | Inst.Send { target; src } -> (
-    let payload = Net.Value (read_operand snapshot src) in
+    let payload = Net.Value (read_operand cs src) in
     match Net.send t.net ~now ~src:cs.id ~dst:target payload with
     | Ok () -> ()
     | Error Net.Channel_full ->
@@ -417,32 +495,31 @@ let exec_comm_out t cs snapshot op =
 
 (* Phase 2: everything else. Returns the branch target when the bundle's
    branch is taken. *)
-let exec_main t cs snapshot op : int option =
+let exec_main t cs op : int option =
   let now = t.now in
   let lat = Config.latency op in
-  let read = read_operand snapshot in
   match op with
   | Inst.Alu { op = a; dst; src1; src2 } ->
-    write_reg cs dst (Semantics.alu a (read src1) (read src2)) ~ready:(now + lat)
+    write_reg cs dst (Semantics.alu a (read_operand cs src1) (read_operand cs src2)) ~ready:(now + lat)
       ~prod:P_other;
     None
   | Inst.Fpu { op = f; dst; src1; src2 } ->
-    write_reg cs dst (Semantics.fpu f (read src1) (read src2)) ~ready:(now + lat)
+    write_reg cs dst (Semantics.fpu f (read_operand cs src1) (read_operand cs src2)) ~ready:(now + lat)
       ~prod:P_other;
     None
   | Inst.Cmp { op = c; dst; src1; src2 } ->
-    write_reg cs dst (Semantics.cmp c (read src1) (read src2)) ~ready:(now + lat)
+    write_reg cs dst (Semantics.cmp c (read_operand cs src1) (read_operand cs src2)) ~ready:(now + lat)
       ~prod:P_other;
     None
   | Inst.Select { dst; pred; if_true; if_false } ->
-    let v = if Semantics.truthy (read pred) then read if_true else read if_false in
+    let v = if Semantics.truthy (read_operand cs pred) then read_operand cs if_true else read_operand cs if_false in
     write_reg cs dst v ~ready:(now + lat) ~prod:P_other;
     None
   | Inst.Mov { dst; src } ->
-    write_reg cs dst (read src) ~ready:(now + lat) ~prod:P_other;
+    write_reg cs dst (read_operand cs src) ~ready:(now + lat) ~prod:P_other;
     None
   | Inst.Load { dst; base; offset } ->
-    let addr = read base + read offset in
+    let addr = read_operand cs base + read_operand cs offset in
     let ecc_before = match t.ecc with Some e -> Ecc.corrected e | None -> 0 in
     let v = Tm.read t.tm ~core:cs.id addr in
     let completion = Coherence.access t.hier ~now ~core:cs.id Coherence.Dload addr in
@@ -460,8 +537,8 @@ let exec_main t cs snapshot op : int option =
     write_reg cs dst v ~ready:(max (now + lat) completion) ~prod:P_load;
     None
   | Inst.Store { base; offset; src } ->
-    let addr = read base + read offset in
-    Tm.write t.tm ~core:cs.id addr (read src);
+    let addr = read_operand cs base + read_operand cs offset in
+    Tm.write t.tm ~core:cs.id addr (read_operand cs src);
     let completion = Coherence.access t.hier ~now ~core:cs.id Coherence.Dstore addr in
     cs.mem_busy <- max cs.mem_busy completion;
     if completion > now + t.cfg.cache.Coherence.lat_l1 then
@@ -476,7 +553,7 @@ let exec_main t cs snapshot op : int option =
       match pred with
       | None -> true
       | Some p ->
-        let v = Semantics.truthy (read p) in
+        let v = Semantics.truthy (read_operand cs p) in
         if invert then not v else v
     in
     if taken then Some cs.btrs.(btr) else None
@@ -538,38 +615,27 @@ let initiate_fetch t cs =
 
 (* Run one issuing core's full bundle (both phases are driven by the cycle
    loop; this is phase 2 plus pc update). *)
-let finish_issue t cs snapshot bundle =
+let finish_issue t cs (d : Image.decoded) =
   let issued_pc = cs.pc in
-  let target =
-    List.fold_left
-      (fun acc op ->
-        if is_comm_out op then acc
-        else
-          match exec_main t cs snapshot op with
-          | Some tgt -> Some tgt
-          | None -> acc)
-      None bundle
-  in
+  let ops = d.Image.d_ops in
+  let target = ref None in
+  for i = 0 to Array.length ops - 1 do
+    if not d.Image.d_comm_out.(i) then
+      match exec_main t cs ops.(i) with
+      | Some _ as tgt -> target := tgt
+      | None -> ()
+  done;
+  let target = !target in
   let core_st = Stats.core t.st cs.id in
   core_st.busy <- core_st.busy + 1;
   core_st.bundles <- core_st.bundles + 1;
   (match att_cell t ~core:cs.id ~pc:issued_pc with
   | None -> ()
   | Some cell -> cell.Stats.rc_busy <- cell.Stats.rc_busy + 1);
-  List.iter
-    (fun op ->
-      if op <> Inst.Nop then begin
-        core_st.ops <- core_st.ops + 1;
-        (match Inst.unit_class op with
-        | Inst.Memory -> core_st.ops_mem <- core_st.ops_mem + 1
-        | Inst.Commun -> core_st.ops_comm <- core_st.ops_comm + 1
-        | Inst.Compute | Inst.Control -> ());
-        match op with
-        | Inst.Alu { op = Inst.Mul | Inst.Div | Inst.Rem; _ } | Inst.Fpu _ ->
-          core_st.ops_mul_div <- core_st.ops_mul_div + 1
-        | _ -> ()
-      end)
-    bundle;
+  core_st.ops <- core_st.ops + d.Image.d_real_ops;
+  core_st.ops_mem <- core_st.ops_mem + d.Image.d_n_mem;
+  core_st.ops_comm <- core_st.ops_comm + d.Image.d_n_comm;
+  core_st.ops_mul_div <- core_st.ops_mul_div + d.Image.d_n_muldiv;
   t.last_progress <- t.now;
   (match cs.status with
   | Running ->
@@ -583,23 +649,23 @@ let finish_issue t cs snapshot bundle =
     (* Resume point: past this bundle (barrier ops never co-issue with a
        taken branch in generated code, but honour one if present). *)
     cs.pc <- (match target with Some tgt -> tgt | None -> cs.pc + 1));
-  trace t
-    (Trace.Issue
-       {
-         cycle = t.now;
-         core = cs.id;
-         pc = issued_pc;
-         ops = List.length (List.filter (fun o -> o <> Inst.Nop) bundle);
-       })
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+    Trace.record tr
+      (Trace.Issue
+         { cycle = t.now; core = cs.id; pc = issued_pc; ops = d.Image.d_real_ops })
 
 (* --- Per-cycle stepping --------------------------------------------------- *)
 
-let record_idle t cs =
+let record_idles t cs k =
   let core_st = Stats.core t.st cs.id in
-  core_st.idle <- core_st.idle + 1;
+  core_st.idle <- core_st.idle + k;
   match att_cell t ~core:cs.id ~pc:cs.pc with
   | None -> ()
-  | Some cell -> cell.Stats.rc_idle <- cell.Stats.rc_idle + 1
+  | Some cell -> cell.Stats.rc_idle <- cell.Stats.rc_idle + k
+
+let record_idle t cs = record_idles t cs 1
 
 let try_wake t cs =
   match Net.take_start t.net ~now:t.now ~core:cs.id with
@@ -610,89 +676,241 @@ let try_wake t cs =
     record_idle t cs
   | None -> record_idle t cs
 
-(* Decoupled: each core progresses independently. *)
+(* --- Stall fast-forward ----------------------------------------------------
+
+   When no core can change machine state this cycle, every per-cycle
+   verdict is frozen until the expiry of its core's first failing
+   condition (scoreboard thresholds and message arrival times are fixed
+   while nothing issues, and event-driven waits cannot clear on their
+   own). The step functions detect that configuration, credit the whole
+   window's stalls/idles in one bulk update to the very same counters and
+   attribution cells, and jump [t.now] to the window end — bit-identical
+   to stepping each cycle, minus the wall-clock. *)
+
+(* Last cycle of the window starting at [t.now]: the cycle before the
+   earliest verdict change, clipped so Out_of_cycles and the watchdog fire
+   at exactly the cycle the per-cycle loop would. [min_wake > t.now]
+   always (a currently-failing condition cannot expire in the past), so
+   the window is never empty. *)
+let window_end t ~min_wake =
+  min (min_wake - 1)
+    (min t.cfg.Config.max_cycles (t.last_progress + t.cfg.Config.watchdog + 1))
+
+(* Credit [k] cycles of the frozen configuration captured in [sc_wait]:
+   exactly what [k] repetitions of the per-cycle sweep would record. *)
+let bulk_credit t k =
+  let cores = t.cores in
+  for i = 0 to Array.length cores - 1 do
+    let cs = cores.(i) in
+    match cs.status with
+    | Halted | Asleep -> record_idles t cs k
+    | Wait_serial | At_barrier _ | At_commit | Stuck _ ->
+      record_stalls t ~core:cs.id Stats.Sync k
+    | Running -> (
+      match t.sc_wait.(i) with
+      | Some w -> record_stalls t ~core:cs.id (stall_of_wait w) k
+      | None -> assert false)
+  done
+
+(* Issue one decoupled core's bundle: snapshot, phase 1 (communication
+   out), phase 2. *)
+let issue_decoupled t cs =
+  let d = Image.decoded cs.image cs.pc in
+  snapshot_sources cs d;
+  if d.Image.d_has_comm_out then begin
+    let ops = d.Image.d_ops in
+    for i = 0 to Array.length ops - 1 do
+      if d.Image.d_comm_out.(i) then exec_comm_out t cs ops.(i)
+    done
+  end;
+  finish_issue t cs d
+
+let decoupled_core_step t cs =
+  match cs.status with
+  | Halted -> record_idle t cs
+  | Asleep -> try_wake t cs
+  | Wait_serial | At_barrier _ | At_commit | Stuck _ ->
+    record_stall t ~core:cs.id Stats.Sync
+  | Running -> (
+    match blocker t cs with
+    | Some w -> record_stall t ~core:cs.id (stall_of_wait w)
+    | None -> issue_decoupled t cs)
+
+(* Decoupled: each core progresses independently, in core order — a core's
+   issue is visible to later cores' checks within the same cycle. *)
 let decoupled_step t =
-  Array.iter
-    (fun cs ->
-      match cs.status with
-      | Halted -> record_idle t cs
-      | Asleep -> try_wake t cs
-      | Wait_serial | At_barrier _ | At_commit | Stuck _ ->
-        record_stall t ~core:cs.id Stats.Sync
+  let cores = t.cores in
+  let n = Array.length cores in
+  if not t.ff_active then
+    for i = 0 to n - 1 do
+      decoupled_core_step t cores.(i)
+    done
+  else begin
+    (* Probe for a fast-forward window: per-core verdicts in core order,
+       stopping at the first core that would change machine state this
+       cycle. [blocker] is effect-free, so the probed verdicts for the
+       frozen prefix are exactly what the sequential sweep computes. *)
+    let live = ref (-1) in
+    let min_wake = ref max_int in
+    let i = ref 0 in
+    while !live < 0 && !i < n do
+      let cs = cores.(!i) in
+      (match cs.status with
+      | Halted | Wait_serial | At_barrier _ | At_commit | Stuck _ ->
+        t.sc_wait.(!i) <- None
+      | Asleep ->
+        t.sc_wait.(!i) <- None;
+        let w = Net.next_start_ready t.net ~core:cs.id in
+        if w <= t.now then live := !i
+        else if w < !min_wake then min_wake := w
       | Running -> (
+        t.wake <- max_int;
         match blocker t cs with
-        | Some w -> record_stall t ~core:cs.id (stall_of_wait w)
-        | None ->
-          let bundle = Image.fetch cs.image cs.pc in
-          let snapshot = snapshot_sources cs bundle in
-          List.iter
-            (fun op -> if is_comm_out op then exec_comm_out t cs snapshot op)
-            bundle;
-          finish_issue t cs snapshot bundle))
-    t.cores
+        | None -> live := !i
+        | Some _ as b ->
+          t.sc_wait.(!i) <- b;
+          if t.wake < !min_wake then min_wake := t.wake));
+      if !live < 0 then incr i
+    done;
+    if !live < 0 then begin
+      let e = window_end t ~min_wake:!min_wake in
+      let k = e - t.now + 1 in
+      if k > 1 then begin
+        t.st.decoupled_cycles <- t.st.decoupled_cycles + (k - 1);
+        t.now <- e
+      end;
+      bulk_credit t k
+    end
+    else begin
+      (* Replay the frozen prefix for this one cycle (an asleep prefix core
+         has no deliverable START, so its [try_wake] is just an idle), then
+         run the state-changing sweep from the live core onward. *)
+      for j = 0 to !live - 1 do
+        let cs = cores.(j) in
+        match cs.status with
+        | Halted | Asleep -> record_idle t cs
+        | Wait_serial | At_barrier _ | At_commit | Stuck _ ->
+          record_stall t ~core:cs.id Stats.Sync
+        | Running -> (
+          match t.sc_wait.(j) with
+          | Some w -> record_stall t ~core:cs.id (stall_of_wait w)
+          | None -> assert false)
+      done;
+      for j = !live to n - 1 do
+        decoupled_core_step t cores.(j)
+      done
+    end
+  end
 
 (* Coupled: lock-step with the stall bus — either every running core
-   issues, or none does. *)
+   issues, or none does. One indexed scan computes the verdicts (and
+   checks the status invariant off the issue path); the issue path then
+   runs its three passes (snapshot, communication-out, main) so VLIW
+   read-before-write and same-cycle PUT/GET pairing hold across cores. *)
 let coupled_step t =
-  let running =
-    Array.to_list t.cores |> List.filter (fun cs -> cs.status = Running)
+  let cores = t.cores in
+  let n = Array.length cores in
+  let n_blocked = ref 0 in
+  let any_running_unblocked = ref false in
+  let has_d = ref false and has_i = ref false in
+  let first_kind = ref Stats.Sync in
+  let min_wake = ref max_int in
+  for i = 0 to n - 1 do
+    let cs = cores.(i) in
+    t.sc_waiting.(i) <- false;
+    match cs.status with
+    | Running -> (
+      t.wake <- max_int;
+      match blocker t cs with
+      | None ->
+        t.sc_wait.(i) <- None;
+        any_running_unblocked := true
+      | Some w as b ->
+        t.sc_wait.(i) <- b;
+        let k = stall_of_wait w in
+        if !n_blocked = 0 then first_kind := k;
+        incr n_blocked;
+        (match k with
+        | Stats.D_stall -> has_d := true
+        | Stats.I_stall -> has_i := true
+        | Stats.Lat_stall | Stats.Recv_data | Stats.Recv_pred | Stats.Sync ->
+          ());
+        if t.wake < !min_wake then min_wake := t.wake)
+    | At_barrier _ | Stuck _ ->
+      t.sc_wait.(i) <- None;
+      t.sc_waiting.(i) <- true
+    | Asleep | Halted | At_commit | Wait_serial ->
+      failwith
+        (Printf.sprintf "core %d in unexpected state during coupled mode" cs.id)
+  done;
+  let bulked =
+    !n_blocked > 0 && t.ff_active && not !any_running_unblocked
   in
-  let waiting_before =
-    Array.map
-      (fun cs ->
-        match cs.status with
-        | At_barrier _ | Stuck _ -> true
-        | Running | Asleep | Halted | At_commit | Wait_serial -> false)
-      t.cores
-  in
-  List.iter
-    (fun cs ->
-      match cs.status with
-      | Running | At_barrier _ | Stuck _ -> ()
-      | Asleep | Halted | At_commit | Wait_serial ->
-        failwith
-          (Printf.sprintf "core %d in unexpected state during coupled mode" cs.id))
-    (Array.to_list t.cores);
-  let blockers = List.map (fun cs -> (cs, blocker t cs)) running in
-  let any_blocked = List.exists (fun (_, b) -> b <> None) blockers in
-  if any_blocked then begin
+  if bulked then begin
+    (* Every running core is blocked with its own verdict (the group-stall
+       "dominant" kind is moot), so the window credit is exact; waiting
+       cores take their Sync cycles in the same bulk update. *)
+    let e = window_end t ~min_wake:!min_wake in
+    let k = e - t.now + 1 in
+    if k > 1 then begin
+      t.st.coupled_cycles <- t.st.coupled_cycles + (k - 1);
+      t.now <- e
+    end;
+    bulk_credit t k
+  end
+  else if !n_blocked > 0 then begin
     (* Group stall: a core with its own reason records it; the rest record
-       the peers' dominant reason (D over I over the rest). *)
-    let reasons = List.filter_map (fun (_, b) -> Option.map stall_of_wait b) blockers in
+       the peers' dominant reason (D over I over the first in core order). *)
     let dominant =
-      if List.mem Stats.D_stall reasons then Stats.D_stall
-      else if List.mem Stats.I_stall reasons then Stats.I_stall
-      else (match reasons with r :: _ -> r | [] -> Stats.Sync)
+      if !has_d then Stats.D_stall
+      else if !has_i then Stats.I_stall
+      else !first_kind
     in
-    List.iter
-      (fun (cs, b) ->
+    for i = 0 to n - 1 do
+      let cs = cores.(i) in
+      if cs.status = Running then
         record_stall t ~core:cs.id
-          (match b with Some w -> stall_of_wait w | None -> dominant))
-      blockers
+          (match t.sc_wait.(i) with
+          | Some w -> stall_of_wait w
+          | None -> dominant)
+    done
   end
   else begin
-    let issues =
-      List.map
-        (fun cs ->
-          let bundle = Image.fetch cs.image cs.pc in
-          (cs, bundle, snapshot_sources cs bundle))
-        running
-    in
-    List.iter
-      (fun (cs, bundle, snapshot) ->
-        List.iter
-          (fun op -> if is_comm_out op then exec_comm_out t cs snapshot op)
-          bundle)
-      issues;
-    List.iter (fun (cs, bundle, snapshot) -> finish_issue t cs snapshot bundle) issues
+    (* Phase 0: snapshot every issuing core's sources before any effects. *)
+    for i = 0 to n - 1 do
+      let cs = cores.(i) in
+      if cs.status = Running then
+        snapshot_sources cs (Image.decoded cs.image cs.pc)
+    done;
+    (* Phase 1: communication-out for all cores, so same-cycle PUT/GET and
+       BCAST pairing works regardless of core order. *)
+    for i = 0 to n - 1 do
+      let cs = cores.(i) in
+      if cs.status = Running then begin
+        let d = Image.decoded cs.image cs.pc in
+        if d.Image.d_has_comm_out then begin
+          let ops = d.Image.d_ops in
+          for j = 0 to Array.length ops - 1 do
+            if d.Image.d_comm_out.(j) then exec_comm_out t cs ops.(j)
+          done
+        end
+      end
+    done;
+    (* Phase 2. *)
+    for i = 0 to n - 1 do
+      let cs = cores.(i) in
+      if cs.status = Running then
+        finish_issue t cs (Image.decoded cs.image cs.pc)
+    done
   end;
   (* Cores already waiting at the exit barrier count sync stalls. Only
      those waiting when the cycle began: a core that issued the barrier
-     bundle this very cycle already recorded that cycle as busy. *)
-  Array.iteri
-    (fun i cs ->
-      if waiting_before.(i) then record_stall t ~core:cs.id Stats.Sync)
-    t.cores
+     bundle this very cycle already recorded that cycle as busy. (The bulk
+     path credited them inside [bulk_credit].) *)
+  if not bulked then
+    for i = 0 to n - 1 do
+      if t.sc_waiting.(i) then record_stall t ~core:cores.(i).id Stats.Sync
+    done
 
 (* --- Fault injection ------------------------------------------------------ *)
 
@@ -718,13 +936,18 @@ let inject_faults t =
 (* --- End-of-cycle resolution ---------------------------------------------- *)
 
 let resolve_mode_barrier t =
-  let statuses = Array.map (fun cs -> cs.status) t.cores in
-  let all_at_barrier =
-    Array.for_all (function At_barrier _ -> true | _ -> false) statuses
+  (* Checked every cycle: scan without materialising a status array. *)
+  let n = Array.length t.cores in
+  let rec all_at_barrier i =
+    i >= n
+    ||
+    match t.cores.(i).status with
+    | At_barrier _ -> all_at_barrier (i + 1)
+    | Running | Asleep | Halted | At_commit | Wait_serial | Stuck _ -> false
   in
-  if all_at_barrier then begin
+  if all_at_barrier 0 then begin
     let target =
-      match statuses.(0) with
+      match t.cores.(0).status with
       | At_barrier m -> m
       | Running | Asleep | Halted | At_commit | Wait_serial | Stuck _ ->
         assert false
@@ -785,13 +1008,15 @@ let release_committed t committed =
    codegen contract is that every DOALL round runs one (possibly empty)
    chunk on every core. *)
 let resolve_tm_round t =
-  let participants = List.init t.cfg.n_cores (fun c -> c) in
-  let all_ready =
-    List.for_all
-      (fun c -> Tm.in_tx t.tm ~core:c && t.cores.(c).status = At_commit)
-      participants
+  (* Checked every cycle: test readiness without building the participant
+     list; it is only materialised once a round actually resolves. *)
+  let n = t.cfg.Config.n_cores in
+  let rec ready c =
+    c >= n
+    || (t.cores.(c).status = At_commit && Tm.in_tx t.tm ~core:c && ready (c + 1))
   in
-  if all_ready then begin
+  if ready 0 then begin
+    let participants = List.init t.cfg.n_cores (fun c -> c) in
     t.st.tm_rounds <- t.st.tm_rounds + 1;
     t.last_progress <- t.now;
     let spurious =
@@ -1008,6 +1233,15 @@ let finalize_counters t =
     t.st.flips_masked <- Ecc.masked e
 
 let run t =
+  (* Fast-forward needs every skipped cycle to be observationally dead:
+     any per-cycle observer (tracer, sampler hook) or per-cycle randomness
+     (fault injector) forces the cycle-by-cycle path. Attribution stays
+     compatible — its cells take the same credit in bulk. *)
+  t.ff_active <-
+    t.cfg.Config.fast_forward
+    && (match t.inj with None -> true | Some _ -> false)
+    && (match t.tracer with None -> true | Some _ -> false)
+    && (match t.on_cycle with None -> true | Some _ -> false);
   let outcome = ref None in
   while !outcome = None do
     t.now <- t.now + 1;

@@ -84,15 +84,17 @@ let create ~n_cores =
     stall_faults = 0;
   }
 
-let record_stall t ~core kind =
+let add_stall t ~core kind k =
   let c = t.per_core.(core) in
   match kind with
-  | I_stall -> c.i_stall <- c.i_stall + 1
-  | D_stall -> c.d_stall <- c.d_stall + 1
-  | Lat_stall -> c.lat_stall <- c.lat_stall + 1
-  | Recv_data -> c.recv_data_stall <- c.recv_data_stall + 1
-  | Recv_pred -> c.recv_pred_stall <- c.recv_pred_stall + 1
-  | Sync -> c.sync_stall <- c.sync_stall + 1
+  | I_stall -> c.i_stall <- c.i_stall + k
+  | D_stall -> c.d_stall <- c.d_stall + k
+  | Lat_stall -> c.lat_stall <- c.lat_stall + k
+  | Recv_data -> c.recv_data_stall <- c.recv_data_stall + k
+  | Recv_pred -> c.recv_pred_stall <- c.recv_pred_stall + k
+  | Sync -> c.sync_stall <- c.sync_stall + k
+
+let record_stall t ~core kind = add_stall t ~core kind 1
 
 let core t i = t.per_core.(i)
 

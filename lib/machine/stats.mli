@@ -52,6 +52,11 @@ type stall_kind =
 
 val create : n_cores:int -> t
 val record_stall : t -> core:int -> stall_kind -> unit
+
+(** [add_stall t ~core kind k] is [record_stall] x [k] in one update — the
+    stall fast-forward's bulk credit. *)
+val add_stall : t -> core:int -> stall_kind -> int -> unit
+
 val core : t -> int -> core
 
 val total_stalls : core -> int

@@ -35,16 +35,9 @@ type hotspot = {
   hs_ops : int;
 }
 
-(* Nearest label at or before [pc] in [image]. *)
-let enclosing_label image pc =
-  let rec back addr =
-    if addr < 0 then "<entry>"
-    else
-      match Image.labels_at image addr with
-      | label :: _ -> label
-      | [] -> back (addr - 1)
-  in
-  back pc
+(* Nearest label at or before [pc] in [image] — precomputed at image-finish
+   time, so aggregating a large trace is O(events), not O(events x labels). *)
+let enclosing_label = Image.enclosing_label
 
 let hotspots t (prog : Program.t) =
   let table : (int * string, int * int) Hashtbl.t = Hashtbl.create 32 in

@@ -1,13 +1,18 @@
 type state = M | O | E | S | I
 
-(* Each set is a small association list from way index to (line, state),
-   plus an LRU order (most recent first). Sets are tiny (2-8 ways), so
-   lists are the clearest representation. *)
+(* Each set is a small array of ways plus a recency stamp per way: the LRU
+   order is "descending age", a promote is one store, and victim selection
+   is a linear min scan — O(ways) worst case instead of the O(ways^2)
+   list-splice representation this replaces, with the identical order
+   (ages are all distinct: initial stamps are strictly decreasing by way
+   index, replicating the original way-0-first order, and every promote
+   uses a fresh tick). *)
 type way = { mutable line : int; mutable state : state }
 
 type set = {
   ways_arr : way array;
-  mutable lru : int list;  (** way indices, most recently used first *)
+  age : int array;  (** recency stamp per way; larger = more recent *)
+  mutable tick : int;  (** last stamp handed out *)
 }
 
 type t = { n_sets : int; n_ways : int; sets_arr : set array }
@@ -24,7 +29,8 @@ let create ~sets ~ways =
       Array.init sets (fun _ ->
           {
             ways_arr = Array.init ways (fun _ -> { line = -1; state = I });
-            lru = List.init ways (fun i -> i);
+            age = Array.init ways (fun i -> ways - 1 - i);
+            tick = ways - 1;
           });
   }
 
@@ -42,7 +48,9 @@ let find_way set line =
   in
   loop 0
 
-let promote set i = set.lru <- i :: List.filter (fun j -> j <> i) set.lru
+let promote set i =
+  set.tick <- set.tick + 1;
+  set.age.(i) <- set.tick
 
 let find t line =
   let set = set_of t line in
@@ -65,19 +73,22 @@ let insert t line st =
   (match find_way set line with
   | Some _ -> invalid_arg "Cache.insert: line already present"
   | None -> ());
-  (* Prefer an invalid way; otherwise evict the LRU way. *)
-  let invalid_way =
-    let rec loop i =
-      if i >= Array.length set.ways_arr then None
-      else if set.ways_arr.(i).state = I then Some i
-      else loop (i + 1)
-    in
-    loop 0
-  in
+  (* Prefer an invalid way; otherwise evict the minimum-age (LRU) way. *)
   let victim_way =
-    match invalid_way with
+    let n = Array.length set.ways_arr in
+    let rec invalid_loop i =
+      if i >= n then None
+      else if set.ways_arr.(i).state = I then Some i
+      else invalid_loop (i + 1)
+    in
+    match invalid_loop 0 with
     | Some i -> i
-    | None -> List.nth set.lru (List.length set.lru - 1)
+    | None ->
+      let best = ref 0 in
+      for i = 1 to n - 1 do
+        if set.age.(i) < set.age.(!best) then best := i
+      done;
+      !best
   in
   let w = set.ways_arr.(victim_way) in
   let victim = if w.state = I then None else Some (w.line, w.state) in

@@ -16,20 +16,25 @@ let check t addr what =
       (Printf.sprintf "Memory.%s: address %d outside [0,%d)" what addr
          (Array.length t.data))
 
+(* The fault-free path (no ECC shadow attached) is one bounds test and the
+   array access; everything ECC hides behind the single [t.ecc] branch. *)
 let read t addr =
   check t addr "read";
-  (match t.ecc with
-  | None -> ()
-  | Some e -> (
-    match Ecc.check e ~addr with
+  match t.ecc with
+  | None -> t.data.(addr)
+  | Some e ->
+    (match Ecc.check e ~addr with
     | Some golden -> t.data.(addr) <- golden
-    | None -> ()));
-  t.data.(addr)
+    | None -> ());
+    t.data.(addr)
 
 let write t addr v =
   check t addr "write";
-  (match t.ecc with None -> () | Some e -> Ecc.overwrite e ~addr);
-  t.data.(addr) <- v
+  match t.ecc with
+  | None -> t.data.(addr) <- v
+  | Some e ->
+    Ecc.overwrite e ~addr;
+    t.data.(addr) <- v
 
 let corrupt t addr ~flip =
   check t addr "corrupt";

@@ -150,9 +150,20 @@ let getb t ~now ~core =
 
 (* --- Queue mode ---------------------------------------------------------- *)
 
-let pending t ~src ~dst =
-  List.length
-    (List.filter (fun m -> m.msg_dst = dst && m.msg_src = src) t.in_flight)
+(* The queue scans below are toplevel recursions threading their context
+   as arguments, not List combinators over closures: several run every
+   cycle for every blocked or sleeping core (the machine's blocker and
+   wake probes), and a capturing closure per call would put the network
+   back on the simulator's per-cycle allocation path. *)
+
+let rec count_channel src dst n = function
+  | [] -> n
+  | m :: rest ->
+    count_channel src dst
+      (if m.msg_dst = dst && m.msg_src = src then n + 1 else n)
+      rest
+
+let pending t ~src ~dst = count_channel src dst 0 t.in_flight
 
 (* Retransmission must not reorder a (src, dst) channel: RECV consumes by
    sender id only, so FIFO within a channel is program semantics, not just
@@ -166,8 +177,11 @@ let same_channel a b =
   | Value _, Value _ | Start _, Start _ -> true
   | Value _, Start _ | Start _, Value _ -> false
 
-let head_of_channel t m =
-  not (List.exists (fun m' -> same_channel m m' && m'.seq < m.seq) t.in_flight)
+let rec earlier_on_channel m = function
+  | [] -> false
+  | m' :: rest -> (same_channel m m' && m'.seq < m.seq) || earlier_on_channel m rest
+
+let head_of_channel t m = not (earlier_on_channel m t.in_flight)
 
 (* In a fault-free run every message is [Clean] and same-channel hop counts
    are equal, so ready order equals seq order and the head-of-channel test
@@ -242,53 +256,70 @@ let defer t ~now ~src ~dst payload =
   msg.retry_at <- now + Fault.backoff_of cfg ~attempt:msg.attempt;
   t.net_stats.nacks <- t.net_stats.nacks + 1
 
-let service t ~now =
-  List.iter
-    (fun m ->
-      if m.condition <> Clean && m.retry_at <= now then begin
-        let s = t.net_stats in
-        s.retries <- s.retries + 1;
-        if m.condition = Corrupt then s.nacks <- s.nacks + 1;
-        m.attempt <- m.attempt + 1;
-        transmit t ~now m
-      end)
-    t.in_flight
+let rec service_loop t now = function
+  | [] -> ()
+  | m :: rest ->
+    if m.condition <> Clean && m.retry_at <= now then begin
+      let s = t.net_stats in
+      s.retries <- s.retries + 1;
+      if m.condition = Corrupt then s.nacks <- s.nacks + 1;
+      m.attempt <- m.attempt + 1;
+      transmit t ~now m
+    end;
+    service_loop t now rest
 
-(* Find (and remove) the deliverable message matching [p] with the smallest
-   seq. *)
-let take t ~now p =
-  let best =
-    List.fold_left
-      (fun acc m ->
-        if deliverable t ~now m && p m then
-          match acc with
-          | Some b when b.seq <= m.seq -> acc
-          | Some _ | None -> Some m
-        else acc)
-      None t.in_flight
-  in
-  match best with
+let service t ~now =
+  match t.in_flight with [] -> () | l -> service_loop t now l
+
+(* Payload-class match without a closure: [want_start] selects the class,
+   and [src < 0] means "any sender" (START consumption). *)
+let class_matches want_start m =
+  match m.msg_payload with Start _ -> want_start | Value _ -> not want_start
+
+let rec find_deliverable t now dst src want_start best = function
+  | [] -> best
+  | m :: rest ->
+    let best =
+      if
+        m.msg_dst = dst
+        && (src < 0 || m.msg_src = src)
+        && class_matches want_start m
+        && deliverable t ~now m
+      then
+        match best with Some b when b.seq <= m.seq -> best | _ -> Some m
+      else best
+    in
+    find_deliverable t now dst src want_start best rest
+
+let rec remove_seq seq = function
+  | [] -> []
+  | m :: rest -> if m.seq = seq then rest else m :: remove_seq seq rest
+
+(* Find (and remove) the deliverable message on the matching channel class
+   with the smallest seq. *)
+let take t ~now ~dst ~src ~want_start =
+  match find_deliverable t now dst src want_start None t.in_flight with
   | None -> None
   | Some m ->
-    t.in_flight <- List.filter (fun m' -> m'.seq <> m.seq) t.in_flight;
+    t.in_flight <- remove_seq m.seq t.in_flight;
     Some m
 
 let recv t ~now ~core ~sender =
-  let matches m =
-    m.msg_dst = core && m.msg_src = sender
-    && match m.msg_payload with Value _ -> true | Start _ -> false
-  in
-  match take t ~now matches with
+  match take t ~now ~dst:core ~src:sender ~want_start:false with
   | Some { msg_payload = Value v; _ } -> Some v
   | Some { msg_payload = Start _; _ } -> assert false
   | None -> None
 
+let rec recv_ready_loop t now dst src = function
+  | [] -> false
+  | m :: rest ->
+    (m.msg_dst = dst && m.msg_src = src
+    && (match m.msg_payload with Value _ -> true | Start _ -> false)
+    && deliverable t ~now m)
+    || recv_ready_loop t now dst src rest
+
 let recv_ready t ~now ~core ~sender =
-  List.exists
-    (fun m ->
-      deliverable t ~now m && m.msg_dst = core && m.msg_src = sender
-      && match m.msg_payload with Value _ -> true | Start _ -> false)
-    t.in_flight
+  recv_ready_loop t now core sender t.in_flight
 
 let getb_ready t ~now ~core =
   match t.broadcast with
@@ -297,15 +328,47 @@ let getb_ready t ~now ~core =
     (not t.consumed_bcast.(core))
     && now >= slot.b_time + Mesh.hops t.net_mesh slot.b_src core
 
+(* --- Wake queries (stall fast-forward) ------------------------------------ *)
+
+(* Earliest cycle at which the matching receive condition can turn true,
+   assuming the machine issues nothing in between (so [in_flight] is
+   frozen). Only exact on a fault-free network: every message is [Clean]
+   and same-channel hop counts are equal, so the min [ready_time] over a
+   channel is its head's delivery time. [max_int] when nothing matching is
+   in flight — the wait is event-driven and cannot clear while no core
+   issues. *)
+let rec min_ready dst src want_start acc = function
+  | [] -> acc
+  | m :: rest ->
+    let acc =
+      if
+        m.msg_dst = dst
+        && (src < 0 || m.msg_src = src)
+        && class_matches want_start m
+      then min acc m.ready_time
+      else acc
+    in
+    min_ready dst src want_start acc rest
+
+let next_value_ready t ~core ~sender =
+  min_ready core sender false max_int t.in_flight
+
+let next_start_ready t ~core = min_ready core (-1) true max_int t.in_flight
+
+let getb_wake t ~core =
+  match t.broadcast with
+  | None -> max_int
+  | Some slot ->
+    if t.consumed_bcast.(core) then max_int
+    else slot.b_time + Mesh.hops t.net_mesh slot.b_src core
+
 let take_start t ~now ~core =
-  let matches m =
-    m.msg_dst = core
-    && match m.msg_payload with Start _ -> true | Value _ -> false
-  in
-  match take t ~now matches with
-  | Some { msg_payload = Start addr; _ } -> Some addr
-  | Some { msg_payload = Value _; _ } -> assert false
-  | None -> None
+  if t.in_flight == [] then None
+  else
+    match take t ~now ~dst:core ~src:(-1) ~want_start:true with
+    | Some { msg_payload = Start addr; _ } -> Some addr
+    | Some { msg_payload = Value _; _ } -> assert false
+    | None -> None
 
 let in_flight_summary t =
   List.sort (fun a b -> compare a.seq b.seq) t.in_flight

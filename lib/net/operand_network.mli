@@ -116,6 +116,17 @@ val getb_ready : t -> now:int -> core:int -> bool
 val take_start : t -> now:int -> core:int -> int option
 (** Oldest ready [Start] message addressed to a sleeping [core]. *)
 
+(** {2 Wake queries}
+
+    Earliest cycle the corresponding ready test can turn true while the
+    machine issues nothing (the stall fast-forward window), or [max_int]
+    when the wait is event-driven and cannot clear on its own. Exact only
+    on a fault-free network — the machine gates fast-forward on that. *)
+
+val next_value_ready : t -> core:int -> sender:int -> int
+val next_start_ready : t -> core:int -> int
+val getb_wake : t -> core:int -> int
+
 val pending : t -> src:int -> dst:int -> int
 (** Undelivered messages on the [src]->[dst] channel. *)
 
