@@ -522,6 +522,111 @@ let profile_cmd =
       const profile $ bench_arg $ file_arg $ cores_arg $ strategy_arg
       $ scale_arg $ sample_arg $ json_arg)
 
+let fuzz_cmd =
+  let fuzz seed count cores strategies size no_minimize corpus emit =
+    let strategies =
+      match strategies with
+      | "" -> None
+      | s -> Some (List.map choice_of_string (String.split_on_char ',' s))
+    in
+    let cores =
+      match cores with
+      | "" -> None
+      | s ->
+        Some
+          (List.map
+             (fun c ->
+               match int_of_string_opt (String.trim c) with
+               | Some n when n > 0 -> n
+               | _ ->
+                 Printf.eprintf "bad core count %s\n" c;
+                 exit 2)
+             (String.split_on_char ',' s))
+    in
+    let on_program =
+      match emit with
+      | None -> fun ~seed:_ _ -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        fun ~seed p ->
+          let path = Filename.concat dir (Printf.sprintf "fuzz_s%d.vc" seed) in
+          let oc = open_out path in
+          output_string oc (Voltron_gen.Gen.render p);
+          close_out oc
+    in
+    let report =
+      Voltron_gen.Campaign.run ?strategies ?cores ~size
+        ~minimize_findings:(not no_minimize) ~on_program ~log:print_endline
+        ~seed ~count ()
+    in
+    Printf.printf
+      "fuzz: %d program(s), %d simulation(s), %d checker warning(s), %d \
+       finding(s)\n"
+      report.Voltron_gen.Campaign.r_programs report.Voltron_gen.Campaign.r_runs
+      report.Voltron_gen.Campaign.r_warnings
+      (List.length report.Voltron_gen.Campaign.r_findings);
+    List.iter
+      (fun f ->
+        let path = Voltron_gen.Campaign.write_reproducer ~dir:corpus f in
+        Printf.printf "  reproducer: %s\n" path)
+      report.Voltron_gen.Campaign.r_findings;
+    if report.Voltron_gen.Campaign.r_findings <> [] then exit 1
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"First generator seed.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"How many programs to generate and run.")
+  in
+  let cores_list_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "cores" ] ~docv:"LIST"
+          ~doc:"Comma-separated core counts to test (default 2,4,8).")
+  in
+  let strategies_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "strategies" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated strategies to test (default \
+             seq,ilp,tlp,llp,hybrid).")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "size" ] ~docv:"N" ~doc:"Statement budget per generated program.")
+  in
+  let no_minimize_arg =
+    Arg.(
+      value & flag
+      & info [ "no-minimize" ]
+          ~doc:"Write findings unshrunk instead of minimizing them first.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt string "test/corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Directory that receives minimized reproducers on a finding.")
+  in
+  let emit_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "emit" ] ~docv:"DIR"
+          ~doc:"Also write every generated program to $(docv) (for triage).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random VC programs against the interpreter \
+          oracle across the strategy/core matrix, with shrinking and \
+          reproducer output.")
+    Term.(
+      const fuzz $ seed_arg $ count_arg $ cores_list_arg $ strategies_arg
+      $ size_arg $ no_minimize_arg $ corpus_arg $ emit_arg)
+
 let list_cmd =
   let list () =
     List.iter
@@ -550,5 +655,6 @@ let () =
             disasm_cmd;
             asm_cmd;
             trace_cmd;
+            fuzz_cmd;
             list_cmd;
           ]))

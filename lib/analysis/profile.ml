@@ -41,7 +41,8 @@ let site_stat t sid =
     Hashtbl.replace t.sites sid s;
     s
 
-let collect ?(cache = Voltron_mem.Coherence.default_config) (p : Voltron_ir.Hir.program) =
+let collect ?(cache = Voltron_mem.Coherence.default_config) ?max_steps
+    (p : Voltron_ir.Hir.program) =
   let t =
     {
       loops = Hashtbl.create 32;
@@ -102,7 +103,7 @@ let collect ?(cache = Voltron_mem.Coherence.default_config) (p : Voltron_ir.Hir.
           | _ -> ());
     }
   in
-  let (_ : Voltron_ir.Interp.result) = Voltron_ir.Interp.run ~events p in
+  let (_ : Voltron_ir.Interp.result) = Voltron_ir.Interp.run ~events ?max_steps p in
   t
 
 let instances t sid =

@@ -11,8 +11,13 @@
 
 type t
 
-val collect : ?cache:Voltron_mem.Coherence.config -> Voltron_ir.Hir.program -> t
-(** Runs the program once under the interpreter with profiling hooks. *)
+val collect :
+  ?cache:Voltron_mem.Coherence.config ->
+  ?max_steps:int ->
+  Voltron_ir.Hir.program ->
+  t
+(** Runs the program once under the interpreter with profiling hooks.
+    [max_steps] bounds the run like {!Voltron_ir.Interp.run}'s. *)
 
 val instances : t -> int -> int
 (** How many times loop [sid] was entered. *)

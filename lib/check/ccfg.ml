@@ -159,6 +159,17 @@ let successors t i =
   | Cond { target; _ } -> target :: fall
   | Stop_halt | Stop_sleep | Unresolved -> []
 
+let labeled_successors t i =
+  let b = t.blocks.(i) in
+  let fall =
+    if i + 1 < Array.length t.blocks then [ (i + 1, None) ] else []
+  in
+  match b.b_term with
+  | Fall | Barrier _ -> fall
+  | Jump { target; label } -> [ (target, Some label) ]
+  | Cond { target; label } -> (target, Some label) :: fall
+  | Stop_halt | Stop_sleep | Unresolved -> []
+
 let block_starting_at t addr =
   if addr < 0 || addr >= Array.length t.block_of_addr then None
   else

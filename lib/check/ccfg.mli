@@ -45,6 +45,12 @@ val successors : t -> int -> int list
 (** Static successor block indices; empty for halting/sleeping blocks and
     for unresolved branches. *)
 
+val labeled_successors : t -> int -> (int * Voltron_isa.Inst.label option) list
+(** Like {!successors}, but each branch edge carries the label the branch
+    names ([None] for fall-through edges). Two back edges into the same
+    block under different labels are distinct loops whose headers happen
+    to share a block — the label is what tells them apart. *)
+
 val block_starting_at : t -> int -> int option
 (** The block whose first bundle sits at this address, if any — used to
     find SPAWN entry points. *)

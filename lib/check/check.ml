@@ -234,14 +234,17 @@ let counts_meet ~tag a b =
    can also carry core-private labels (a worker's SPAWN entry is placed at
    the same address as the first region block), so prefer a label the
    [shared] predicate accepts — one that exists on several cores —
-   falling back to any label, then to a core-local address tag. *)
-let block_tag ~shared (g : Ccfg.t) bi =
+   falling back to any label, then to a core-local address tag. [canon]
+   maps the chosen label to its co-residence class representative (see
+   {!label_canon}), so cores whose schedules collapse labels onto one
+   block still agree with peers that keep them on separate blocks. *)
+let block_tag ~shared ~canon (g : Ccfg.t) bi =
   let labels = g.Ccfg.blocks.(bi).Ccfg.b_labels in
   match List.find_opt shared labels with
-  | Some l -> l
+  | Some l -> canon l
   | None -> (
     match labels with
-    | l :: _ -> l
+    | l :: _ -> canon l
     | [] -> Printf.sprintf "@c%d:%d" g.Ccfg.core bi)
 
 let block_delta core (g : Ccfg.t) bi =
@@ -258,76 +261,164 @@ let block_delta core (g : Ccfg.t) bi =
     (Ccfg.ops g g.Ccfg.blocks.(bi))
 
 type range_result = {
-  rr_exits : (int * counts) list;  (** targets outside [lo, hi] *)
+  rr_exits : (int * Inst.label option * counts) list;
+      (** (target, edge label, state) for targets outside [lo, hi] *)
   rr_terminals : counts list;  (** states at HALT / SLEEP inside the range *)
-  rr_back : counts option;  (** meet of states flowing back to the entry *)
+  rr_backs : (Inst.label option * counts) list;
+      (** meet of states flowing back to the entry, per back-edge label *)
 }
 
+(* A loop level: the label its back edge names, and the last source block
+   of an edge under that label. Distinct labels into one header block are
+   distinct nested loops — a core whose schedule leaves no ops between an
+   outer and an inner loop header carries both labels on a single block,
+   and only the edge labels recover the nest the peer cores still see as
+   separate blocks. Innermost level = smallest back-edge source. *)
+type level = Inst.label option * int
+
+let add_level (levels : level list) lab src =
+  match List.assoc_opt lab levels with
+  | Some s -> (lab, max s src) :: List.remove_assoc lab levels
+  | None -> (lab, src) :: levels
+
+let sort_levels = List.sort (fun (_, a) (_, b) -> compare (a : int) b)
+
+(* Retreating edges into [target] from blocks in [target..hi], grouped by
+   edge label, innermost first. *)
+let back_levels (g : Ccfg.t) ~hi target =
+  let levels = ref [] in
+  for j = target to min hi (Ccfg.n_blocks g - 1) do
+    List.iter
+      (fun (t, lab) -> if t = target then levels := add_level !levels lab j)
+      (Ccfg.labeled_successors g j)
+  done;
+  sort_levels !levels
+
+let split_last l =
+  match List.rev l with
+  | last :: rev_init -> (last, List.rev rev_init)
+  | [] -> invalid_arg "split_last"
+
+(* Cross-core-stable trip-variable tag for a loop level: the label the
+   back edge names, when shared; the header block's tag otherwise. *)
+let level_tag ~shared ~canon (g : Ccfg.t) bi ((lab, _) : level) =
+  match lab with
+  | Some l when shared l -> canon l
+  | _ -> block_tag ~shared ~canon g bi
+
+let meet_backs ~tag (backs : (Inst.label option * counts) list) =
+  match List.map snd backs with
+  | [] -> CMap.empty
+  | first :: rest ->
+    List.fold_left (fun acc st -> counts_meet ~tag acc st) first rest
+
 (* Abstractly execute the contiguous block range [lo..hi] with the given
-   entry state at [lo]. Natural loops appear as a header block with a
-   retreating edge from inside the range: the body is analysed once from a
-   zero state to get its per-iteration delta, and the header's state gains
-   [trip * delta] with a trip-count variable named after the header's
-   label — shared across cores, so per-iteration-balanced communication
-   cancels out even though the trip count is unknown. *)
-let rec analyze_range (g : Ccfg.t) ~shared ~delta lo hi entry =
+   entry state at [lo]. Natural loops appear as a header block with
+   retreating edges from inside the range: the body is analysed once from
+   a zero state to get its per-iteration delta, and the header's state
+   gains [trip * delta] with a trip-count variable named after the label
+   the back edge targets — shared across cores, so per-iteration-balanced
+   communication cancels out even though the trip count is unknown.
+
+   [absorb] lists the levels headed at [lo] itself that this call must
+   treat as internal loops (innermost first): that is how a nest whose
+   headers collapsed onto one block is unpicked, one level per recursion.
+   Back edges into [lo] under any remaining label are the caller's
+   concern, reported through [rr_backs]. *)
+let rec analyze_range (g : Ccfg.t) ~shared ~canon ~delta ?(absorb = []) lo hi entry =
   let n = hi - lo + 1 in
   let in_state = Array.make n None in
-  in_state.(0) <- Some entry;
-  (* body_hi.(h - lo): last source of a retreating edge into [h], for
-     headers strictly inside the range (the entry's own back edges are the
-     caller's concern, reported through [rr_back]). *)
-  let body_hi = Array.make n None in
+  (* Loop levels per header strictly inside the range (the entry's own
+     levels arrive via [absorb]). *)
+  let levels_of = Array.make n [] in
+  (* Labels of forward edges into each block: the branch skeleton is
+     replicated across cores even when op placement differs, so a phi
+     tag drawn from these is cross-core stable where the join block's
+     own label list is not (labels collapse onto one block on a core
+     whose schedule puts no ops between them). *)
+  let fwd_labels = Array.make n [] in
   for j = lo to hi do
     List.iter
-      (fun s ->
-        if s > lo && s <= j then
-          body_hi.(s - lo) <-
-            Some (max j (Option.value body_hi.(s - lo) ~default:j)))
-      (Ccfg.successors g j)
+      (fun (t, lab) ->
+        if t > lo && t <= j then
+          levels_of.(t - lo) <- add_level levels_of.(t - lo) lab j
+        else if t > j && t <= hi then
+          match lab with
+          | Some l when shared l ->
+            (* Canonicalise before the lexicographic pick below: the max
+               over raw names need not commute with [canon]. *)
+            let l = canon l in
+            if not (List.mem l fwd_labels.(t - lo)) then
+              fwd_labels.(t - lo) <- l :: fwd_labels.(t - lo)
+          | _ -> ())
+      (Ccfg.labeled_successors g j)
   done;
+  Array.iteri (fun k ls -> levels_of.(k) <- sort_levels ls) levels_of;
+  let join_tag target =
+    match List.sort (fun a b -> compare b a) fwd_labels.(target - lo) with
+    | t :: _ -> t
+    | [] -> block_tag ~shared ~canon g target
+  in
   let exits = ref [] in
   let terminals = ref [] in
-  let back = ref None in
-  let meet_into ~tag prev st =
-    match prev with
-    | None -> Some st
-    | Some old -> Some (counts_meet ~tag old st)
-  in
-  let merge target st =
-    if target = lo then back := meet_into ~tag:(block_tag ~shared g lo) !back st
-    else if target > hi || target < lo then exits := (target, st) :: !exits
+  let backs = ref [] in
+  let merge target lab st =
+    if target = lo then
+      backs :=
+        (match List.assoc_opt lab !backs with
+        | Some old ->
+          (lab, counts_meet ~tag:(block_tag ~shared ~canon g lo) old st)
+          :: List.remove_assoc lab !backs
+        | None -> (lab, st) :: !backs)
+    else if target > hi || target < lo then exits := (target, lab, st) :: !exits
     else
       in_state.(target - lo) <-
-        meet_into ~tag:(block_tag ~shared g target) in_state.(target - lo) st
+        (match in_state.(target - lo) with
+        | None -> Some st
+        | Some old -> Some (counts_meet ~tag:(join_tag target) old st))
   in
-  let i = ref lo in
+  (* Run the loop nest headed at [bi] (levels innermost first): the inner
+     levels are absorbed into the body analysis, the outermost level's
+     per-iteration delta is multiplied by its trip variable, and the
+     body's exits continue with the multiplied state. Returns the first
+     block after the nest. *)
+  let run_nest bi levels st =
+    let ((_, sk) as outer), inner = split_last levels in
+    let r = analyze_range g ~shared ~canon ~delta ~absorb:inner bi sk CMap.empty in
+    let d = meet_backs ~tag:(block_tag ~shared ~canon g bi) r.rr_backs in
+    let st' =
+      counts_add st (counts_mul_var ("iter:" ^ level_tag ~shared ~canon g bi outer) d)
+    in
+    List.iter
+      (fun t -> terminals := counts_add st' t :: !terminals)
+      r.rr_terminals;
+    List.iter (fun (tg, lab, rel) -> merge tg lab (counts_add st' rel)) r.rr_exits;
+    sk + 1
+  in
+  let start =
+    match absorb with
+    | [] ->
+      in_state.(0) <- Some entry;
+      lo
+    | levels -> run_nest lo levels entry
+  in
+  let i = ref start in
   while !i <= hi do
     let bi = !i in
     (match in_state.(bi - lo) with
     | None -> incr i  (* not reachable within this range *)
     | Some st -> (
-      match body_hi.(bi - lo) with
-      | Some bh ->
-        (* [bi] heads a loop whose body spans [bi..bh]. *)
-        let r = analyze_range g ~shared ~delta bi bh CMap.empty in
-        let d = Option.value r.rr_back ~default:CMap.empty in
-        let st' =
-          counts_add st (counts_mul_var ("iter:" ^ block_tag ~shared g bi) d)
-        in
-        List.iter (fun t -> terminals := counts_add st' t :: !terminals)
-          r.rr_terminals;
-        List.iter (fun (tg, rel) -> merge tg (counts_add st' rel)) r.rr_exits;
-        i := bh + 1
-      | None ->
+      match levels_of.(bi - lo) with
+      | _ :: _ as levels -> i := run_nest bi levels st
+      | [] ->
         let out = counts_add st (delta bi) in
         (match g.Ccfg.blocks.(bi).Ccfg.b_term with
         | Ccfg.Stop_halt | Ccfg.Stop_sleep -> terminals := out :: !terminals
         | _ -> ());
-        List.iter (fun s -> merge s out) (Ccfg.successors g bi);
+        List.iter (fun (s, lab) -> merge s lab out) (Ccfg.labeled_successors g bi);
         incr i))
   done;
-  { rr_exits = !exits; rr_terminals = !terminals; rr_back = !back }
+  { rr_exits = !exits; rr_terminals = !terminals; rr_backs = !backs }
 
 (* ------------------------------------------------------------------ *)
 (* Strands: one entry point (core 0's address 0, or a SPAWN target) and
@@ -342,11 +433,15 @@ type strand = {
   mutable st_scale : Lin.t option;  (** how many times the strand runs *)
 }
 
-let analyze_strand ~diag ~shared (g : Ccfg.t) ~entry_label entry_block =
+let analyze_strand ~diag ~shared ~canon (g : Ccfg.t) ~entry_label entry_block =
   let reach = Ccfg.reachable g entry_block in
   let hi = List.fold_left max entry_block reach in
   let delta = block_delta g.Ccfg.core g in
-  let r = analyze_range g ~shared ~delta entry_block hi CMap.empty in
+  let entry_levels = back_levels g ~hi entry_block in
+  let absorb =
+    match entry_levels with [] -> [] | ls -> snd (split_last ls)
+  in
+  let r = analyze_range g ~shared ~canon ~delta ~absorb entry_block hi CMap.empty in
   let where =
     match entry_label with
     | Some l -> Printf.sprintf "strand %s on core %d" l g.Ccfg.core
@@ -359,12 +454,16 @@ let analyze_strand ~diag ~shared (g : Ccfg.t) ~entry_label entry_block =
                           counts are approximate" where));
   (* A back edge into the entry means the whole strand is a loop (the
      SPAWN entry label doubles as the loop header): every terminating path
-     ran [trip] full iterations first. *)
+     ran [trip] full iterations first. Inner levels of a nest collapsed
+     onto the entry block were absorbed into [r] already; only the
+     outermost level multiplies here. *)
   let preamble =
-    match r.rr_back with
-    | None -> CMap.empty
-    | Some d ->
-      counts_mul_var ("iter:" ^ block_tag ~shared g entry_block) d
+    match entry_levels with
+    | [] -> CMap.empty
+    | ls ->
+      let outer, _ = split_last ls in
+      let d = meet_backs ~tag:(block_tag ~shared ~canon g entry_block) r.rr_backs in
+      counts_mul_var ("iter:" ^ level_tag ~shared ~canon g entry_block outer) d
   in
   let totals =
     match r.rr_terminals with
@@ -376,7 +475,7 @@ let analyze_strand ~diag ~shared (g : Ccfg.t) ~entry_label entry_block =
     | first :: rest ->
       List.fold_left
         (fun acc t ->
-          counts_meet ~tag:("exit:" ^ block_tag ~shared g entry_block) acc t)
+          counts_meet ~tag:("exit:" ^ block_tag ~shared ~canon g entry_block) acc t)
         first rest
       |> counts_add preamble
   in
@@ -449,6 +548,42 @@ let discover_strands ctx =
         else Hashtbl.replace entries (target, entry) ()
       | _ -> ());
   let mk_diag sev loc kind = diag ctx sev loc kind in
+  (* Labels that land on the same block of some core name the same
+     program point: a core whose schedule leaves no ops between two
+     labels carries both on one block, while a peer with ops in between
+     keeps two blocks — left alone, the cores would anchor the same
+     symbolic unknown (a trip count, a path-merge phi) to different
+     labels and balanced traffic could not cancel. Union co-resident
+     labels across every core and canonicalise each tag to its class
+     representative; the map is global, so the renaming is identical on
+     all cores and counts that were equal stay equal. *)
+  let canon =
+    let parent = Hashtbl.create 64 in
+    let rec find l =
+      match Hashtbl.find_opt parent l with
+      | None -> l
+      | Some p ->
+        let r = find p in
+        Hashtbl.replace parent l r;
+        r
+    in
+    let union a b =
+      let ra = find a and rb = find b in
+      if ra <> rb then
+        if ra < rb then Hashtbl.replace parent rb ra
+        else Hashtbl.replace parent ra rb
+    in
+    Array.iter
+      (fun (g : Ccfg.t) ->
+        Array.iter
+          (fun (b : Ccfg.block) ->
+            match b.Ccfg.b_labels with
+            | [] | [ _ ] -> ()
+            | l :: rest -> List.iter (union l) rest)
+          g.Ccfg.blocks)
+      ctx.graphs;
+    find
+  in
   (* Labels that appear on at least two cores' images: replicated region
      code, the anchor for cross-core symbolic variable names. *)
   let shared =
@@ -475,7 +610,7 @@ let discover_strands ctx =
   let root =
     if Image.length ctx.prog.Program.images.(0) = 0 then []
     else
-      [ analyze_strand ~diag:mk_diag ~shared ctx.graphs.(0) ~entry_label:None 0 ]
+      [ analyze_strand ~diag:mk_diag ~shared ~canon ctx.graphs.(0) ~entry_label:None 0 ]
   in
   (match root with
   | [ r ] -> r.st_scale <- Some (Lin.const_ 1)
@@ -488,7 +623,7 @@ let discover_strands ctx =
            let addr = Image.resolve g.Ccfg.image e in
            match Ccfg.block_starting_at g addr with
            | Some bi ->
-             Some (analyze_strand ~diag:mk_diag ~shared g ~entry_label:(Some e) bi)
+             Some (analyze_strand ~diag:mk_diag ~shared ~canon g ~entry_label:(Some e) bi)
            | None ->
              diag ctx Error None
                (Malformed

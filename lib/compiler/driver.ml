@@ -12,14 +12,14 @@ type compiled = {
   check_diags : Check.diag list;
 }
 
-let compile ~machine ?(choice = `Hybrid) ?(check = true) ?profile
+let compile ~machine ?(choice = `Hybrid) ?(check = true) ?profile ?max_steps
     (p : Hir.program) =
   let profile =
     match profile with
     | Some pr -> pr
-    | None -> Voltron_analysis.Profile.collect p
+    | None -> Voltron_analysis.Profile.collect ?max_steps p
   in
-  let oracle = Voltron_ir.Interp.run p in
+  let oracle = Voltron_ir.Interp.run ?max_steps p in
   let array_footprint = Voltron_ir.Layout.mem_size oracle.Voltron_ir.Interp.layout in
   let plan = Select.plan ~machine ~profile choice p in
   let cg = Codegen.create machine p in

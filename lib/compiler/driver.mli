@@ -18,11 +18,14 @@ val compile :
   ?choice:Select.choice ->
   ?check:bool ->
   ?profile:Voltron_analysis.Profile.t ->
+  ?max_steps:int ->
   Voltron_ir.Hir.program ->
   compiled
 (** Profiles (unless given), selects a strategy per region ([`Hybrid] by
     default), generates per-core code, and records the oracle checksum
-    over the array footprint for verification.
+    over the array footprint for verification. [max_steps] bounds the
+    oracle interpreter run (see {!Voltron_ir.Interp.run}) — the fuzzing
+    harness uses it to reject runaway shrink candidates quickly.
 
     Unless [~check:false] is given, the static cross-core checker
     ({!Voltron_check.Check}) runs over the generated images as a

@@ -114,6 +114,158 @@ let run_resilient ?(choice = `Hybrid) ?(check = true) ?profile
   let attempts = List.rev attempts_rev in
   { final; attempts; degraded = List.length attempts > 1 }
 
+(* --- Differential harness -------------------------------------------------- *)
+
+type diff_case = {
+  d_strategy : Voltron_compiler.Select.choice;
+  d_cores : int;
+}
+
+type divergence =
+  | Non_completion of {
+      nc_case : diff_case;
+      nc_fast_forward : bool;
+      nc_outcome : run_outcome;
+    }
+  | Checksum_mismatch of { cm_case : diff_case; expected : int; got : int }
+  | Checker_rejected of {
+      cr_case : diff_case;
+      diags : Voltron_check.Check.diag list;
+    }
+  | Ff_cycle_mismatch of { fc_case : diff_case; ff_on : int; ff_off : int }
+
+type differential = {
+  diff_runs : int;
+  diff_warnings : int;
+  diff_divergences : divergence list;
+}
+
+let default_strategies : Voltron_compiler.Select.choice list =
+  [ `Seq; `Ilp; `Tlp; `Llp; `Hybrid ]
+
+let default_cores = [ 2; 4; 8 ]
+
+let choice_name : Voltron_compiler.Select.choice -> string = function
+  | `Seq -> "seq"
+  | `Ilp -> "ilp"
+  | `Tlp -> "tlp"
+  | `Llp -> "llp"
+  | `Hybrid -> "hybrid"
+
+let case_name c = Printf.sprintf "%s/%d-core" (choice_name c.d_strategy) c.d_cores
+
+let divergence_class = function
+  | Non_completion _ -> "non-completion"
+  | Checksum_mismatch _ -> "checksum"
+  | Checker_rejected _ -> "checker"
+  | Ff_cycle_mismatch _ -> "ff-cycles"
+
+let divergence_to_string = function
+  | Non_completion { nc_case; nc_fast_forward; nc_outcome } ->
+    Printf.sprintf "[%s, fast-forward %s] did not complete: %s"
+      (case_name nc_case)
+      (if nc_fast_forward then "on" else "off")
+      (outcome_to_string nc_outcome)
+  | Checksum_mismatch { cm_case; expected; got } ->
+    Printf.sprintf "[%s] memory diverged from the oracle: expected %x, got %x"
+      (case_name cm_case) expected got
+  | Checker_rejected { cr_case; diags } ->
+    Printf.sprintf "[%s] static checker rejected the build:\n%s"
+      (case_name cr_case)
+      (String.concat "\n"
+         (List.map
+            (fun d -> "  " ^ Voltron_check.Check.diag_to_string d)
+            diags))
+  | Ff_cycle_mismatch { fc_case; ff_on; ff_off } ->
+    Printf.sprintf
+      "[%s] fast-forward changed the cycle count: %d on, %d off"
+      (case_name fc_case) ff_on ff_off
+
+(* One compile per case; two simulations (fast-forward on and off) off the
+   same executable — the flag is simulation-only, so any disagreement is a
+   simulator bug, not a compilation difference. *)
+let differential ?(strategies = default_strategies) ?(cores = default_cores)
+    ?(max_steps = 2_000_000) ?(max_cycles = 4_000_000)
+    ?(tweak = fun c -> c) ?(miscompile = fun c -> c) ?(ff_tweak = fun c -> c)
+    program =
+  let runs = ref 0 and warnings = ref 0 and divs = ref [] in
+  let push d = divs := d :: !divs in
+  let simulate config (compiled : Driver.compiled) =
+    incr runs;
+    let m = Machine.create config compiled.Driver.executable in
+    let result = Machine.run m in
+    let outcome =
+      match result.Machine.outcome with
+      | Machine.Finished -> Completed
+      | Machine.Out_of_cycles -> Cycle_capped
+      | Machine.Deadlock d -> Deadlocked d
+      | Machine.Fault_limit d -> Fault_limited d
+    in
+    let sum =
+      Voltron_mem.Memory.checksum_prefix (Machine.memory m)
+        compiled.Driver.array_footprint
+    in
+    (outcome, result.Machine.cycles, sum)
+  in
+  List.iter
+    (fun d_cores ->
+      List.iter
+        (fun d_strategy ->
+          let case = { d_strategy; d_cores } in
+          let config =
+            let c = tweak (Config.default ~n_cores:d_cores) in
+            { c with Config.max_cycles = min c.Config.max_cycles max_cycles }
+          in
+          match
+            Driver.compile ~machine:config ~choice:d_strategy ~check:true
+              ~max_steps program
+          with
+          | exception Voltron_check.Check.Failed diags ->
+            push (Checker_rejected { cr_case = case; diags })
+          | compiled ->
+            let compiled = miscompile compiled in
+            if Voltron_check.Check.has_errors compiled.Driver.check_diags then
+              push
+                (Checker_rejected
+                   { cr_case = case; diags = compiled.Driver.check_diags })
+            else begin
+              warnings := !warnings + List.length compiled.Driver.check_diags;
+              let run_ff ff config =
+                simulate { config with Config.fast_forward = ff } compiled
+              in
+              let o_on, cyc_on, sum_on = run_ff true config in
+              let o_off, cyc_off, sum_off = run_ff false (ff_tweak config) in
+              let check_completed ff o expected sum =
+                match o with
+                | Completed ->
+                  if sum <> expected then
+                    push
+                      (Checksum_mismatch { cm_case = case; expected; got = sum })
+                | o ->
+                  push
+                    (Non_completion
+                       { nc_case = case; nc_fast_forward = ff; nc_outcome = o })
+              in
+              (* The fast-forward run is judged against the oracle; the
+                 per-cycle reference run is judged against the fast-forward
+                 run, so one miscompile is one divergence, and any on/off
+                 disagreement (cycles or memory) is a simulator bug. *)
+              check_completed true o_on compiled.Driver.oracle_checksum sum_on;
+              check_completed false o_off sum_on sum_off;
+              if o_on = Completed && o_off = Completed && cyc_on <> cyc_off
+              then
+                push
+                  (Ff_cycle_mismatch
+                     { fc_case = case; ff_on = cyc_on; ff_off = cyc_off })
+            end)
+        strategies)
+    cores;
+  {
+    diff_runs = !runs;
+    diff_warnings = !warnings;
+    diff_divergences = List.rev !divs;
+  }
+
 let baseline_cycles ?profile program =
   let m = run ~choice:`Seq ?profile ~n_cores:1 program in
   (match m.outcome with

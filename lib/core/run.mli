@@ -77,6 +77,81 @@ val run_resilient :
     degradation threshold so the last resort always runs to completion
     (faults are still injected and recovered, so it must still verify). *)
 
+(** {1 Differential testing}
+
+    The correctness contract every compilation strategy carries — identical
+    memory image to the reference interpreter, clean static-checker
+    diagnostics, fast-forward-invisible timing, watchdog-free termination —
+    checked over a strategy x core-count matrix in one call. This is the
+    entry the generative fuzzer ([voltron_gen]) and the corpus replay tests
+    share. *)
+
+type diff_case = {
+  d_strategy : Voltron_compiler.Select.choice;
+  d_cores : int;
+}
+
+type divergence =
+  | Non_completion of {
+      nc_case : diff_case;
+      nc_fast_forward : bool;
+      nc_outcome : run_outcome;
+    }  (** deadlock, cycle cap or fault stop — watchdog-free termination failed *)
+  | Checksum_mismatch of { cm_case : diff_case; expected : int; got : int }
+      (** array-footprint memory image differs from the reference
+          interpreter (or, for the per-cycle reference run, from the
+          fast-forward run) *)
+  | Checker_rejected of {
+      cr_case : diff_case;
+      diags : Voltron_check.Check.diag list;
+    }  (** the static cross-core checker found errors in the build *)
+  | Ff_cycle_mismatch of { fc_case : diff_case; ff_on : int; ff_off : int }
+      (** stall fast-forward changed the cycle count — it must be
+          architecturally invisible *)
+
+type differential = {
+  diff_runs : int;  (** simulations performed *)
+  diff_warnings : int;  (** checker warnings across all cases (not failures) *)
+  diff_divergences : divergence list;
+}
+
+val default_strategies : Voltron_compiler.Select.choice list
+(** [[`Seq; `Ilp; `Tlp; `Llp; `Hybrid]] *)
+
+val default_cores : int list
+(** [[2; 4; 8]] *)
+
+val choice_name : Voltron_compiler.Select.choice -> string
+val divergence_class : divergence -> string
+(** Stable failure-class tag: ["non-completion"], ["checksum"],
+    ["checker"] or ["ff-cycles"] — the shrinker preserves this. *)
+
+val divergence_to_string : divergence -> string
+
+val differential :
+  ?strategies:Voltron_compiler.Select.choice list ->
+  ?cores:int list ->
+  ?max_steps:int ->
+  ?max_cycles:int ->
+  ?tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
+  ?miscompile:(Voltron_compiler.Driver.compiled -> Voltron_compiler.Driver.compiled) ->
+  ?ff_tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
+  Voltron_ir.Hir.program ->
+  differential
+(** For every strategy x core count: compile once (static checker on),
+    simulate twice — stall fast-forward on, then off — and record every
+    contract violation. [max_steps] bounds the oracle interpreter and
+    [max_cycles] clamps the simulator cap (both deliberately small so
+    runaway shrink candidates fail fast instead of simulating 200M
+    cycles); raise them for unusually large programs.
+
+    [miscompile] and [ff_tweak] exist for the harness's own tests: the
+    first rewrites the compiled artifact before simulation (an intentional
+    miscompile, to prove checksum and checker divergences are caught), the
+    second perturbs only the per-cycle reference machine (to prove
+    fast-forward divergences are caught). Leave both at their identity
+    defaults in real use. *)
+
 val baseline_cycles : ?profile:Voltron_analysis.Profile.t -> Voltron_ir.Hir.program -> int
 (** Single-core sequential cycles (the paper's 1.0 reference). *)
 

@@ -1,0 +1,144 @@
+module Ast = Voltron_lang.Ast
+module Frontend = Voltron_lang.Frontend
+module Run = Voltron.Run
+
+type finding = {
+  f_seed : int;
+  f_class : string;
+  f_case : Run.diff_case option;
+  f_detail : string;
+  f_original : Ast.program;
+  f_minimized : Ast.program;
+}
+
+type report = {
+  r_programs : int;
+  r_runs : int;
+  r_warnings : int;
+  r_findings : finding list;
+}
+
+let crash_class e =
+  "crash: "
+  ^ (match e with
+    | Frontend.Error _ -> "frontend"
+    | Voltron_ir.Interp.Step_limit_exceeded -> "step-limit"
+    | Invalid_argument _ -> "invalid-argument"
+    | Failure _ -> "failure"
+    | _ -> Printexc.to_string e)
+
+(* Findings must reproduce from their on-disk form: go through print ->
+   parse -> elaborate, never straight from the AST. *)
+let elaborate (p : Ast.program) =
+  Frontend.parse_string ~name:p.Ast.prog_name (Gen.render p)
+
+let first_failure ?strategies ?cores ?miscompile ?ff_tweak (p : Ast.program) =
+  match elaborate p with
+  | exception e -> (Some (crash_class e, None, Printexc.to_string e), 0, 0)
+  | hir -> (
+    match Run.differential ?strategies ?cores ?miscompile ?ff_tweak hir with
+    | exception e -> (Some (crash_class e, None, Printexc.to_string e), 0, 0)
+    | d -> (
+      match d.Run.diff_divergences with
+      | [] -> (None, d.Run.diff_runs, d.Run.diff_warnings)
+      | dv :: _ ->
+        let case =
+          match dv with
+          | Run.Non_completion { nc_case; _ } -> Some nc_case
+          | Run.Checksum_mismatch { cm_case; _ } -> Some cm_case
+          | Run.Checker_rejected { cr_case; _ } -> Some cr_case
+          | Run.Ff_cycle_mismatch { fc_case; _ } -> Some fc_case
+        in
+        ( Some (Run.divergence_class dv, case, Run.divergence_to_string dv),
+          d.Run.diff_runs,
+          d.Run.diff_warnings )))
+
+let minimize ?strategies ?cores ?miscompile ?ff_tweak ~cls ?case p =
+  (* Re-running just the diverging case per candidate keeps shrinking
+     cheap; the class must be preserved exactly. *)
+  let strategies, cores =
+    match case with
+    | Some c -> (Some [ c.Run.d_strategy ], Some [ c.Run.d_cores ])
+    | None -> (strategies, cores)
+  in
+  let keep candidate =
+    match first_failure ?strategies ?cores ?miscompile ?ff_tweak candidate with
+    | Some (cls', _, _), _, _ -> cls' = cls
+    | None, _, _ -> false
+  in
+  if keep p then Shrink.shrink ~keep p else p
+
+let run ?strategies ?cores ?(size = 24) ?(minimize_findings = true)
+    ?(on_program = fun ~seed:_ _ -> ()) ?(log = ignore) ~seed ~count () =
+  let runs = ref 0 and warnings = ref 0 and findings = ref [] in
+  for k = 0 to count - 1 do
+    let s = seed + k in
+    let p = Gen.program ~size ~seed:s () in
+    on_program ~seed:s p;
+    let failure, r, w = first_failure ?strategies ?cores p in
+    runs := !runs + r;
+    warnings := !warnings + w;
+    (match failure with
+    | None -> ()
+    | Some (cls, case, detail) ->
+      log (Printf.sprintf "seed %d: %s divergence — %s" s cls detail);
+      let minimized =
+        if minimize_findings then begin
+          let m = minimize ?strategies ?cores ~cls ?case p in
+          log
+            (Printf.sprintf "seed %d: shrunk %d -> %d source lines" s
+               (Gen.source_lines p) (Gen.source_lines m));
+          m
+        end
+        else p
+      in
+      findings :=
+        {
+          f_seed = s;
+          f_class = cls;
+          f_case = case;
+          f_detail = detail;
+          f_original = p;
+          f_minimized = minimized;
+        }
+        :: !findings);
+    if (k + 1) mod 25 = 0 then
+      log
+        (Printf.sprintf "%d/%d programs, %d simulations, %d finding(s)" (k + 1)
+           count !runs
+           (List.length !findings))
+  done;
+  {
+    r_programs = count;
+    r_runs = !runs;
+    r_warnings = !warnings;
+    r_findings = List.rev !findings;
+  }
+
+let sanitize_class cls =
+  String.map (fun c -> if c = ' ' || c = ':' || c = '/' then '-' else c) cls
+
+let write_reproducer ~dir f =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "fuzz_s%d_%s.vc" f.f_seed (sanitize_class f.f_class))
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "// voltron_gen reproducer — failure class: %s\n\
+     // seed %d%s\n\
+     // %s\n\
+     // regenerate the unshrunk original: voltron_sim fuzz --seed %d --count 1\n\
+     %s"
+    f.f_class f.f_seed
+    (match f.f_case with
+    | Some c ->
+      Printf.sprintf ", first diverging case: %s on %d cores"
+        (Run.choice_name c.Run.d_strategy)
+        c.Run.d_cores
+    | None -> "")
+    (String.concat " " (String.split_on_char '\n' f.f_detail))
+    f.f_seed (Gen.render f.f_minimized);
+  close_out oc;
+  path

@@ -1,0 +1,75 @@
+(** Differential fuzzing campaign: generate, run the contract, shrink,
+    write reproducers.
+
+    Each generated program is rendered to concrete VC syntax and
+    re-parsed before running — so every finding is guaranteed to
+    reproduce from its on-disk [.vc] form, and the print/reparse path is
+    itself under test. The failure predicate is
+    {!Voltron.Run.differential}: oracle checksum agreement, clean static
+    checker, fast-forward cycle equality and watchdog-free termination
+    over a strategy x core matrix. *)
+
+type finding = {
+  f_seed : int;
+  f_class : string;
+      (** {!Voltron.Run.divergence_class} of the first divergence, or
+          ["crash: <exn>"] when the toolchain raised *)
+  f_case : Voltron.Run.diff_case option;  (** the first diverging case *)
+  f_detail : string;  (** human-readable description of the divergence *)
+  f_original : Voltron_lang.Ast.program;
+  f_minimized : Voltron_lang.Ast.program;  (** = original when not minimized *)
+}
+
+type report = {
+  r_programs : int;  (** programs generated and run *)
+  r_runs : int;  (** total simulations across all differentials *)
+  r_warnings : int;  (** static-checker warnings seen (informational) *)
+  r_findings : finding list;
+}
+
+val first_failure :
+  ?strategies:Voltron_compiler.Select.choice list ->
+  ?cores:int list ->
+  ?miscompile:(Voltron_compiler.Driver.compiled -> Voltron_compiler.Driver.compiled) ->
+  ?ff_tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
+  Voltron_lang.Ast.program ->
+  (string * Voltron.Run.diff_case option * string) option * int * int
+(** Render, re-parse, elaborate and run the differential contract.
+    Returns [(failure, runs, warnings)] where [failure] is
+    [Some (class, case, detail)] for the first divergence or crash.
+    [miscompile] and [ff_tweak] are threaded to {!Voltron.Run.differential}
+    (the harness's own self-tests inject deliberate miscompiles through
+    them). *)
+
+val minimize :
+  ?strategies:Voltron_compiler.Select.choice list ->
+  ?cores:int list ->
+  ?miscompile:(Voltron_compiler.Driver.compiled -> Voltron_compiler.Driver.compiled) ->
+  ?ff_tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
+  cls:string ->
+  ?case:Voltron.Run.diff_case ->
+  Voltron_lang.Ast.program ->
+  Voltron_lang.Ast.program
+(** Shrink while the program still fails with class [cls]. When [case] is
+    given, only that strategy/core pair is re-run per candidate (much
+    faster; the corpus replay test re-confirms the full matrix). *)
+
+val run :
+  ?strategies:Voltron_compiler.Select.choice list ->
+  ?cores:int list ->
+  ?size:int ->
+  ?minimize_findings:bool ->
+  ?on_program:(seed:int -> Voltron_lang.Ast.program -> unit) ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  report
+(** Run [count] programs at seeds [seed, seed+1, ...]. [on_program] sees
+    every generated program before it runs (the CLI's [--emit] hook);
+    [log] receives one-line progress and finding messages. *)
+
+val write_reproducer : dir:string -> finding -> string
+(** Write the minimized program as [dir/fuzz_s<seed>_<class>.vc] with a
+    triage header (seed, class, diverging case, regeneration command);
+    returns the path. Creates [dir] if missing. *)

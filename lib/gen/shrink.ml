@@ -1,0 +1,88 @@
+module Ast = Voltron_lang.Ast
+
+let nopos = { Ast.line = 0; col = 0 }
+
+(* All single-step reductions of one statement that keep it a single
+   statement (recursive edits inside sub-blocks included). *)
+let rec stmt_variants (s : Ast.stmt) : Ast.stmt list =
+  match s with
+  | Ast.Decl (x, e, p) ->
+    if e = Ast.Int 0 then [] else [ Ast.Decl (x, Ast.Int 0, p) ]
+  | Ast.Assign (x, e, p) ->
+    if e = Ast.Int 0 then [] else [ Ast.Assign (x, Ast.Int 0, p) ]
+  | Ast.Store (a, i, v, p) ->
+    (if v = Ast.Int 0 then [] else [ Ast.Store (a, i, Ast.Int 0, p) ])
+    @ if i = Ast.Int 0 then [] else [ Ast.Store (a, Ast.Int 0, v, p) ]
+  | Ast.If (c, t, e) ->
+    List.map (fun t' -> Ast.If (c, t', e)) (block_variants t)
+    @ List.map (fun e' -> Ast.If (c, t, e')) (block_variants e)
+  | Ast.For ({ limit; body; _ } as f) ->
+    let limits =
+      match limit with
+      | Ast.Int l when l > 1 ->
+        [ Ast.For { f with limit = Ast.Int (l / 2) }; Ast.For { f with limit = Ast.Int 1 } ]
+      | _ -> []
+    in
+    limits @ List.map (fun body -> Ast.For { f with body }) (block_variants body)
+  | Ast.DoWhile (body, c) ->
+    List.map (fun body' -> Ast.DoWhile (body', c)) (block_variants body)
+
+(* Reductions that replace one statement by a (possibly empty) sequence:
+   deletion, branch selection, loop body inlining. Inlined loop bodies
+   keep their variable bindings legal: the loop variable becomes an
+   ordinary declaration. *)
+and stmt_inlines (s : Ast.stmt) : Ast.block list =
+  let delete = [ [] ] in
+  match s with
+  | Ast.Decl _ | Ast.Assign _ | Ast.Store _ -> delete
+  | Ast.If (_, t, e) -> delete @ [ t; e ]
+  | Ast.For { var; init; body; _ } -> delete @ [ Ast.Decl (var, init, nopos) :: body ]
+  | Ast.DoWhile (body, _) -> delete @ [ body ]
+
+and block_variants (b : Ast.block) : Ast.block list =
+  match b with
+  | [] -> []
+  | s :: rest ->
+    List.map (fun repl -> repl @ rest) (stmt_inlines s)
+    @ List.map (fun s' -> s' :: rest) (stmt_variants s)
+    @ List.map (fun rest' -> s :: rest') (block_variants rest)
+
+let program_variants (p : Ast.program) : Ast.program list =
+  let drop_regions =
+    List.mapi
+      (fun k _ ->
+        { p with Ast.regions = List.filteri (fun j _ -> j <> k) p.Ast.regions })
+      p.Ast.regions
+  in
+  let drop_decls =
+    List.mapi
+      (fun k _ -> { p with Ast.decls = List.filteri (fun j _ -> j <> k) p.Ast.decls })
+      p.Ast.decls
+  in
+  let region_edits =
+    List.concat
+      (List.mapi
+         (fun k (r : Ast.region) ->
+           List.map
+             (fun body ->
+               {
+                 p with
+                 Ast.regions =
+                   List.mapi
+                     (fun j rj -> if j = k then { r with Ast.reg_body = body } else rj)
+                     p.Ast.regions;
+               })
+             (block_variants r.Ast.reg_body))
+         p.Ast.regions)
+  in
+  drop_regions @ drop_decls @ region_edits
+
+let shrink ?(max_rounds = 2000) ~keep p =
+  let rec go p rounds =
+    if rounds >= max_rounds then p
+    else
+      match List.find_opt keep (program_variants p) with
+      | Some p' -> go p' (rounds + 1)
+      | None -> p
+  in
+  go p 0

@@ -1,0 +1,23 @@
+(** Greedy structural shrinking of VC programs.
+
+    [shrink ~keep p] repeatedly applies the single smallest-step
+    reductions — drop a region, drop an array declaration, delete a
+    statement, replace an [if] by one branch, unroll a loop to its first
+    iteration's scope ([for] becomes a declaration plus its body,
+    [do]/[while] becomes its body), halve a constant loop limit, zero a
+    right-hand side — keeping a candidate only when [keep] still holds
+    (candidates that no longer elaborate simply fail [keep]). Greedy
+    first-improvement with restart, until a fixpoint: the result still
+    satisfies [keep] and no single reduction does.
+
+    [keep] must be true of [p] itself; the fuzzing campaign instantiates
+    it as "the differential harness still reports the same failure
+    class". *)
+
+val shrink :
+  ?max_rounds:int ->
+  keep:(Voltron_lang.Ast.program -> bool) ->
+  Voltron_lang.Ast.program ->
+  Voltron_lang.Ast.program
+(** [max_rounds] caps accepted reductions (default 2000) as a safety net
+    against a pathological [keep]. *)

@@ -1,0 +1,210 @@
+(* Differential fuzzer harness: generator determinism and soundness,
+   replay of the checked-in corpus over the full strategy x core matrix,
+   and self-tests that prove each divergence class is actually caught —
+   a deliberately miscompiled artifact must be flagged AND shrink to a
+   small reproducer, otherwise a silent harness bug could make every
+   campaign vacuously green. *)
+
+module Gen = Voltron_gen.Gen
+module Campaign = Voltron_gen.Campaign
+module Shrink = Voltron_gen.Shrink
+module Run = Voltron.Run
+module Frontend = Voltron_lang.Frontend
+module Parser = Voltron_lang.Parser
+module Driver = Voltron_compiler.Driver
+module Check = Voltron_check.Check
+
+(* --- Generator ------------------------------------------------------------------- *)
+
+let test_determinism () =
+  List.iter
+    (fun seed ->
+      let a = Gen.render (Gen.program ~seed ()) in
+      let b = Gen.render (Gen.program ~seed ()) in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d reproduces" seed)
+        a b)
+    [ 1; 7; 42; 182 ];
+  let a = Gen.render (Gen.program ~seed:7 ()) in
+  let b = Gen.render (Gen.program ~seed:8 ()) in
+  Alcotest.(check bool) "distinct seeds differ" true (a <> b)
+
+(* Every generated program must survive render -> re-parse -> elaborate:
+   the generator is correct by construction, never by rejection. *)
+let test_generated_elaborate () =
+  for seed = 1 to 30 do
+    let p = Gen.program ~seed () in
+    match Frontend.parse_string ~name:p.Voltron_lang.Ast.prog_name (Gen.render p) with
+    | _ -> ()
+    | exception e ->
+      Alcotest.failf "seed %d does not elaborate: %s" seed
+        (Option.value ~default:(Printexc.to_string e) (Frontend.error_to_string e))
+  done
+
+(* --- Corpus replay --------------------------------------------------------------- *)
+
+let corpus_dir () =
+  (* dune runtest runs in the test directory's build dir; dune exec from
+     the workspace root. *)
+  if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus"
+
+let corpus_files () =
+  let dir = corpus_dir () in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".vc")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+(* Every checked-in program — fixed-seed generator output and shrunk
+   regression reproducers alike — must pass the whole contract: oracle
+   checksum agreement, clean checker, fast-forward cycle equality,
+   watchdog-free termination, over all strategies and core counts. *)
+let test_corpus_replay () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus present" true (List.length files >= 10);
+  List.iter
+    (fun file ->
+      let hir = Frontend.parse_file file in
+      let d = Run.differential hir in
+      match d.Run.diff_divergences with
+      | [] -> ()
+      | div :: _ ->
+        Alcotest.failf "%s diverges: %s" file (Run.divergence_to_string div))
+    files
+
+(* --- Injected divergences: the harness catches what it claims to ----------------- *)
+
+let first_class ?strategies ?cores ?miscompile ?ff_tweak p =
+  let failure, _, _ = Campaign.first_failure ?strategies ?cores ?miscompile ?ff_tweak p in
+  Option.map (fun (cls, _, _) -> cls) failure
+
+let seed_ast = Gen.program ~seed:1 ()
+
+let test_catches_checksum () =
+  let miscompile c =
+    { c with Driver.oracle_checksum = c.Driver.oracle_checksum + 1 }
+  in
+  Alcotest.(check (option string))
+    "bumped oracle checksum is flagged" (Some "checksum")
+    (first_class ~strategies:[ `Tlp ] ~cores:[ 2 ] ~miscompile seed_ast)
+
+let test_catches_checker () =
+  let miscompile c =
+    let diag =
+      { Check.d_severity = Check.Error; d_loc = None;
+        d_kind = Check.Malformed "injected by test_fuzz" }
+    in
+    { c with Driver.check_diags = diag :: c.Driver.check_diags }
+  in
+  Alcotest.(check (option string))
+    "injected checker error is flagged" (Some "checker")
+    (first_class ~strategies:[ `Tlp ] ~cores:[ 2 ] ~miscompile seed_ast)
+
+let test_catches_ff_divergence () =
+  (* Perturb only the per-cycle reference machine: the fast-forward run
+     and the reference run then disagree on cycles, which must surface as
+     an ff-cycles divergence (fast-forward is architecturally invisible,
+     so any on/off disagreement is a simulator bug). *)
+  let ff_tweak (c : Voltron_machine.Config.t) =
+    { c with cache = { c.cache with Voltron_mem.Coherence.lat_l1 = c.cache.Voltron_mem.Coherence.lat_l1 + 3 } }
+  in
+  Alcotest.(check (option string))
+    "reference-only latency change is flagged" (Some "ff-cycles")
+    (first_class ~strategies:[ `Tlp ] ~cores:[ 2 ] ~ff_tweak seed_ast)
+
+let test_clean_program_has_no_finding () =
+  Alcotest.(check (option string))
+    "seed 1 passes the full matrix" None (first_class seed_ast)
+
+(* --- Shrinking ------------------------------------------------------------------- *)
+
+(* The acceptance bar from the issue: a deliberately injected miscompile
+   must shrink below 25 source lines. The injected checksum bump fails on
+   any completing program, so the shrinker should reach a near-minimal
+   one. *)
+let test_shrinks_injected_miscompile () =
+  let miscompile c =
+    { c with Driver.oracle_checksum = c.Driver.oracle_checksum + 1 }
+  in
+  let case = { Run.d_strategy = `Tlp; d_cores = 2 } in
+  let small =
+    Campaign.minimize ~strategies:[ `Tlp ] ~cores:[ 2 ] ~miscompile
+      ~cls:"checksum" ~case seed_ast
+  in
+  let lines = Gen.source_lines small in
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk to %d lines (< 25)" lines)
+    true (lines < 25);
+  (* And the shrunk program still reproduces the class. *)
+  Alcotest.(check (option string))
+    "shrunk program still fails" (Some "checksum")
+    (first_class ~strategies:[ `Tlp ] ~cores:[ 2 ] ~miscompile small)
+
+let test_shrink_preserves_keep () =
+  (* Structural sanity on the shrinker itself: keep = "has at least one
+     region" must hold at every accepted step, and the fixpoint is small. *)
+  let p = Gen.program ~seed:5 () in
+  let keep (q : Voltron_lang.Ast.program) = q.Voltron_lang.Ast.regions <> [] in
+  let small = Shrink.shrink ~keep p in
+  Alcotest.(check bool) "keep holds at fixpoint" true (keep small);
+  Alcotest.(check bool) "shrunk not larger" true
+    (Gen.source_lines small <= Gen.source_lines p)
+
+(* --- Reproducer files ------------------------------------------------------------ *)
+
+let test_write_reproducer_reparses () =
+  let dir = Filename.temp_file "voltron_corpus" "" in
+  Sys.remove dir;
+  let finding =
+    {
+      Campaign.f_seed = 99;
+      f_class = "checksum";
+      f_case = Some { Run.d_strategy = `Hybrid; d_cores = 4 };
+      f_detail = "synthetic finding for reproducer round-trip";
+      f_original = seed_ast;
+      f_minimized = seed_ast;
+    }
+  in
+  let path = Campaign.write_reproducer ~dir finding in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+  Alcotest.(check bool) "named by seed and class" true
+    (Filename.basename path = "fuzz_s99_checksum.vc");
+  (* The triage header must be comments only: the file re-parses. *)
+  match Frontend.parse_file path with
+  | _ -> Sys.remove path; Unix.rmdir dir
+  | exception e ->
+    Alcotest.failf "reproducer does not re-parse: %s" (Printexc.to_string e)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "generated programs elaborate" `Quick
+            test_generated_elaborate;
+        ] );
+      ("corpus", [ Alcotest.test_case "replay full matrix" `Slow test_corpus_replay ]);
+      ( "injection",
+        [
+          Alcotest.test_case "checksum divergence caught" `Quick
+            test_catches_checksum;
+          Alcotest.test_case "checker divergence caught" `Quick
+            test_catches_checker;
+          Alcotest.test_case "ff divergence caught" `Quick
+            test_catches_ff_divergence;
+          Alcotest.test_case "clean program passes" `Quick
+            test_clean_program_has_no_finding;
+        ] );
+      ( "shrinking",
+        [
+          Alcotest.test_case "injected miscompile shrinks small" `Slow
+            test_shrinks_injected_miscompile;
+          Alcotest.test_case "keep preserved" `Quick test_shrink_preserves_keep;
+        ] );
+      ( "reproducer",
+        [
+          Alcotest.test_case "write and re-parse" `Quick
+            test_write_reproducer_reparses;
+        ] );
+    ]

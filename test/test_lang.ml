@@ -123,6 +123,66 @@ let test_elab_scoping_errors () =
   expect_elab_error "array a[4]; region r1 { var x = 1; a[0] = x; } region r2 { a[1] = x; }"
     (fun m -> contains m "unknown name")
 
+(* Exact positions: the fuzzer's triage workflow jumps straight from a
+   diagnostic to the offending token, so elaboration errors must carry
+   the position of the name that failed, not of the enclosing statement. *)
+let expect_error_at src ~line ~col check_msg =
+  match Frontend.parse_string ~name:"t" src with
+  | _ -> Alcotest.fail "elaboration should have failed"
+  | exception Frontend.Error { line = l; col = c; msg } ->
+    Alcotest.(check bool) (Printf.sprintf "message %S" msg) true (check_msg msg);
+    Alcotest.(check (pair int int))
+      (Printf.sprintf "position of %S" msg)
+      (line, col) (l, c)
+
+let test_elab_error_positions () =
+  expect_error_at "region r {\n  x = 1;\n}" ~line:2 ~col:3 (fun m ->
+      contains m "unknown name 'x'");
+  expect_error_at "region r {\n  var y = 1 + zz;\n}" ~line:2 ~col:15 (fun m ->
+      contains m "unknown name 'zz'");
+  expect_error_at "region r {\n  for (i = 0; i < 4; i += 1) {\n    i = 2;\n  }\n}"
+    ~line:3 ~col:5 (fun m -> contains m "loop variable 'i'");
+  (* The loop variable's scope ends with the loop body. *)
+  expect_error_at "region r {\n  for (i = 0; i < 4; i += 1) {\n  }\n  var y = i;\n}"
+    ~line:4 ~col:11 (fun m -> contains m "unknown name 'i'");
+  (* A declaration inside an if-branch does not escape the branch. *)
+  expect_error_at "region r {\n  if (1) {\n    var x = 1;\n  } else {\n  }\n  x = 2;\n}"
+    ~line:6 ~col:3 (fun m -> contains m "unknown name 'x'");
+  (* ... nor does one inside a do/while body escape the loop. *)
+  expect_error_at
+    "region r {\n  var t = 2;\n  do {\n    var w = 1;\n    t = t - 1;\n  } while ((t > 0));\n  var z = w;\n}"
+    ~line:7 ~col:11 (fun m -> contains m "unknown name 'w'");
+  expect_error_at "array a[4];\nregion r {\n  a = 1;\n}" ~line:3 ~col:3 (fun m ->
+      contains m "array");
+  expect_error_at "region r {\n  var x = 1;\n  var y = x[2];\n}" ~line:3 ~col:11
+    (fun m -> contains m "scalar");
+  expect_error_at
+    "array a[4];\nregion r1 {\n  var x = 1;\n}\nregion r2 {\n  a[0] = x;\n}"
+    ~line:6 ~col:10 (fun m -> contains m "unknown name 'x'")
+
+(* Shadowing a loop variable with a scalar declaration is legal and lifts
+   the no-assignment rule for the inner name — the assignment targets the
+   new scalar while the loop's own counter is untouched. (The fuzzer
+   generator leans on exactly this rule; a seed-103 campaign crash traced
+   to its env handling of this case.) *)
+let test_elab_shadow_loop_var () =
+  let p =
+    Frontend.parse_string ~name:"t"
+      "array out[4];\n\
+       region r {\n\
+         var s = 0;\n\
+         for (i = 0; i < 3; i += 1) {\n\
+           var i = 10;\n\
+           i = i + 1;\n\
+           s = s + i;\n\
+         }\n\
+         out[0] = s;\n\
+       }"
+  in
+  let r = Voltron_ir.Interp.run p in
+  Alcotest.(check int) "three iterations of 11" 33
+    (Voltron_mem.Memory.read r.Voltron_ir.Interp.memory 0)
+
 let test_elab_shadowing () =
   (* Inner declarations shadow without clobbering the outer binding. *)
   let p =
@@ -306,7 +366,9 @@ let () =
       ( "elab",
         [
           Alcotest.test_case "scoping errors" `Quick test_elab_scoping_errors;
+          Alcotest.test_case "error positions" `Quick test_elab_error_positions;
           Alcotest.test_case "shadowing" `Quick test_elab_shadowing;
+          Alcotest.test_case "loop-var shadowing" `Quick test_elab_shadow_loop_var;
           Alcotest.test_case "semantics" `Quick test_elab_semantics;
           Alcotest.test_case "matches builder" `Quick test_elab_matches_builder;
           Alcotest.test_case "example files" `Slow test_example_files_compile_and_verify;
