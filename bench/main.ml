@@ -262,7 +262,8 @@ let run_perf ~scale ~baseline () =
         let host = Unix.gettimeofday () -. t0 in
         (match r.Machine.outcome with
         | Machine.Finished -> ()
-        | Machine.Out_of_cycles | Machine.Deadlock _ | Machine.Fault_limit _ ->
+        | Machine.Out_of_cycles | Machine.Deadlock _ | Machine.Fault_limit _
+        | Machine.Stopped _ ->
           Printf.eprintf "perf: %s did not finish\n" b.Suite.bench_name;
           exit 1);
         let row =

@@ -17,6 +17,7 @@ module Config = Voltron_machine.Config
 module Check = Voltron_check.Check
 module Json = Voltron_obs.Json
 module Metrics = Voltron_obs.Metrics
+module Sanity = Voltron_sanity.Sanity
 
 let print_diags oc diags =
   let ppf = Format.formatter_of_out_channel oc in
@@ -138,6 +139,28 @@ let short_outcome = function
   | Voltron.Run.Cycle_capped -> "cycle cap"
   | Voltron.Run.Deadlocked _ -> "deadlock"
   | Voltron.Run.Fault_limited _ -> "fault limit"
+  | Voltron.Run.Sanity_stopped _ -> "sanitizer stop"
+
+let sanitize_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "abort") (some string) None
+    & info [ "sanitize" ] ~docv:"POLICY"
+        ~doc:
+          "Attach the runtime invariant sanitizer: per-cycle coherence, \
+           network-conservation and TM-rollback oracles. $(docv) is \
+           $(b,report) (log and continue), $(b,abort) (stop at the \
+           violation; the default when $(docv) is omitted) or $(b,recover) \
+           (stop and degrade through the resilience ladder).")
+
+let sanitize_of_flag = function
+  | None -> None
+  | Some s -> (
+    match Sanity.policy_of_string s with
+    | Ok p -> Some p
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2)
 
 let fault_rate_arg =
   Arg.(
@@ -178,88 +201,190 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write the result as machine-readable JSON to $(docv).")
 
+(* Shared by run's normal and --json output: the pieces that only exist on
+   some outcomes. *)
+let outcome_json (m : Voltron.Run.measurement) =
+  let diagnosis =
+    match m.Voltron.Run.outcome with
+    | Voltron.Run.Deadlocked d
+    | Voltron.Run.Fault_limited d
+    | Voltron.Run.Sanity_stopped d ->
+      [ ("diagnosis", Voltron_obs.Diag.diagnosis_to_json d) ]
+    | Voltron.Run.Completed | Voltron.Run.Cycle_capped -> []
+  in
+  let sanitizer =
+    match m.Voltron.Run.sanity with
+    | Some r -> [ ("sanitizer", Sanity.report_to_json r) ]
+    | None -> []
+  in
+  (("outcome", Json.Str (short_outcome m.Voltron.Run.outcome)) :: diagnosis)
+  @ sanitizer
+
+let sanity_line (m : Voltron.Run.measurement) =
+  match m.Voltron.Run.sanity with
+  | None -> ()
+  | Some r -> Printf.printf "sanitizer  : %s\n" (Sanity.report_to_string r)
+
+let sanity_clean (m : Voltron.Run.measurement) =
+  match m.Voltron.Run.sanity with None -> true | Some r -> Sanity.clean r
+
+(* run --all: the whole workload suite (plus the micro kernels) under every
+   strategy at the given core count, one line per cell — the CI's sanitized
+   sweep entry point. *)
+let run_sweep ~cores ~scale ~check ~sanitize () =
+  let targets =
+    (List.map (fun (b : Suite.benchmark) -> b.Suite.bench_name) Suite.all
+    @ [ "micro:gsm_llp"; "micro:gzip_strands"; "micro:gsm_ilp" ])
+    |> List.map (fun n -> (n, program_of_name n scale))
+  in
+  let strategies = [ "seq"; "ilp"; "tlp"; "llp"; "hybrid" ] in
+  let failures = ref 0 in
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun s ->
+          let choice = choice_of_string s in
+          let m = Voltron.Run.run ~choice ~check ?sanitize ~n_cores:cores p in
+          let ok =
+            m.Voltron.Run.outcome = Voltron.Run.Completed
+            && m.Voltron.Run.verified && sanity_clean m
+          in
+          if not ok then incr failures;
+          Printf.printf "%-24s %-7s %-10d %s%s%s\n%!" name s
+            m.Voltron.Run.cycles
+            (short_outcome m.Voltron.Run.outcome)
+            (if m.Voltron.Run.verified then "" else ", NOT VERIFIED")
+            (match m.Voltron.Run.sanity with
+            | None -> ""
+            | Some r when Sanity.clean r -> ", sanitizer clean"
+            | Some r ->
+              Printf.sprintf ", SANITIZER: %d violation(s)" r.Sanity.r_total);
+          match m.Voltron.Run.sanity with
+          | Some r when not (Sanity.clean r) ->
+            List.iter
+              (fun v -> Printf.printf "    %s\n" (Sanity.violation_to_string v))
+              r.Sanity.r_recorded
+          | _ -> ())
+        strategies)
+    targets;
+  if !failures > 0 then begin
+    Printf.eprintf "%d failing cell(s) in the sweep\n" !failures;
+    exit 1
+  end
+
 let run_cmd =
-  let run bench file cores strategy scale optimize unroll fault_rate fault_seed
-      fault_threshold no_check json_out =
+  let run bench file all cores strategy scale optimize unroll fault_rate
+      fault_seed fault_threshold no_check sanitize_s json_out =
     or_check_failure @@ fun () ->
     let check = not no_check in
-    let name, p = resolve_program bench file scale in
-    let p = apply_opts optimize unroll p in
-    let choice = choice_of_string strategy in
-    let base = Voltron.Run.baseline_cycles p in
-    Printf.printf "benchmark  : %s\n" name;
-    Printf.printf "strategy   : %s on %d cores\n" strategy cores;
-    let m =
-      if fault_rate > 0. then begin
-        let tweak c =
-          {
-            c with
-            Config.fault =
-              Voltron_fault.Fault.uniform ~seed:fault_seed
-                ~degrade_threshold:fault_threshold ~rate:fault_rate ();
-          }
-        in
-        let r = Voltron.Run.run_resilient ~choice ~check ~tweak ~n_cores:cores p in
-        Printf.printf "faults     : every kind at rate %g, seed %d%s\n"
-          fault_rate fault_seed
-          (if fault_threshold > 0 then
-             Printf.sprintf ", degrade after %d" fault_threshold
-           else "");
-        List.iter
-          (fun (a : Voltron.Run.attempt) ->
-            Printf.printf "  rung     : %-14s %s on %d cores -> %s\n"
-              (Voltron_fault.Fault.level_name a.Voltron.Run.a_level)
-              (string_of_choice a.Voltron.Run.a_choice)
-              a.Voltron.Run.a_n_cores
-              (short_outcome a.Voltron.Run.a_measurement.Voltron.Run.outcome))
-          r.Voltron.Run.attempts;
-        r.Voltron.Run.final
-      end
-      else Voltron.Run.run ~choice ~check ~n_cores:cores p
-    in
-    (match m.Voltron.Run.outcome with
-    | Voltron.Run.Completed -> ()
-    | o ->
-      Printf.eprintf "%s\n" (Voltron.Run.outcome_to_string o);
-      exit 1);
-    Printf.printf "verified   : %b (memory matches the reference interpreter)\n"
-      m.Voltron.Run.verified;
-    Printf.printf "baseline   : %d cycles (1 core, sequential)\n" base;
-    Printf.printf "cycles     : %d\n" m.Voltron.Run.cycles;
-    Printf.printf "speedup    : %.2fx\n"
-      (float_of_int base /. float_of_int m.Voltron.Run.cycles);
-    Stats.pp_summary ~coherence:m.Voltron.Run.coh_stats
-      ~network:m.Voltron.Run.net_stats Format.std_formatter m.Voltron.Run.stats;
-    Format.printf "%a@." Voltron_machine.Energy.pp m.Voltron.Run.energy;
-    (match json_out with
-    | None -> ()
-    | Some path ->
-      let metrics =
-        Metrics.of_stats ~label:name ~cycles:m.Voltron.Run.cycles
-          ~coherence:m.Voltron.Run.coh_stats ~network:m.Voltron.Run.net_stats
-          m.Voltron.Run.stats
+    let sanitize = sanitize_of_flag sanitize_s in
+    if all then run_sweep ~cores ~scale ~check ~sanitize ()
+    else begin
+      let name, p = resolve_program bench file scale in
+      let p = apply_opts optimize unroll p in
+      let choice = choice_of_string strategy in
+      let base = Voltron.Run.baseline_cycles p in
+      Printf.printf "benchmark  : %s\n" name;
+      Printf.printf "strategy   : %s on %d cores\n" strategy cores;
+      (match sanitize with
+      | None -> ()
+      | Some policy ->
+        Printf.printf "sanitize   : %s\n" (Sanity.policy_name policy));
+      let m =
+        if fault_rate > 0. then begin
+          let tweak c =
+            {
+              c with
+              Config.fault =
+                Voltron_fault.Fault.uniform ~seed:fault_seed
+                  ~degrade_threshold:fault_threshold ~rate:fault_rate ();
+            }
+          in
+          let r =
+            Voltron.Run.run_resilient ~choice ~check ~tweak ?sanitize
+              ~n_cores:cores p
+          in
+          Printf.printf "faults     : every kind at rate %g, seed %d%s\n"
+            fault_rate fault_seed
+            (if fault_threshold > 0 then
+               Printf.sprintf ", degrade after %d" fault_threshold
+             else "");
+          List.iter
+            (fun (a : Voltron.Run.attempt) ->
+              Printf.printf "  rung     : %-14s %s on %d cores -> %s\n"
+                (Voltron_fault.Fault.level_name a.Voltron.Run.a_level)
+                (string_of_choice a.Voltron.Run.a_choice)
+                a.Voltron.Run.a_n_cores
+                (short_outcome a.Voltron.Run.a_measurement.Voltron.Run.outcome))
+            r.Voltron.Run.attempts;
+          r.Voltron.Run.final
+        end
+        else
+          Voltron.Run.run ~choice ~check ?sanitize ~sanitize_log:prerr_endline
+            ~n_cores:cores p
       in
-      Json.write_file path
-        (Json.Obj
-           [
-             ("benchmark", Json.Str name);
-             ("strategy", Json.Str strategy);
-             ("cores", Json.Int cores);
-             ("baseline_cycles", Json.Int base);
-             ( "speedup",
-               Json.Float
-                 (float_of_int base /. float_of_int m.Voltron.Run.cycles) );
-             ("verified", Json.Bool m.Voltron.Run.verified);
-             ("metrics", Metrics.to_json metrics);
-           ]);
-      Printf.printf "json       : wrote %s\n" path);
-    if not m.Voltron.Run.verified then exit 1
+      let write_json () =
+        match json_out with
+        | None -> ()
+        | Some path ->
+          let metrics =
+            Metrics.of_stats ~label:name ~cycles:m.Voltron.Run.cycles
+              ~coherence:m.Voltron.Run.coh_stats ~network:m.Voltron.Run.net_stats
+              m.Voltron.Run.stats
+          in
+          Json.write_file path
+            (Json.Obj
+               ([
+                  ("benchmark", Json.Str name);
+                  ("strategy", Json.Str strategy);
+                  ("cores", Json.Int cores);
+                  ("baseline_cycles", Json.Int base);
+                  ( "speedup",
+                    Json.Float
+                      (float_of_int base /. float_of_int m.Voltron.Run.cycles)
+                  );
+                  ("verified", Json.Bool m.Voltron.Run.verified);
+                ]
+               @ outcome_json m
+               @ [ ("metrics", Metrics.to_json metrics) ]));
+          Printf.printf "json       : wrote %s\n" path
+      in
+      (match m.Voltron.Run.outcome with
+      | Voltron.Run.Completed -> ()
+      | o ->
+        Printf.eprintf "%s\n" (Voltron.Run.outcome_to_string o);
+        sanity_line m;
+        write_json ();
+        exit 1);
+      Printf.printf "verified   : %b (memory matches the reference interpreter)\n"
+        m.Voltron.Run.verified;
+      sanity_line m;
+      Printf.printf "baseline   : %d cycles (1 core, sequential)\n" base;
+      Printf.printf "cycles     : %d\n" m.Voltron.Run.cycles;
+      Printf.printf "speedup    : %.2fx\n"
+        (float_of_int base /. float_of_int m.Voltron.Run.cycles);
+      Stats.pp_summary ~coherence:m.Voltron.Run.coh_stats
+        ~network:m.Voltron.Run.net_stats Format.std_formatter m.Voltron.Run.stats;
+      Format.printf "%a@." Voltron_machine.Energy.pp m.Voltron.Run.energy;
+      write_json ();
+      if not (m.Voltron.Run.verified && sanity_clean m) then exit 1
+    end
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Sweep the whole workload suite (and the micro kernels) under \
+             every strategy at the given core count instead of one \
+             benchmark; exits 1 if any cell fails to complete, verify or \
+             pass the sanitizer.")
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate a benchmark or VC file.")
     Term.(
-      const run $ bench_arg $ file_arg $ cores_arg $ strategy_arg $ scale_arg
-      $ optimize_arg $ unroll_arg $ fault_rate_arg $ fault_seed_arg
-      $ fault_threshold_arg $ no_check_arg $ json_arg)
+      const run $ bench_arg $ file_arg $ all_arg $ cores_arg $ strategy_arg
+      $ scale_arg $ optimize_arg $ unroll_arg $ fault_rate_arg $ fault_seed_arg
+      $ fault_threshold_arg $ no_check_arg $ sanitize_arg $ json_arg)
 
 let plan_cmd =
   let plan bench file cores scale =
@@ -374,6 +499,10 @@ let asm_cmd =
     | Voltron_machine.Machine.Fault_limit d ->
       Printf.eprintf "fault limit reached:\n%s\n"
         (Voltron_machine.Machine.diagnosis_to_string d);
+      exit 1
+    | Voltron_machine.Machine.Stopped d ->
+      Printf.eprintf "stopped:\n%s\n"
+        (Voltron_machine.Machine.diagnosis_to_string d);
       exit 1);
     Stats.pp_summary
       ~coherence:
@@ -411,23 +540,32 @@ let trace_cmd =
     let tracer = Voltron_machine.Trace.create ~limit () in
     Voltron_machine.Machine.set_tracer m tracer;
     let result = Voltron_machine.Machine.run m in
+    let failed = ref false in
     (match result.Voltron_machine.Machine.outcome with
     | Voltron_machine.Machine.Finished -> ()
-    | Voltron_machine.Machine.Out_of_cycles -> prerr_endline "out of cycles"
+    | Voltron_machine.Machine.Out_of_cycles ->
+      failed := true;
+      prerr_endline "out of cycles"
     | Voltron_machine.Machine.Deadlock d ->
+      failed := true;
       prerr_endline
         ("deadlock: " ^ Voltron_machine.Machine.diagnosis_to_string d)
     | Voltron_machine.Machine.Fault_limit d ->
+      failed := true;
       prerr_endline
-        ("fault limit reached: " ^ Voltron_machine.Machine.diagnosis_to_string d));
+        ("fault limit reached: " ^ Voltron_machine.Machine.diagnosis_to_string d)
+    | Voltron_machine.Machine.Stopped d ->
+      failed := true;
+      prerr_endline ("stopped: " ^ Voltron_machine.Machine.diagnosis_to_string d));
     Voltron_machine.Trace.report ~timeline Format.std_formatter tracer
       compiled.Driver.executable;
-    match json_out with
+    (match json_out with
     | None -> ()
     | Some path ->
       Voltron_obs.Chrome_trace.write ~path ~n_cores:cores
         ~cycles:result.Voltron_machine.Machine.cycles tracer;
-      Printf.printf "wrote Chrome trace to %s (open in chrome://tracing)\n" path
+      Printf.printf "wrote Chrome trace to %s (open in chrome://tracing)\n" path);
+    if !failed then exit 1
   in
   let limit_arg =
     Arg.(value & opt int 100_000 & info [ "limit" ] ~docv:"N" ~doc:"Events to keep.")
@@ -475,6 +613,9 @@ let profile_cmd =
       exit 1
     | Machine.Fault_limit d ->
       Printf.eprintf "fault limit reached:\n%s\n" (Machine.diagnosis_to_string d);
+      exit 1
+    | Machine.Stopped d ->
+      Printf.eprintf "stopped:\n%s\n" (Machine.diagnosis_to_string d);
       exit 1);
     Printf.printf "benchmark  : %s\n" name;
     Printf.printf "strategy   : %s on %d cores\n" strategy cores;
@@ -523,7 +664,8 @@ let profile_cmd =
       $ scale_arg $ sample_arg $ json_arg)
 
 let fuzz_cmd =
-  let fuzz seed count cores strategies size no_minimize corpus emit =
+  let fuzz seed count cores strategies size no_minimize corpus emit sanitize_s =
+    let sanitize = sanitize_of_flag sanitize_s in
     let strategies =
       match strategies with
       | "" -> None
@@ -555,7 +697,7 @@ let fuzz_cmd =
           close_out oc
     in
     let report =
-      Voltron_gen.Campaign.run ?strategies ?cores ~size
+      Voltron_gen.Campaign.run ?strategies ?cores ?sanitize ~size
         ~minimize_findings:(not no_minimize) ~on_program ~log:print_endline
         ~seed ~count ()
     in
@@ -625,7 +767,7 @@ let fuzz_cmd =
           reproducer output.")
     Term.(
       const fuzz $ seed_arg $ count_arg $ cores_list_arg $ strategies_arg
-      $ size_arg $ no_minimize_arg $ corpus_arg $ emit_arg)
+      $ size_arg $ no_minimize_arg $ corpus_arg $ emit_arg $ sanitize_arg)
 
 let list_cmd =
   let list () =
@@ -645,7 +787,7 @@ let () =
       ~doc:"Voltron dual-mode multicore simulator and compiler"
   in
   exit
-    (Cmd.eval
+    (Cmd.eval ~term_err:2
        (Cmd.group info
           [
             run_cmd;

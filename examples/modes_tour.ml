@@ -74,7 +74,7 @@ let () =
   (match result.Machine.outcome with
   | Machine.Finished -> ()
   | Machine.Out_of_cycles -> failwith "ran out of cycles"
-  | Machine.Deadlock d | Machine.Fault_limit d ->
+  | Machine.Deadlock d | Machine.Fault_limit d | Machine.Stopped d ->
     failwith (Machine.diagnosis_to_string d));
   let answer = Voltron_mem.Memory.read (Machine.memory machine) 0 in
   Printf.printf "finished in %d cycles; mem[0] = %d (expected 42)\n"

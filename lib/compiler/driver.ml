@@ -61,6 +61,7 @@ let verify machine compiled =
   | Machine.Deadlock d -> Error ("deadlock: " ^ Machine.diagnosis_to_string d)
   | Machine.Fault_limit d ->
     Error ("fault limit reached: " ^ Machine.diagnosis_to_string d)
+  | Machine.Stopped d -> Error ("stopped: " ^ Machine.diagnosis_to_string d)
   | Machine.Finished ->
     let sum =
       Voltron_mem.Memory.checksum_prefix (Machine.memory m)

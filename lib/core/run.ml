@@ -2,12 +2,14 @@ module Config = Voltron_machine.Config
 module Machine = Voltron_machine.Machine
 module Driver = Voltron_compiler.Driver
 module Fault = Voltron_fault.Fault
+module Sanity = Voltron_sanity.Sanity
 
 type run_outcome =
   | Completed
   | Cycle_capped
   | Deadlocked of Machine.diagnosis
   | Fault_limited of Machine.diagnosis
+  | Sanity_stopped of Machine.diagnosis
 
 type measurement = {
   cycles : int;
@@ -18,6 +20,7 @@ type measurement = {
   verified : bool;
   plan : Voltron_compiler.Select.planned_region list;
   energy : Voltron_machine.Energy.report;
+  sanity : Sanity.report option;
 }
 
 let completed m = m.outcome = Completed
@@ -28,21 +31,34 @@ let outcome_to_string = function
   | Deadlocked d -> "deadlock:\n" ^ Machine.diagnosis_to_string d
   | Fault_limited d ->
     "fault limit reached:\n" ^ Machine.diagnosis_to_string d
+  | Sanity_stopped d ->
+    "sanitizer stopped the machine:\n" ^ Machine.diagnosis_to_string d
+
+let outcome_of_machine = function
+  | Machine.Finished -> Completed
+  | Machine.Out_of_cycles -> Cycle_capped
+  | Machine.Deadlock d -> Deadlocked d
+  | Machine.Fault_limit d -> Fault_limited d
+  | Machine.Stopped d -> Sanity_stopped d
 
 let run ?(choice = `Hybrid) ?(check = true) ?profile ?(tweak = fun c -> c)
-    ?(prepare = fun _ _ -> ()) ~n_cores program =
+    ?(prepare = fun _ _ -> ()) ?sanitize ?(sanitize_log = fun _ -> ())
+    ~n_cores program =
   let machine = tweak (Config.default ~n_cores) in
   let compiled = Driver.compile ~machine ~choice ~check ?profile program in
   let m = Machine.create machine compiled.Driver.executable in
+  let san =
+    match sanitize with
+    | None -> None
+    | Some policy -> Some (Sanity.attach ~policy ~log:sanitize_log m)
+  in
   prepare compiled m;
   let result = Machine.run m in
-  let outcome =
-    match result.Machine.outcome with
-    | Machine.Finished -> Completed
-    | Machine.Out_of_cycles -> Cycle_capped
-    | Machine.Deadlock d -> Deadlocked d
-    | Machine.Fault_limit d -> Fault_limited d
-  in
+  (match san with
+  | None -> ()
+  | Some s ->
+    Sanity.finalize s ~completed:(result.Machine.outcome = Machine.Finished));
+  let outcome = outcome_of_machine result.Machine.outcome in
   let sum =
     Voltron_mem.Memory.checksum_prefix (Machine.memory m)
       compiled.Driver.array_footprint
@@ -58,6 +74,7 @@ let run ?(choice = `Hybrid) ?(check = true) ?profile ?(tweak = fun c -> c)
     energy =
       Voltron_machine.Energy.of_run ~stats:(Machine.stats m)
         ~coherence:(Machine.coherence m) ~network:(Machine.network m) ();
+    sanity = Option.map Sanity.report san;
   }
 
 (* --- Graceful degradation ladder ------------------------------------------ *)
@@ -84,7 +101,8 @@ let strategy_of_level ~choice ~n_cores = function
   | Fault.Serial_core0 -> (`Seq, 1)
 
 let run_resilient ?(choice = `Hybrid) ?(check = true) ?profile
-    ?(tweak = fun c -> c) ~n_cores program =
+    ?(tweak = fun c -> c) ?(prepare = fun _ _ -> ()) ?sanitize ~n_cores
+    program =
   let rec go level acc =
     let choice', n_cores' = strategy_of_level ~choice ~n_cores level in
     let tweak' c =
@@ -96,19 +114,36 @@ let run_resilient ?(choice = `Hybrid) ?(check = true) ?profile
         { c with Config.fault = { c.Config.fault with Fault.degrade_threshold = 0 } }
       | Fault.Full | Fault.Decoupled_only -> c
     in
+    (* The sanitizer follows the same last-resort rule: at the bottom rung
+       a Recover policy demotes to Report, so violations are still counted
+       and surfaced but can no longer stop the run. *)
+    let sanitize' =
+      match (level, sanitize) with
+      | Fault.Serial_core0, Some Sanity.Recover -> Some Sanity.Report
+      | _ -> sanitize
+    in
     let m =
-      run ~choice:choice' ~check ?profile ~tweak:tweak' ~n_cores:n_cores' program
+      run ~choice:choice' ~check ?profile ~tweak:tweak' ~prepare ?sanitize:sanitize'
+        ~n_cores:n_cores' program
     in
     let attempt =
       { a_level = level; a_choice = choice'; a_n_cores = n_cores'; a_measurement = m }
     in
     let acc = attempt :: acc in
+    let sanity_dirty =
+      sanitize' = Some Sanity.Recover
+      && match m.sanity with Some r -> not (Sanity.clean r) | None -> false
+    in
     match m.outcome with
     | Fault_limited _ -> (
       match Fault.degrade level with
       | Some next -> go next acc
       | None -> (acc, m))
-    | Completed | Cycle_capped | Deadlocked _ -> (acc, m)
+    | _ when sanity_dirty -> (
+      match Fault.degrade level with
+      | Some next -> go next acc
+      | None -> (acc, m))
+    | Completed | Cycle_capped | Deadlocked _ | Sanity_stopped _ -> (acc, m)
   in
   let attempts_rev, final = go Fault.Full [] in
   let attempts = List.rev attempts_rev in
@@ -133,6 +168,11 @@ type divergence =
       diags : Voltron_check.Check.diag list;
     }
   | Ff_cycle_mismatch of { fc_case : diff_case; ff_on : int; ff_off : int }
+  | Sanity_violation of {
+      sv_case : diff_case;
+      sv_fast_forward : bool;
+      sv_report : Sanity.report;
+    }
 
 type differential = {
   diff_runs : int;
@@ -159,6 +199,7 @@ let divergence_class = function
   | Checksum_mismatch _ -> "checksum"
   | Checker_rejected _ -> "checker"
   | Ff_cycle_mismatch _ -> "ff-cycles"
+  | Sanity_violation _ -> "sanitizer"
 
 let divergence_to_string = function
   | Non_completion { nc_case; nc_fast_forward; nc_outcome } ->
@@ -180,6 +221,10 @@ let divergence_to_string = function
     Printf.sprintf
       "[%s] fast-forward changed the cycle count: %d on, %d off"
       (case_name fc_case) ff_on ff_off
+  | Sanity_violation { sv_case; sv_fast_forward; sv_report } ->
+    Printf.sprintf "[%s, fast-forward %s] %s" (case_name sv_case)
+      (if sv_fast_forward then "on" else "off")
+      (Sanity.report_to_string sv_report)
 
 (* One compile per case; two simulations (fast-forward on and off) off the
    same executable — the flag is simulation-only, so any disagreement is a
@@ -187,25 +232,28 @@ let divergence_to_string = function
 let differential ?(strategies = default_strategies) ?(cores = default_cores)
     ?(max_steps = 2_000_000) ?(max_cycles = 4_000_000)
     ?(tweak = fun c -> c) ?(miscompile = fun c -> c) ?(ff_tweak = fun c -> c)
-    program =
+    ?sanitize program =
   let runs = ref 0 and warnings = ref 0 and divs = ref [] in
   let push d = divs := d :: !divs in
   let simulate config (compiled : Driver.compiled) =
     incr runs;
     let m = Machine.create config compiled.Driver.executable in
-    let result = Machine.run m in
-    let outcome =
-      match result.Machine.outcome with
-      | Machine.Finished -> Completed
-      | Machine.Out_of_cycles -> Cycle_capped
-      | Machine.Deadlock d -> Deadlocked d
-      | Machine.Fault_limit d -> Fault_limited d
+    let san =
+      match sanitize with
+      | None -> None
+      | Some policy -> Some (Sanity.attach ~policy m)
     in
+    let result = Machine.run m in
+    (match san with
+    | None -> ()
+    | Some s ->
+      Sanity.finalize s ~completed:(result.Machine.outcome = Machine.Finished));
+    let outcome = outcome_of_machine result.Machine.outcome in
     let sum =
       Voltron_mem.Memory.checksum_prefix (Machine.memory m)
         compiled.Driver.array_footprint
     in
-    (outcome, result.Machine.cycles, sum)
+    (outcome, result.Machine.cycles, sum, Option.map Sanity.report san)
   in
   List.iter
     (fun d_cores ->
@@ -233,25 +281,43 @@ let differential ?(strategies = default_strategies) ?(cores = default_cores)
               let run_ff ff config =
                 simulate { config with Config.fast_forward = ff } compiled
               in
-              let o_on, cyc_on, sum_on = run_ff true config in
-              let o_off, cyc_off, sum_off = run_ff false (ff_tweak config) in
-              let check_completed ff o expected sum =
-                match o with
-                | Completed ->
-                  if sum <> expected then
-                    push
-                      (Checksum_mismatch { cm_case = case; expected; got = sum })
-                | o ->
+              let o_on, cyc_on, sum_on, san_on = run_ff true config in
+              let o_off, cyc_off, sum_off, san_off =
+                run_ff false (ff_tweak config)
+              in
+              (* A dirty sanitizer report is its own divergence class and
+                 supersedes the non-completion judgement for that run (an
+                 Abort-policy stop is the sanitizer working, not a hang). *)
+              let check_sanity ff san =
+                match san with
+                | Some r when not (Sanity.clean r) ->
                   push
-                    (Non_completion
-                       { nc_case = case; nc_fast_forward = ff; nc_outcome = o })
+                    (Sanity_violation
+                       { sv_case = case; sv_fast_forward = ff; sv_report = r });
+                  true
+                | _ -> false
+              in
+              let dirty_on = check_sanity true san_on in
+              let dirty_off = check_sanity false san_off in
+              let check_completed ff o expected sum dirty =
+                if not dirty then
+                  match o with
+                  | Completed ->
+                    if sum <> expected then
+                      push
+                        (Checksum_mismatch { cm_case = case; expected; got = sum })
+                  | o ->
+                    push
+                      (Non_completion
+                         { nc_case = case; nc_fast_forward = ff; nc_outcome = o })
               in
               (* The fast-forward run is judged against the oracle; the
                  per-cycle reference run is judged against the fast-forward
                  run, so one miscompile is one divergence, and any on/off
                  disagreement (cycles or memory) is a simulator bug. *)
-              check_completed true o_on compiled.Driver.oracle_checksum sum_on;
-              check_completed false o_off sum_on sum_off;
+              check_completed true o_on compiled.Driver.oracle_checksum sum_on
+                dirty_on;
+              check_completed false o_off sum_on sum_off dirty_off;
               if o_on = Completed && o_off = Completed && cyc_on <> cyc_off
               then
                 push
@@ -270,7 +336,7 @@ let baseline_cycles ?profile program =
   let m = run ~choice:`Seq ?profile ~n_cores:1 program in
   (match m.outcome with
   | Completed -> ()
-  | (Cycle_capped | Deadlocked _ | Fault_limited _) as o ->
+  | (Cycle_capped | Deadlocked _ | Fault_limited _ | Sanity_stopped _) as o ->
     failwith ("baseline run " ^ outcome_to_string o));
   m.cycles
 
@@ -279,7 +345,7 @@ let speedup ?(choice = `Hybrid) ~n_cores program =
   let m = run ~choice ~n_cores program in
   (match m.outcome with
   | Completed -> ()
-  | (Cycle_capped | Deadlocked _ | Fault_limited _) as o ->
+  | (Cycle_capped | Deadlocked _ | Fault_limited _ | Sanity_stopped _) as o ->
     failwith ("speedup run " ^ outcome_to_string o));
   if not m.verified then failwith "speedup: memory image diverged from oracle";
   float_of_int base /. float_of_int m.cycles

@@ -7,6 +7,9 @@ type run_outcome =
   | Deadlocked of Voltron_machine.Machine.diagnosis  (** watchdog fired *)
   | Fault_limited of Voltron_machine.Machine.diagnosis
       (** injected faults crossed the degradation threshold *)
+  | Sanity_stopped of Voltron_machine.Machine.diagnosis
+      (** the runtime sanitizer (policy [Abort] or [Recover]) stopped the
+          machine at a violation's detection cycle *)
 
 val outcome_to_string : run_outcome -> string
 
@@ -21,6 +24,8 @@ type measurement = {
       (** [Completed] and memory image matched the reference interpreter *)
   plan : Voltron_compiler.Select.planned_region list;
   energy : Voltron_machine.Energy.report;
+  sanity : Voltron_sanity.Sanity.report option;
+      (** present iff the run was sanitized *)
 }
 
 val completed : measurement -> bool
@@ -31,6 +36,8 @@ val run :
   ?profile:Voltron_analysis.Profile.t ->
   ?tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
   ?prepare:(Voltron_compiler.Driver.compiled -> Voltron_machine.Machine.t -> unit) ->
+  ?sanitize:Voltron_sanity.Sanity.policy ->
+  ?sanitize_log:(string -> unit) ->
   n_cores:int ->
   Voltron_ir.Hir.program ->
   measurement
@@ -40,9 +47,13 @@ val run :
     used by the ablation benches and the resilience sweep. [prepare] sees
     the compiled program and the machine before the run starts — the
     observability layer's attachment point (tracers, region attribution,
-    samplers). A simulator deadlock, cycle-cap overrun or fault-limit stop
-    is returned as the measurement's [outcome] (with [verified = false]),
-    not raised.
+    samplers); it runs after the sanitizer attaches, so test harnesses can
+    also arm tampering backdoors there. [sanitize] attaches the runtime
+    invariant sanitizer under that policy (disabling stall fast-forward
+    for the run) and fills the measurement's [sanity] report;
+    [sanitize_log] sees each recorded violation as it happens. A simulator
+    deadlock, cycle-cap overrun, fault-limit or sanitizer stop is returned
+    as the measurement's [outcome] (with [verified = false]), not raised.
 
     The static cross-core checker gates compilation by default: checker
     errors raise {!Voltron_check.Check.Failed}. Pass [~check:false] to
@@ -68,6 +79,8 @@ val run_resilient :
   ?check:bool ->
   ?profile:Voltron_analysis.Profile.t ->
   ?tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
+  ?prepare:(Voltron_compiler.Driver.compiled -> Voltron_machine.Machine.t -> unit) ->
+  ?sanitize:Voltron_sanity.Sanity.policy ->
   n_cores:int ->
   Voltron_ir.Hir.program ->
   resilient
@@ -75,7 +88,14 @@ val run_resilient :
     degrades — full hybrid parallelism, then queue-mode-only ([`Tlp]),
     then sequential on core 0 — and re-runs. The bottom rung clears the
     degradation threshold so the last resort always runs to completion
-    (faults are still injected and recovered, so it must still verify). *)
+    (faults are still injected and recovered, so it must still verify).
+
+    With [~sanitize:Recover], a rung whose sanitizer report is dirty
+    (typically a [Sanity_stopped] outcome) degrades the same way, and the
+    bottom rung demotes the policy to [Report] so the last resort cannot
+    be stopped — violations there are counted and surfaced instead.
+    [prepare] is forwarded to every rung's {!run} (test harnesses arm
+    per-rung tampering there). *)
 
 (** {1 Differential testing}
 
@@ -108,6 +128,11 @@ type divergence =
   | Ff_cycle_mismatch of { fc_case : diff_case; ff_on : int; ff_off : int }
       (** stall fast-forward changed the cycle count — it must be
           architecturally invisible *)
+  | Sanity_violation of {
+      sv_case : diff_case;
+      sv_fast_forward : bool;
+      sv_report : Voltron_sanity.Sanity.report;
+    }  (** the runtime sanitizer found invariant violations in the run *)
 
 type differential = {
   diff_runs : int;  (** simulations performed *)
@@ -124,7 +149,8 @@ val default_cores : int list
 val choice_name : Voltron_compiler.Select.choice -> string
 val divergence_class : divergence -> string
 (** Stable failure-class tag: ["non-completion"], ["checksum"],
-    ["checker"] or ["ff-cycles"] — the shrinker preserves this. *)
+    ["checker"], ["ff-cycles"] or ["sanitizer"] — the shrinker preserves
+    this. *)
 
 val divergence_to_string : divergence -> string
 
@@ -136,6 +162,7 @@ val differential :
   ?tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
   ?miscompile:(Voltron_compiler.Driver.compiled -> Voltron_compiler.Driver.compiled) ->
   ?ff_tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
+  ?sanitize:Voltron_sanity.Sanity.policy ->
   Voltron_ir.Hir.program ->
   differential
 (** For every strategy x core count: compile once (static checker on),
@@ -143,7 +170,12 @@ val differential :
     contract violation. [max_steps] bounds the oracle interpreter and
     [max_cycles] clamps the simulator cap (both deliberately small so
     runaway shrink candidates fail fast instead of simulating 200M
-    cycles); raise them for unusually large programs.
+    cycles); raise them for unusually large programs. [sanitize] attaches
+    the runtime sanitizer to every simulation; a dirty report is its own
+    [Sanity_violation] divergence (and supersedes the non-completion
+    judgement for that run — an [Abort] stop is the sanitizer working).
+    Note the sanitizer's per-cycle hook disables stall fast-forward, so
+    the ff-on/ff-off comparison degenerates under it.
 
     [miscompile] and [ff_tweak] exist for the harness's own tests: the
     first rewrites the compiled artifact before simulation (an intentional

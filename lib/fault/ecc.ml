@@ -34,6 +34,8 @@ let scrub t ~f =
     entries;
   Hashtbl.reset t.shadow
 
+let peek t ~addr = Hashtbl.find_opt t.shadow addr
+
 let pending t = Hashtbl.length t.shadow
 let corrected t = t.n_corrected
 let scrubbed t = t.n_scrubbed

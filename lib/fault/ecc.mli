@@ -37,6 +37,12 @@ val scrub : t -> f:(int -> int -> unit) -> unit
 (** Correct every still-pending word: [f addr golden] restores each, and
     the table empties. Counted separately from demand corrections. *)
 
+val peek : t -> addr:int -> int option
+(** Pure query: the golden value of [addr] if it is currently corrupted,
+    without consuming the entry or counting a correction. The runtime
+    sanitizer uses this to read the architectural value of a word without
+    perturbing the ECC model. *)
+
 val pending : t -> int
 
 val corrected : t -> int

@@ -32,11 +32,14 @@ let crash_class e =
 let elaborate (p : Ast.program) =
   Frontend.parse_string ~name:p.Ast.prog_name (Gen.render p)
 
-let first_failure ?strategies ?cores ?miscompile ?ff_tweak (p : Ast.program) =
+let first_failure ?strategies ?cores ?miscompile ?ff_tweak ?sanitize
+    (p : Ast.program) =
   match elaborate p with
   | exception e -> (Some (crash_class e, None, Printexc.to_string e), 0, 0)
   | hir -> (
-    match Run.differential ?strategies ?cores ?miscompile ?ff_tweak hir with
+    match
+      Run.differential ?strategies ?cores ?miscompile ?ff_tweak ?sanitize hir
+    with
     | exception e -> (Some (crash_class e, None, Printexc.to_string e), 0, 0)
     | d -> (
       match d.Run.diff_divergences with
@@ -48,12 +51,13 @@ let first_failure ?strategies ?cores ?miscompile ?ff_tweak (p : Ast.program) =
           | Run.Checksum_mismatch { cm_case; _ } -> Some cm_case
           | Run.Checker_rejected { cr_case; _ } -> Some cr_case
           | Run.Ff_cycle_mismatch { fc_case; _ } -> Some fc_case
+          | Run.Sanity_violation { sv_case; _ } -> Some sv_case
         in
         ( Some (Run.divergence_class dv, case, Run.divergence_to_string dv),
           d.Run.diff_runs,
           d.Run.diff_warnings )))
 
-let minimize ?strategies ?cores ?miscompile ?ff_tweak ~cls ?case p =
+let minimize ?strategies ?cores ?miscompile ?ff_tweak ?sanitize ~cls ?case p =
   (* Re-running just the diverging case per candidate keeps shrinking
      cheap; the class must be preserved exactly. *)
   let strategies, cores =
@@ -62,20 +66,22 @@ let minimize ?strategies ?cores ?miscompile ?ff_tweak ~cls ?case p =
     | None -> (strategies, cores)
   in
   let keep candidate =
-    match first_failure ?strategies ?cores ?miscompile ?ff_tweak candidate with
+    match
+      first_failure ?strategies ?cores ?miscompile ?ff_tweak ?sanitize candidate
+    with
     | Some (cls', _, _), _, _ -> cls' = cls
     | None, _, _ -> false
   in
   if keep p then Shrink.shrink ~keep p else p
 
-let run ?strategies ?cores ?(size = 24) ?(minimize_findings = true)
+let run ?strategies ?cores ?sanitize ?(size = 24) ?(minimize_findings = true)
     ?(on_program = fun ~seed:_ _ -> ()) ?(log = ignore) ~seed ~count () =
   let runs = ref 0 and warnings = ref 0 and findings = ref [] in
   for k = 0 to count - 1 do
     let s = seed + k in
     let p = Gen.program ~size ~seed:s () in
     on_program ~seed:s p;
-    let failure, r, w = first_failure ?strategies ?cores p in
+    let failure, r, w = first_failure ?strategies ?cores ?sanitize p in
     runs := !runs + r;
     warnings := !warnings + w;
     (match failure with
@@ -84,7 +90,7 @@ let run ?strategies ?cores ?(size = 24) ?(minimize_findings = true)
       log (Printf.sprintf "seed %d: %s divergence — %s" s cls detail);
       let minimized =
         if minimize_findings then begin
-          let m = minimize ?strategies ?cores ~cls ?case p in
+          let m = minimize ?strategies ?cores ?sanitize ~cls ?case p in
           log
             (Printf.sprintf "seed %d: shrunk %d -> %d source lines" s
                (Gen.source_lines p) (Gen.source_lines m));

@@ -32,20 +32,24 @@ val first_failure :
   ?cores:int list ->
   ?miscompile:(Voltron_compiler.Driver.compiled -> Voltron_compiler.Driver.compiled) ->
   ?ff_tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
+  ?sanitize:Voltron_sanity.Sanity.policy ->
   Voltron_lang.Ast.program ->
   (string * Voltron.Run.diff_case option * string) option * int * int
 (** Render, re-parse, elaborate and run the differential contract.
     Returns [(failure, runs, warnings)] where [failure] is
     [Some (class, case, detail)] for the first divergence or crash.
-    [miscompile] and [ff_tweak] are threaded to {!Voltron.Run.differential}
-    (the harness's own self-tests inject deliberate miscompiles through
-    them). *)
+    [miscompile], [ff_tweak] and [sanitize] are threaded to
+    {!Voltron.Run.differential} (the harness's own self-tests inject
+    deliberate miscompiles through the first two; [sanitize] attaches the
+    runtime invariant sanitizer to every simulation, adding the
+    ["sanitizer"] divergence class). *)
 
 val minimize :
   ?strategies:Voltron_compiler.Select.choice list ->
   ?cores:int list ->
   ?miscompile:(Voltron_compiler.Driver.compiled -> Voltron_compiler.Driver.compiled) ->
   ?ff_tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
+  ?sanitize:Voltron_sanity.Sanity.policy ->
   cls:string ->
   ?case:Voltron.Run.diff_case ->
   Voltron_lang.Ast.program ->
@@ -57,6 +61,7 @@ val minimize :
 val run :
   ?strategies:Voltron_compiler.Select.choice list ->
   ?cores:int list ->
+  ?sanitize:Voltron_sanity.Sanity.policy ->
   ?size:int ->
   ?minimize_findings:bool ->
   ?on_program:(seed:int -> Voltron_lang.Ast.program -> unit) ->

@@ -51,6 +51,7 @@ type outcome =
   | Out_of_cycles
   | Deadlock of diagnosis
   | Fault_limit of diagnosis
+  | Stopped of diagnosis
 
 type result = {
   outcome : outcome;
@@ -123,6 +124,11 @@ type t = {
      observability layer derived from the compiler's region extents. *)
   mutable attr : (Stats.region_acct * (core:int -> pc:int -> int)) option;
   mutable on_cycle : (now:int -> unit) option;
+  (* Runtime sanitizer: a per-cycle check hook (runs after [on_cycle]) plus
+     a stop request it can raise from any monitor callback; the run loop
+     converts the request into a [Stopped] outcome at the end of the cycle. *)
+  mutable on_sanity : (now:int -> unit) option;
+  mutable stop_requested : bool;
   (* Stall fast-forward (Config.fast_forward). [ff_active] is resolved once
      at run entry: on when nothing per-cycle-observing is attached (tracer,
      sampler hook, fault injector — attribution is fine, its cells take bulk
@@ -208,6 +214,8 @@ let create cfg (prog : Program.t) =
       tracer = None;
       attr = None;
       on_cycle = None;
+      on_sanity = None;
+      stop_requested = false;
       ff_active = false;
       wake = max_int;
       sc_wait = Array.make cfg.n_cores None;
@@ -222,6 +230,7 @@ let memory t = t.mem
 let stats t = t.st
 let coherence t = t.hier
 let network t = t.net
+let tm t = t.tm
 let now t = t.now
 let mode t = t.mode
 let set_tracer t tr = t.tracer <- Some tr
@@ -232,6 +241,8 @@ let set_attribution t ~region_of acct =
   t.attr <- Some (acct, region_of)
 
 let set_on_cycle t f = t.on_cycle <- Some f
+let set_sanity_cycle t f = t.on_sanity <- Some f
+let request_stop t = t.stop_requested <- true
 
 let trace t ev =
   match t.tracer with None -> () | Some tr -> Trace.record tr ev
@@ -1241,7 +1252,8 @@ let run t =
     t.cfg.Config.fast_forward
     && (match t.inj with None -> true | Some _ -> false)
     && (match t.tracer with None -> true | Some _ -> false)
-    && (match t.on_cycle with None -> true | Some _ -> false);
+    && (match t.on_cycle with None -> true | Some _ -> false)
+    && (match t.on_sanity with None -> true | Some _ -> false);
   let outcome = ref None in
   while !outcome = None do
     t.now <- t.now + 1;
@@ -1260,7 +1272,9 @@ let run t =
       resolve_tm_round t;
       resolve_serial_queue t;
       (match t.on_cycle with None -> () | Some f -> f ~now:t.now);
-      if finished t then outcome := Some Finished
+      (match t.on_sanity with None -> () | Some f -> f ~now:t.now);
+      if t.stop_requested then outcome := Some (Stopped (diagnose t))
+      else if finished t then outcome := Some Finished
       else if (match t.inj with Some f -> Fault.exceeded f | None -> false)
       then outcome := Some (Fault_limit (diagnose t))
       else if t.now - t.last_progress > t.cfg.watchdog then

@@ -86,6 +86,9 @@ type outcome =
   | Fault_limit of diagnosis
       (** fault injection crossed [degrade_threshold]; the caller should
           degrade to a simpler execution mode and re-run *)
+  | Stopped of diagnosis
+      (** a hook called {!request_stop} — the runtime sanitizer halting the
+          machine at the cycle a violation was detected *)
 
 type result = {
   outcome : outcome;
@@ -103,6 +106,7 @@ val memory : t -> Voltron_mem.Memory.t
 val stats : t -> Stats.t
 val coherence : t -> Voltron_mem.Coherence.t
 val network : t -> Voltron_net.Operand_network.t
+val tm : t -> Voltron_mem.Tm.t
 
 val now : t -> int
 (** Current simulated cycle (valid mid-run, e.g. from an {!set_on_cycle}
@@ -135,3 +139,14 @@ val set_on_cycle : t -> (now:int -> unit) -> unit
     and barrier/TM resolution) — the interval sampler's hook. The callback
     may read [stats], [coherence], [network] and [now], but must not
     mutate the machine. *)
+
+val set_sanity_cycle : t -> (now:int -> unit) -> unit
+(** The runtime sanitizer's per-cycle check hook: runs after {!set_on_cycle}'s
+    callback, under the same read-only contract (with the one sanctioned
+    mutation of {!request_stop}). Attaching it disables stall fast-forward
+    for the run, like a tracer — every cycle must be observed. *)
+
+val request_stop : t -> unit
+(** Ask the run loop to stop at the end of the current cycle with a
+    {!Stopped} outcome carrying the usual structured diagnosis. Callable
+    from any hook or monitor callback; idempotent. *)

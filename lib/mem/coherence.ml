@@ -66,6 +66,10 @@ type t = {
   l2 : Cache.t;
   mutable bus_free : int;
   per_core : stats array;
+  (* Runtime sanitizer hook: fired after every access, once the protocol
+     state transition for that access has fully landed. [None] (the
+     default) keeps the hot path to a single branch. *)
+  mutable monitor : (core:int -> kind -> int -> unit) option;
 }
 
 let create cfg ~n_cores =
@@ -77,7 +81,10 @@ let create cfg ~n_cores =
     l2 = Cache.create ~sets:cfg.l2_sets ~ways:cfg.l2_ways;
     bus_free = 0;
     per_core = Array.init n_cores (fun _ -> fresh_stats ());
+    monitor = None;
   }
+
+let set_monitor t f = t.monitor <- Some f
 
 let config t = t.cfg
 
@@ -254,10 +261,24 @@ let access_inst t ~now ~core addr =
     start + duration
 
 let access t ~now ~core kind addr =
-  match kind with
-  | Ifetch -> access_inst t ~now ~core addr
-  | Dload -> access_data t ~now ~core ~write:false addr
-  | Dstore -> access_data t ~now ~core ~write:true addr
+  let completion =
+    match kind with
+    | Ifetch -> access_inst t ~now ~core addr
+    | Dload -> access_data t ~now ~core ~write:false addr
+    | Dstore -> access_data t ~now ~core ~write:true addr
+  in
+  (match t.monitor with None -> () | Some f -> f ~core kind addr);
+  completion
+
+let l1d_line_states t ~addr =
+  let line = dline t addr in
+  let states = ref [] in
+  for c = t.n_cores - 1 downto 0 do
+    match Cache.find t.l1d.(c) line with
+    | Some st -> states := (c, st) :: !states
+    | None -> ()
+  done;
+  (line, !states)
 
 let would_hit t ~core kind addr =
   match kind with

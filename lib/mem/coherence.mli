@@ -62,6 +62,19 @@ val would_hit : t -> core:int -> kind -> int -> bool
 val stats : t -> core:int -> stats
 val total_stats : t -> stats
 
+val set_monitor : t -> (core:int -> kind -> int -> unit) -> unit
+(** Attach the runtime sanitizer's access monitor: called after every
+    {!access}, once the MOESI transition for that access has fully landed,
+    with the accessing core, the access kind and the word address. Passive
+    — the callback must not mutate the hierarchy. Unset (the default), the
+    hot path pays a single branch. *)
+
+val l1d_line_states : t -> addr:int -> int * (int * Cache.state) list
+(** The data line holding word [addr], and every core whose L1D currently
+    holds that line with its MOESI state — the per-line view the sanitizer
+    checks the single-writer/multiple-reader invariant against after each
+    access. Does not touch LRU. *)
+
 val check_invariants : t -> (string, string) result
 (** MOESI safety over every line: at most one cache in M or E and then no
     other sharer; at most one owner (O); an O line may coexist only with S

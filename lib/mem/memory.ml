@@ -44,6 +44,26 @@ let corrupt t addr ~flip =
     Ecc.note_flip e ~addr ~golden:t.data.(addr);
     t.data.(addr) <- flip t.data.(addr)
 
+(* Architectural value of [addr] with no side effect: what a read would
+   return, but without consuming the ECC entry, counting a correction, or
+   charging a penalty. The runtime sanitizer's window into memory. *)
+let peek t addr =
+  check t addr "peek";
+  match t.ecc with
+  | None -> t.data.(addr)
+  | Some e -> (
+    match Ecc.peek e ~addr with
+    | Some golden -> golden
+    | None -> t.data.(addr))
+
+(* Corrupt a word *without* telling the ECC model — a fault past the
+   detection capability of the code (e.g. a multi-bit upset). Nothing in
+   the recovery machinery can see it; only the sanitizer's shadow memory
+   can. Test-only: the fault injector proper goes through [corrupt]. *)
+let test_tamper t addr v =
+  check t addr "test_tamper";
+  t.data.(addr) <- v
+
 let scrub t =
   match t.ecc with
   | None -> ()

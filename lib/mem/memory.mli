@@ -23,6 +23,18 @@ val write : t -> int -> int -> unit
 (** Out-of-bounds accesses raise [Invalid_argument] — the simulator treats
     them as a (simulated) program crash. *)
 
+val peek : t -> int -> int
+(** Architectural value of a word with {e no} side effect: what {!read}
+    would return, but without consuming a pending ECC correction, bumping
+    counters or charging latency. The runtime sanitizer's view of memory. *)
+
+val test_tamper : t -> int -> int -> unit
+(** [test_tamper t addr v] overwrites the stored word {e without} noting
+    anything in the ECC model — a corruption past the code's detection
+    capability (multi-bit upset). Invisible to the recovery machinery by
+    construction; only the sanitizer's shadow memory can catch it.
+    Test-only: real injection goes through {!corrupt}. *)
+
 val attach_ecc : t -> Voltron_fault.Ecc.t -> unit
 (** Enable the ECC model; required before {!corrupt} has any effect. *)
 

@@ -5,7 +5,27 @@ type tx = {
   write_order : int Voltron_util.Vec.t;  (** addresses in first-write order *)
 }
 
-type t = { mem : Memory.t; txs : tx array }
+(* Runtime sanitizer hooks: one narrow callback per TM-visible event. All
+   passive — the sanitizer mirrors the write buffers and shadow memory from
+   these, it never mutates the TM. [tx] on read/write says whether the core
+   was inside a transaction (buffered) at that access. *)
+type monitor = {
+  m_read : core:int -> addr:int -> value:int -> tx:bool -> unit;
+  m_write : core:int -> addr:int -> value:int -> tx:bool -> unit;
+  m_begin : core:int -> unit;
+  m_commit : core:int -> unit;  (** after the buffer landed in memory *)
+  m_abort : core:int -> unit;  (** after the buffer was discarded *)
+}
+
+type t = {
+  mem : Memory.t;
+  txs : tx array;
+  mutable monitor : monitor option;
+  (* Test-only sabotage: when armed, the next abort leaks its first
+     buffered store into memory before discarding the buffer — a broken
+     rollback for the sanitizer's TM oracle to catch. *)
+  mutable leak_next_abort : bool;
+}
 
 let fresh_tx () =
   {
@@ -15,7 +35,17 @@ let fresh_tx () =
     write_order = Voltron_util.Vec.create ();
   }
 
-let create mem ~n_cores = { mem; txs = Array.init n_cores (fun _ -> fresh_tx ()) }
+let create mem ~n_cores =
+  {
+    mem;
+    txs = Array.init n_cores (fun _ -> fresh_tx ());
+    monitor = None;
+    leak_next_abort = false;
+  }
+
+let set_monitor t m = t.monitor <- Some m
+
+let test_leak_next_abort t = t.leak_next_abort <- true
 
 let in_tx t ~core = t.txs.(core).active
 
@@ -25,21 +55,30 @@ let tx_begin t ~core =
   tx.active <- true;
   Hashtbl.reset tx.reads;
   Hashtbl.reset tx.writes;
-  Voltron_util.Vec.clear tx.write_order
+  Voltron_util.Vec.clear tx.write_order;
+  match t.monitor with None -> () | Some m -> m.m_begin ~core
 
 let read t ~core addr =
   let tx = t.txs.(core) in
-  if not tx.active then Memory.read t.mem addr
-  else begin
-    Hashtbl.replace tx.reads addr ();
-    match Hashtbl.find_opt tx.writes addr with
-    | Some v -> v
-    | None -> Memory.read t.mem addr
-  end
+  let in_tx = tx.active in
+  let v =
+    if not in_tx then Memory.read t.mem addr
+    else begin
+      Hashtbl.replace tx.reads addr ();
+      match Hashtbl.find_opt tx.writes addr with
+      | Some v -> v
+      | None -> Memory.read t.mem addr
+    end
+  in
+  (match t.monitor with
+  | None -> ()
+  | Some m -> m.m_read ~core ~addr ~value:v ~tx:in_tx);
+  v
 
 let write t ~core addr v =
   let tx = t.txs.(core) in
-  if not tx.active then Memory.write t.mem addr v
+  let in_tx = tx.active in
+  if not in_tx then Memory.write t.mem addr v
   else begin
     (* Validate the address eagerly so an out-of-bounds store faults inside
        the transaction, like a real store would. *)
@@ -48,14 +87,31 @@ let write t ~core addr v =
     if not (Hashtbl.mem tx.writes addr) then
       Voltron_util.Vec.push tx.write_order addr;
     Hashtbl.replace tx.writes addr v
-  end
+  end;
+  match t.monitor with
+  | None -> ()
+  | Some m -> m.m_write ~core ~addr ~value:v ~tx:in_tx
 
-let abort t ~core =
+let clear_tx t ~core =
   let tx = t.txs.(core) in
   tx.active <- false;
   Hashtbl.reset tx.reads;
   Hashtbl.reset tx.writes;
   Voltron_util.Vec.clear tx.write_order
+
+let abort t ~core =
+  let tx = t.txs.(core) in
+  if t.leak_next_abort && tx.active && Voltron_util.Vec.length tx.write_order > 0
+  then begin
+    (* Armed sabotage: a rollback that forgets to discard one buffered
+       store. The write bypasses the monitor on purpose — a real protocol
+       bug would not announce itself either. *)
+    t.leak_next_abort <- false;
+    let addr = Voltron_util.Vec.get tx.write_order 0 in
+    Memory.write t.mem addr (Hashtbl.find tx.writes addr)
+  end;
+  clear_tx t ~core;
+  match t.monitor with None -> () | Some m -> m.m_abort ~core
 
 let read_set t ~core =
   Hashtbl.fold (fun addr () acc -> addr :: acc) t.txs.(core).reads []
@@ -70,7 +126,8 @@ let commit_one t ~core =
   Voltron_util.Vec.iter
     (fun addr -> Memory.write t.mem addr (Hashtbl.find tx.writes addr))
     tx.write_order;
-  abort t ~core
+  clear_tx t ~core;
+  match t.monitor with None -> () | Some m -> m.m_commit ~core
 
 let commit_round t ~cores =
   let committed_writes : (int, unit) Hashtbl.t = Hashtbl.create 64 in

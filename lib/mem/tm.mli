@@ -14,7 +14,30 @@
 
 type t
 
+(** Runtime sanitizer hooks — one narrow callback per TM-visible event,
+    all passive (the sanitizer mirrors buffers and shadow memory from
+    them; it never mutates the TM). [tx] on read/write reports whether the
+    access was inside a transaction (i.e. buffered). Every architectural
+    memory access in the machine goes through {!read}/{!write}, so these
+    two callbacks double as the machine-wide load/store event stream. *)
+type monitor = {
+  m_read : core:int -> addr:int -> value:int -> tx:bool -> unit;
+  m_write : core:int -> addr:int -> value:int -> tx:bool -> unit;
+  m_begin : core:int -> unit;
+  m_commit : core:int -> unit;  (** after the buffer landed in memory *)
+  m_abort : core:int -> unit;  (** after the buffer was discarded *)
+}
+
 val create : Memory.t -> n_cores:int -> t
+
+val set_monitor : t -> monitor -> unit
+
+val test_leak_next_abort : t -> unit
+(** Arm a one-shot sabotage: the next {!abort} of a transaction with a
+    non-empty write buffer silently writes its first buffered store to
+    memory before discarding the buffer — a broken rollback, invisible to
+    the recovery machinery, for the sanitizer's TM oracle to catch.
+    Test-only. *)
 
 val in_tx : t -> core:int -> bool
 

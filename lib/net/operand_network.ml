@@ -12,7 +12,7 @@ type condition = Clean | Lost | Corrupt
 type message = {
   msg_src : int;
   msg_dst : int;
-  msg_payload : payload;
+  mutable msg_payload : payload;  (** mutable only for the tamper backdoor *)
   mutable ready_time : int;  (** cycle at which the receive queue can deliver *)
   seq : int;  (** global enqueue order: FIFO per (src, dst) pair *)
   mutable condition : condition;
@@ -30,6 +30,22 @@ type stats = {
   mutable nacks : int;  (** parity NACKs + receive-queue overflow NACKs *)
 }
 
+(* Runtime sanitizer events: the network announces every enqueue, delivery
+   and latch fill/drain so an external model can mirror the protocol and
+   cross-check conservation, FIFO order and payload integrity. *)
+type event =
+  | Ev_send of { ev_src : int; ev_dst : int; ev_seq : int; ev_payload : payload }
+  | Ev_deliver of {
+      ev_src : int;
+      ev_dst : int;
+      ev_seq : int;
+      ev_payload : payload;
+    }
+  | Ev_put of { ev_src : int; ev_dst : int; ev_dir : Voltron_isa.Inst.dir }
+      (** successful latch fill; [ev_dir] is the PUT direction at the source *)
+  | Ev_get of { ev_core : int; ev_dir : Voltron_isa.Inst.dir }
+      (** successful latch drain at the consuming core *)
+
 type t = {
   net_mesh : Mesh.t;
   capacity : int;
@@ -41,6 +57,7 @@ type t = {
   mutable next_seq : int;
   net_stats : stats;
   faults : Fault.t option;
+  mutable monitor : (event -> unit) option;
 }
 
 type put_error = Off_mesh | Latch_full of int
@@ -92,11 +109,18 @@ let create ?faults net_mesh ~receive_capacity =
     net_stats =
       { msgs_sent = 0; total_latency = 0; max_occupancy = 0; retries = 0; nacks = 0 };
     faults;
+    monitor = None;
   }
 
 let mesh t = t.net_mesh
 
 let stats t = t.net_stats
+
+let set_monitor t f = t.monitor <- Some f
+
+let emit t ev = match t.monitor with None -> () | Some f -> f ev
+
+let in_flight_count t = List.length t.in_flight
 
 (* --- Direct mode --------------------------------------------------------- *)
 
@@ -110,6 +134,7 @@ let put t ~now ~src_core dir value =
       latch.filled <- true;
       latch.value <- value;
       latch.time <- now;
+      emit t (Ev_put { ev_src = src_core; ev_dst = dst; ev_dir = dir });
       Ok ()
     end
 
@@ -126,6 +151,7 @@ let get t ~now ~core dir =
            "get: core %d read a stale direct-mode latch (put at %d, get at %d)"
            core latch.time now);
     latch.filled <- false;
+    emit t (Ev_get { ev_core = core; ev_dir = dir });
     Some latch.value
   end
 
@@ -233,6 +259,8 @@ let enqueue t ~now ~src ~dst payload =
   s.msgs_sent <- s.msgs_sent + 1;
   s.total_latency <- s.total_latency + 2 + hops;
   s.max_occupancy <- max s.max_occupancy (List.length t.in_flight);
+  emit t
+    (Ev_send { ev_src = src; ev_dst = dst; ev_seq = msg.seq; ev_payload = payload });
   msg
 
 let send t ~now ~src ~dst payload =
@@ -302,6 +330,14 @@ let take t ~now ~dst ~src ~want_start =
   | None -> None
   | Some m ->
     t.in_flight <- remove_seq m.seq t.in_flight;
+    emit t
+      (Ev_deliver
+         {
+           ev_src = m.msg_src;
+           ev_dst = m.msg_dst;
+           ev_seq = m.seq;
+           ev_payload = m.msg_payload;
+         });
     Some m
 
 let recv t ~now ~core ~sender =
@@ -392,3 +428,33 @@ let in_flight_summary t =
 let idle t =
   t.in_flight = []
   && Array.for_all (fun row -> Array.for_all (fun l -> not l.filled) row) t.latches
+
+(* --- Test backdoors -------------------------------------------------------- *)
+
+(* Oldest in-flight message, optionally restricted to Value payloads. *)
+let oldest_in_flight ?(values_only = false) t =
+  List.fold_left
+    (fun best m ->
+      let eligible =
+        (not values_only)
+        || match m.msg_payload with Value _ -> true | Start _ -> false
+      in
+      if not eligible then best
+      else match best with Some b when b.seq <= m.seq -> best | _ -> Some m)
+    None t.in_flight
+
+let test_tamper_payload t =
+  match oldest_in_flight ~values_only:true t with
+  | None -> false
+  | Some m ->
+    (match m.msg_payload with
+    | Value v -> m.msg_payload <- Value (v lxor 1)
+    | Start _ -> assert false);
+    true
+
+let test_drop t =
+  match oldest_in_flight t with
+  | None -> false
+  | Some m ->
+    t.in_flight <- remove_seq m.seq t.in_flight;
+    true

@@ -146,3 +146,42 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** {1 Runtime sanitizer hooks}
+
+    The network announces every enqueue, delivery and latch fill/drain so an
+    external model can mirror the protocol and cross-check message
+    conservation, per-channel FIFO order and payload integrity. *)
+
+type event =
+  | Ev_send of { ev_src : int; ev_dst : int; ev_seq : int; ev_payload : payload }
+      (** a message entered the network (SEND, SPAWN or overflow defer) *)
+  | Ev_deliver of {
+      ev_src : int;
+      ev_dst : int;
+      ev_seq : int;
+      ev_payload : payload;
+    }  (** a message left the network into the consuming core *)
+  | Ev_put of { ev_src : int; ev_dst : int; ev_dir : Voltron_isa.Inst.dir }
+      (** successful latch fill; [ev_dir] is the PUT direction at the source *)
+  | Ev_get of { ev_core : int; ev_dir : Voltron_isa.Inst.dir }
+      (** successful latch drain at the consuming core *)
+
+val set_monitor : t -> (event -> unit) -> unit
+(** Passive: the callback must not mutate the network. Unset (the default),
+    the hot path pays a single branch per event site. *)
+
+val in_flight_count : t -> int
+(** Messages currently in flight — the conservation figure the sanitizer
+    reconciles its mirror against every cycle. *)
+
+val test_tamper_payload : t -> bool
+(** Test-only sabotage: flip the low bit of the oldest in-flight [Value]
+    payload, silently (no event, no parity trip) — undetectable corruption
+    past the ack/retry protocol, for the sanitizer to catch. [false] when no
+    Value message is in flight. *)
+
+val test_drop : t -> bool
+(** Test-only sabotage: silently remove the oldest in-flight message — a
+    vanished message the retry protocol never notices, for the sanitizer's
+    conservation check to catch. [false] when nothing is in flight. *)

@@ -1,0 +1,39 @@
+module Machine = Voltron_machine.Machine
+module Inst = Voltron_isa.Inst
+
+let diagnosis_to_json (d : Machine.diagnosis) =
+  Json.Obj
+    [
+      ("cycle", Json.Int d.Machine.d_cycle);
+      ("last_progress", Json.Int d.Machine.d_last_progress);
+      ("mode", Json.Str (Format.asprintf "%a" Inst.pp_mode d.Machine.d_mode));
+      ( "cores",
+        Json.List
+          (Array.to_list d.Machine.d_cores
+          |> List.map (fun (c : Machine.core_diag) ->
+                 Json.Obj
+                   [
+                     ("core", Json.Int c.Machine.d_core);
+                     ("pc", Json.Int c.Machine.d_pc);
+                     ( "wait",
+                       match c.Machine.d_wait with
+                       | Some w -> Json.Str (Machine.wait_to_string w)
+                       | None -> Json.Null );
+                     ("bundle", Json.Str c.Machine.d_bundle);
+                   ])) );
+      ( "queue",
+        Json.List
+          (List.map
+             (fun (src, dst, state) ->
+               Json.Obj
+                 [
+                   ("src", Json.Int src);
+                   ("dst", Json.Int dst);
+                   ("state", Json.Str state);
+                 ])
+             d.Machine.d_queue) );
+      ( "blame",
+        match d.Machine.d_blame with
+        | Some (w, c) -> Json.List [ Json.Int w; Json.Int c ]
+        | None -> Json.Null );
+    ]

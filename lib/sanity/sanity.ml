@@ -1,0 +1,445 @@
+module Inst = Voltron_isa.Inst
+module Memory = Voltron_mem.Memory
+module Cache = Voltron_mem.Cache
+module Coherence = Voltron_mem.Coherence
+module Tm = Voltron_mem.Tm
+module Net = Voltron_net.Operand_network
+module Machine = Voltron_machine.Machine
+module Json = Voltron_obs.Json
+
+type policy = Report | Abort | Recover
+
+let policy_name = function
+  | Report -> "report"
+  | Abort -> "abort"
+  | Recover -> "recover"
+
+let policy_of_string = function
+  | "report" -> Ok Report
+  | "abort" -> Ok Abort
+  | "recover" -> Ok Recover
+  | s ->
+    Error
+      (Printf.sprintf "unknown sanitizer policy %S (report, abort, recover)" s)
+
+type kind =
+  | Coherence_states of { line : int; states : (int * Cache.state) list }
+  | Coherence_sweep of { msg : string }
+  | Read_divergence of { expected : int; got : int }
+  | Aborted_store_leaked of { expected : int; got : int }
+  | Tm_commit_order of { prev_core : int }
+  | Msg_conservation of { modelled : int; actual : int }
+  | Msg_fifo of { seq_expected : int; seq_got : int }
+  | Msg_payload of { expected : string; got : string }
+  | Msg_phantom of { seq : int }
+  | Latch_double_fill of { dir : Inst.dir }
+  | Latch_empty_get of { dir : Inst.dir }
+  | Final_image_divergence of { expected : int; got : int }
+
+let kind_class = function
+  | Coherence_states _ | Coherence_sweep _ -> "coherence-states"
+  | Read_divergence _ -> "read-divergence"
+  | Aborted_store_leaked _ -> "tm-leak"
+  | Tm_commit_order _ -> "tm-commit-order"
+  | Msg_conservation _ -> "msg-conservation"
+  | Msg_fifo _ -> "msg-fifo"
+  | Msg_payload _ -> "msg-payload"
+  | Msg_phantom _ -> "msg-phantom"
+  | Latch_double_fill _ -> "latch-double-fill"
+  | Latch_empty_get _ -> "latch-empty-get"
+  | Final_image_divergence _ -> "final-image"
+
+let dir_name = function
+  | Inst.North -> "north"
+  | Inst.South -> "south"
+  | Inst.East -> "east"
+  | Inst.West -> "west"
+
+let kind_detail = function
+  | Coherence_states { line; states } ->
+    Printf.sprintf "line %d held as {%s}" line
+      (String.concat ", "
+         (List.map
+            (fun (c, st) ->
+              Printf.sprintf "core %d: %s" c
+                (Format.asprintf "%a" Cache.pp_state st))
+            states))
+  | Coherence_sweep { msg } -> "end-of-run sweep: " ^ msg
+  | Read_divergence { expected; got } ->
+    Printf.sprintf "load returned %d, shadow holds %d" got expected
+  | Aborted_store_leaked { expected; got } ->
+    Printf.sprintf
+      "memory holds %d after the abort, pre-transaction value was %d" got
+      expected
+  | Tm_commit_order { prev_core } ->
+    Printf.sprintf "committed after core %d in the same cycle" prev_core
+  | Msg_conservation { modelled; actual } ->
+    Printf.sprintf "mirror models %d in-flight message(s), network holds %d"
+      modelled actual
+  | Msg_fifo { seq_expected; seq_got } ->
+    Printf.sprintf "delivered seq %d while seq %d was older on the channel"
+      seq_got seq_expected
+  | Msg_payload { expected; got } ->
+    Printf.sprintf "sent %s, delivered %s" expected got
+  | Msg_phantom { seq } ->
+    Printf.sprintf "delivered seq %d the mirror never saw sent" seq
+  | Latch_double_fill { dir } ->
+    Printf.sprintf "PUT %s onto an already-full latch" (dir_name dir)
+  | Latch_empty_get { dir } ->
+    Printf.sprintf "GET %s from a latch the mirror holds empty" (dir_name dir)
+  | Final_image_divergence { expected; got } ->
+    Printf.sprintf "final image holds %d, shadow holds %d" got expected
+
+type violation = {
+  v_kind : kind;
+  v_cycle : int;
+  v_core : int option;
+  v_addr : int option;
+  v_blame : (int * int) option;
+}
+
+let violation_to_string v =
+  let b = Buffer.create 96 in
+  Buffer.add_string b (Printf.sprintf "sanitizer [%s]" (kind_class v.v_kind));
+  Buffer.add_string b (Printf.sprintf " cycle %d" v.v_cycle);
+  (match v.v_core with
+  | Some c -> Buffer.add_string b (Printf.sprintf " core %d" c)
+  | None -> ());
+  (match v.v_addr with
+  | Some a -> Buffer.add_string b (Printf.sprintf " addr %d" a)
+  | None -> ());
+  (match v.v_blame with
+  | Some (waiter, culprit) ->
+    Buffer.add_string b (Printf.sprintf " (core %d <- core %d)" waiter culprit)
+  | None -> ());
+  Buffer.add_string b ": ";
+  Buffer.add_string b (kind_detail v.v_kind);
+  Buffer.contents b
+
+let opt_int = function Some i -> Json.Int i | None -> Json.Null
+
+let violation_to_json v =
+  Json.Obj
+    [
+      ("class", Json.Str (kind_class v.v_kind));
+      ("cycle", Json.Int v.v_cycle);
+      ("core", opt_int v.v_core);
+      ("addr", opt_int v.v_addr);
+      ( "blame",
+        match v.v_blame with
+        | Some (w, c) -> Json.List [ Json.Int w; Json.Int c ]
+        | None -> Json.Null );
+      ("detail", Json.Str (kind_detail v.v_kind));
+    ]
+
+(* Per-(sender, receiver, class) channel mirror; the bool is "Start class"
+   (SPAWN), mirroring the network's own unit of FIFO ordering. *)
+type chan_key = int * int * bool
+
+type t = {
+  machine : Machine.t;
+  san_policy : policy;
+  log : string -> unit;
+  limit : int;
+  mem : Memory.t;
+  hier : Coherence.t;
+  net : Net.t;
+  (* Golden last-writer-wins image, maintained from the TM's machine-wide
+     load/store event stream. *)
+  shadow : int array;
+  (* Per-core mirror of the TM write buffer: reads inside a transaction
+     check against it before the shadow; commits fold it into the shadow;
+     aborts audit memory against it. *)
+  tx_mirror : (int, int) Hashtbl.t array;
+  channels : (chan_key, (int * Net.payload) Queue.t) Hashtbl.t;
+  mutable outstanding : int;  (** mirror's in-flight message count *)
+  mutable last_delta : int;  (** last reported conservation delta (dedup) *)
+  latch_mirror : bool array array;  (** latch_mirror.(core).(dir_index) *)
+  mutable last_commit : int * int;  (** cycle, core of the last TM commit *)
+  mutable recorded : violation list;  (** newest first, bounded by [limit] *)
+  mutable n_recorded : int;
+  mutable total : int;
+  by_class : (string, int) Hashtbl.t;
+}
+
+let record ?core ?addr ?blame t kind =
+  let v =
+    {
+      v_kind = kind;
+      v_cycle = Machine.now t.machine;
+      v_core = core;
+      v_addr = addr;
+      v_blame = blame;
+    }
+  in
+  t.total <- t.total + 1;
+  let cls = kind_class kind in
+  Hashtbl.replace t.by_class cls
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_class cls));
+  if t.n_recorded < t.limit then begin
+    t.recorded <- v :: t.recorded;
+    t.n_recorded <- t.n_recorded + 1;
+    t.log (violation_to_string v)
+  end;
+  match t.san_policy with
+  | Report -> ()
+  | Abort | Recover -> Machine.request_stop t.machine
+
+(* --- Coherence oracle ------------------------------------------------------ *)
+
+(* Single-writer/multiple-reader over the accessed line, checked after the
+   MOESI transition for the access has landed: at most one M/E copy and
+   then no other sharer, at most one owner. Same rule as the end-of-run
+   [Coherence.check_invariants], applied per line per access. *)
+let check_line t ~core addr =
+  let line, states = Coherence.l1d_line_states t.hier ~addr in
+  let m = ref 0 and e = ref 0 and o = ref 0 and total = ref 0 in
+  List.iter
+    (fun (_, st) ->
+      incr total;
+      match st with
+      | Cache.M -> incr m
+      | Cache.E -> incr e
+      | Cache.O -> incr o
+      | Cache.S | Cache.I -> ())
+    states;
+  if !m + !e > 1 || ((!m = 1 || !e = 1) && !total > 1) || !o > 1 then
+    record t ~core ~addr (Coherence_states { line; states })
+
+let on_access t ~core kind addr =
+  match kind with
+  | Coherence.Ifetch -> ()
+  | Coherence.Dload | Coherence.Dstore -> check_line t ~core addr
+
+(* --- TM / shadow-memory oracle --------------------------------------------- *)
+
+let on_read t ~core ~addr ~value ~tx =
+  let expected =
+    if tx then
+      match Hashtbl.find_opt t.tx_mirror.(core) addr with
+      | Some v -> v
+      | None -> t.shadow.(addr)
+    else t.shadow.(addr)
+  in
+  if value <> expected then
+    record t ~core ~addr (Read_divergence { expected; got = value })
+
+let on_write t ~core ~addr ~value ~tx =
+  if tx then Hashtbl.replace t.tx_mirror.(core) addr value
+  else t.shadow.(addr) <- value
+
+let on_begin t ~core = Hashtbl.reset t.tx_mirror.(core)
+
+let on_commit t ~core =
+  Hashtbl.iter (fun addr v -> t.shadow.(addr) <- v) t.tx_mirror.(core);
+  Hashtbl.reset t.tx_mirror.(core);
+  let now = Machine.now t.machine in
+  let prev_cycle, prev_core = t.last_commit in
+  if prev_cycle = now && core < prev_core then
+    record t ~core (Tm_commit_order { prev_core });
+  t.last_commit <- (now, core)
+
+let on_abort t ~core =
+  (* A rolled-back transaction must be architecturally invisible: memory at
+     every buffered address must still agree with the shadow. *)
+  Hashtbl.iter
+    (fun addr _ ->
+      let got = Memory.peek t.mem addr in
+      if got <> t.shadow.(addr) then
+        record t ~core ~addr
+          (Aborted_store_leaked { expected = t.shadow.(addr); got }))
+    t.tx_mirror.(core);
+  Hashtbl.reset t.tx_mirror.(core)
+
+(* --- Network conservation -------------------------------------------------- *)
+
+let payload_str = function
+  | Net.Value v -> Printf.sprintf "value %d" v
+  | Net.Start a -> Printf.sprintf "start @%d" a
+
+let chan_key src dst (payload : Net.payload) : chan_key =
+  (src, dst, match payload with Net.Start _ -> true | Net.Value _ -> false)
+
+let channel t key =
+  match Hashtbl.find_opt t.channels key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add t.channels key q;
+    q
+
+(* Drop [seq] from wherever it sits in [q] (the FIFO check already fired);
+   [false] when it was never there — a phantom delivery. *)
+let remove_seq q seq =
+  let found = ref false in
+  let keep = Queue.create () in
+  Queue.iter (fun (s, p) -> if s = seq then found := true else Queue.push (s, p) keep) q;
+  Queue.clear q;
+  Queue.transfer keep q;
+  !found
+
+let on_net_event t = function
+  | Net.Ev_send { ev_src; ev_dst; ev_seq; ev_payload } ->
+    t.outstanding <- t.outstanding + 1;
+    Queue.push (ev_seq, ev_payload) (channel t (chan_key ev_src ev_dst ev_payload))
+  | Net.Ev_deliver { ev_src; ev_dst; ev_seq; ev_payload } ->
+    t.outstanding <- t.outstanding - 1;
+    let blame = (ev_dst, ev_src) in
+    let q = channel t (chan_key ev_src ev_dst ev_payload) in
+    if Queue.is_empty q then
+      record t ~core:ev_dst ~blame (Msg_phantom { seq = ev_seq })
+    else begin
+      let seq_expected, expected_payload = Queue.peek q in
+      if seq_expected = ev_seq then begin
+        ignore (Queue.pop q);
+        if expected_payload <> ev_payload then
+          record t ~core:ev_dst ~blame
+            (Msg_payload
+               {
+                 expected = payload_str expected_payload;
+                 got = payload_str ev_payload;
+               })
+      end
+      else begin
+        record t ~core:ev_dst ~blame (Msg_fifo { seq_expected; seq_got = ev_seq });
+        if not (remove_seq q ev_seq) then
+          record t ~core:ev_dst ~blame (Msg_phantom { seq = ev_seq })
+      end
+    end
+  | Net.Ev_put { ev_src; ev_dst; ev_dir } ->
+    let slot = Inst.opposite ev_dir in
+    let d = match slot with Inst.North -> 0 | South -> 1 | East -> 2 | West -> 3 in
+    if t.latch_mirror.(ev_dst).(d) then
+      record t ~core:ev_dst ~blame:(ev_dst, ev_src)
+        (Latch_double_fill { dir = ev_dir })
+    else t.latch_mirror.(ev_dst).(d) <- true
+  | Net.Ev_get { ev_core; ev_dir } ->
+    let d =
+      match ev_dir with Inst.North -> 0 | South -> 1 | East -> 2 | West -> 3
+    in
+    if not t.latch_mirror.(ev_core).(d) then
+      record t ~core:ev_core (Latch_empty_get { dir = ev_dir })
+    else t.latch_mirror.(ev_core).(d) <- false
+
+(* Per-cycle reconciliation: the mirror's send/deliver balance against the
+   network's live in-flight count. A silently vanished (or conjured)
+   message shows up here the very cycle it happens; the delta is reported
+   once per change, not once per cycle. *)
+let on_cycle t ~now:_ =
+  let actual = Net.in_flight_count t.net in
+  let delta = t.outstanding - actual in
+  if delta = 0 then t.last_delta <- 0
+  else if delta <> t.last_delta then begin
+    t.last_delta <- delta;
+    record t (Msg_conservation { modelled = t.outstanding; actual })
+  end
+
+(* --- Attachment ------------------------------------------------------------ *)
+
+let policy t = t.san_policy
+
+let attach ?(policy = Abort) ?(log = fun _ -> ()) ?(limit = 32) m =
+  let mem = Machine.memory m in
+  let size = Memory.size mem in
+  let shadow = Array.init size (fun i -> Memory.peek mem i) in
+  let hier = Machine.coherence m in
+  let net = Machine.network m in
+  let n =
+    (* Latch mirror is indexed by core; the mesh's core count equals the
+       machine's. *)
+    Voltron_net.Mesh.n_cores (Net.mesh net)
+  in
+  let t =
+    {
+      machine = m;
+      san_policy = policy;
+      log;
+      limit;
+      mem;
+      hier;
+      net;
+      shadow;
+      tx_mirror = Array.init n (fun _ -> Hashtbl.create 32);
+      channels = Hashtbl.create 32;
+      outstanding = 0;
+      last_delta = 0;
+      latch_mirror = Array.init n (fun _ -> Array.make 4 false);
+      last_commit = (-1, -1);
+      recorded = [];
+      n_recorded = 0;
+      total = 0;
+      by_class = Hashtbl.create 8;
+    }
+  in
+  Coherence.set_monitor hier (fun ~core kind addr -> on_access t ~core kind addr);
+  Tm.set_monitor (Machine.tm m)
+    {
+      Tm.m_read = (fun ~core ~addr ~value ~tx -> on_read t ~core ~addr ~value ~tx);
+      m_write = (fun ~core ~addr ~value ~tx -> on_write t ~core ~addr ~value ~tx);
+      m_begin = (fun ~core -> on_begin t ~core);
+      m_commit = (fun ~core -> on_commit t ~core);
+      m_abort = (fun ~core -> on_abort t ~core);
+    };
+  Net.set_monitor net (fun ev -> on_net_event t ev);
+  Machine.set_sanity_cycle m (fun ~now -> on_cycle t ~now);
+  t
+
+let finalize t ~completed =
+  (match Coherence.check_invariants t.hier with
+  | Ok _ -> ()
+  | Error msg -> record t (Coherence_sweep { msg }));
+  let actual = Net.in_flight_count t.net in
+  if t.outstanding <> actual && t.outstanding - actual <> t.last_delta then
+    record t (Msg_conservation { modelled = t.outstanding; actual });
+  if completed then
+    (* The run finished and memory has been scrubbed: the image is final,
+       so it must agree with the shadow word for word. *)
+    for addr = 0 to Array.length t.shadow - 1 do
+      let got = Memory.peek t.mem addr in
+      if got <> t.shadow.(addr) then
+        record t ~addr
+          (Final_image_divergence { expected = t.shadow.(addr); got })
+    done
+
+(* --- Findings -------------------------------------------------------------- *)
+
+type report = {
+  r_policy : policy;
+  r_total : int;
+  r_recorded : violation list;
+  r_by_class : (string * int) list;
+}
+
+let report t =
+  {
+    r_policy = t.san_policy;
+    r_total = t.total;
+    r_recorded = List.rev t.recorded;
+    r_by_class =
+      Hashtbl.fold (fun cls n acc -> (cls, n) :: acc) t.by_class []
+      |> List.sort compare;
+  }
+
+let clean r = r.r_total = 0
+
+let report_to_string r =
+  if clean r then Printf.sprintf "sanitizer (%s): clean" (policy_name r.r_policy)
+  else
+    let classes =
+      String.concat ", "
+        (List.map (fun (c, n) -> Printf.sprintf "%s x%d" c n) r.r_by_class)
+    in
+    String.concat "\n"
+      (Printf.sprintf "sanitizer (%s): %d violation(s): %s"
+         (policy_name r.r_policy) r.r_total classes
+      :: List.map (fun v -> "  " ^ violation_to_string v) r.r_recorded)
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("policy", Json.Str (policy_name r.r_policy));
+      ("total", Json.Int r.r_total);
+      ( "by_class",
+        Json.Obj (List.map (fun (c, n) -> (c, Json.Int n)) r.r_by_class) );
+      ("violations", Json.List (List.map violation_to_json r.r_recorded));
+    ]

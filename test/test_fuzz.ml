@@ -72,6 +72,30 @@ let test_corpus_replay () =
         Alcotest.failf "%s diverges: %s" file (Run.divergence_to_string div))
     files
 
+(* A fixed slice of the corpus replayed with the runtime sanitizer in
+   abort mode: every run must finish clean — the dynamic invariants hold
+   on real (and shrunk-reproducer) programs, not just the workload
+   suite. *)
+let test_corpus_replay_sanitized () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "at least three corpus programs" true
+    (List.length files >= 3);
+  List.iteri
+    (fun i file ->
+      if i < 3 then begin
+        let hir = Frontend.parse_file file in
+        let d =
+          Run.differential ~cores:[ 2; 4 ]
+            ~sanitize:Voltron_sanity.Sanity.Abort hir
+        in
+        match d.Run.diff_divergences with
+        | [] -> ()
+        | div :: _ ->
+          Alcotest.failf "%s diverges under the sanitizer: %s" file
+            (Run.divergence_to_string div)
+      end)
+    files
+
 (* --- Injected divergences: the harness catches what it claims to ----------------- *)
 
 let first_class ?strategies ?cores ?miscompile ?ff_tweak p =
@@ -184,7 +208,11 @@ let () =
           Alcotest.test_case "generated programs elaborate" `Quick
             test_generated_elaborate;
         ] );
-      ("corpus", [ Alcotest.test_case "replay full matrix" `Slow test_corpus_replay ]);
+      ( "corpus",
+        [
+          Alcotest.test_case "replay full matrix" `Slow test_corpus_replay;
+          Alcotest.test_case "sanitized replay" `Slow test_corpus_replay_sanitized;
+        ] );
       ( "injection",
         [
           Alcotest.test_case "checksum divergence caught" `Quick

@@ -36,7 +36,9 @@ let run_ok machine =
   | Machine.Deadlock d ->
     Alcotest.fail ("deadlock: " ^ Machine.diagnosis_to_string d)
   | Machine.Fault_limit d ->
-    Alcotest.fail ("fault limit: " ^ Machine.diagnosis_to_string d));
+    Alcotest.fail ("fault limit: " ^ Machine.diagnosis_to_string d)
+  | Machine.Stopped d ->
+    Alcotest.fail ("stopped: " ^ Machine.diagnosis_to_string d));
   result
 
 let test_single_core_arith () =
@@ -321,7 +323,8 @@ let test_deadlock_detected () =
       go 0
     in
     Alcotest.(check bool) "diagnosis mentions RECV" true (contains "RECV")
-  | Machine.Finished | Machine.Out_of_cycles | Machine.Fault_limit _ ->
+  | Machine.Finished | Machine.Out_of_cycles | Machine.Fault_limit _
+  | Machine.Stopped _ ->
     Alcotest.fail "expected deadlock detection"
 
 let test_deadlock_get_no_put () =
@@ -359,7 +362,8 @@ let test_deadlock_get_no_put () =
       | _ -> false);
     Alcotest.(check bool) "blame edge crosses the pair" true
       (d.Machine.d_blame = Some (0, 1) || d.Machine.d_blame = Some (1, 0))
-  | Machine.Finished | Machine.Out_of_cycles | Machine.Fault_limit _ ->
+  | Machine.Finished | Machine.Out_of_cycles | Machine.Fault_limit _
+  | Machine.Stopped _ ->
     Alcotest.fail "expected deadlock detection"
 
 let test_deadlock_tm_commit () =
@@ -385,7 +389,8 @@ let test_deadlock_tm_commit () =
       (d.Machine.d_cores.(0).Machine.d_wait = Some Machine.W_commit);
     Alcotest.(check bool) "blame points at the absent core 1" true
       (d.Machine.d_blame = Some (0, 1))
-  | Machine.Finished | Machine.Out_of_cycles | Machine.Fault_limit _ ->
+  | Machine.Finished | Machine.Out_of_cycles | Machine.Fault_limit _
+  | Machine.Stopped _ ->
     Alcotest.fail "expected deadlock detection"
 
 (* --- Tracing ------------------------------------------------------------------ *)
@@ -578,7 +583,8 @@ let test_send_backpressure () =
   let m = Machine.create cfg prog in
   (match (Machine.run m).Machine.outcome with
   | Machine.Finished -> ()
-  | Machine.Out_of_cycles | Machine.Deadlock _ | Machine.Fault_limit _ ->
+  | Machine.Out_of_cycles | Machine.Deadlock _ | Machine.Fault_limit _
+  | Machine.Stopped _ ->
     Alcotest.fail "backpressure must drain, not deadlock");
   Alcotest.(check int) "last value delivered in order" 3
     (Voltron_mem.Memory.read (Machine.memory m) 0);

@@ -32,6 +32,7 @@ let outcome_tag (o : Machine.outcome) =
   | Machine.Out_of_cycles -> "out-of-cycles"
   | Machine.Deadlock _ -> "deadlock"
   | Machine.Fault_limit _ -> "fault-limit"
+  | Machine.Stopped _ -> "stopped"
 
 let run_one ~ff ~choice ~cores program =
   let machine =
