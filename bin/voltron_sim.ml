@@ -18,6 +18,10 @@ module Check = Voltron_check.Check
 module Json = Voltron_obs.Json
 module Metrics = Voltron_obs.Metrics
 module Sanity = Voltron_sanity.Sanity
+module Absint = Voltron_absint.Absint
+module Estimate = Voltron_compiler.Estimate
+module Codegen = Voltron_compiler.Codegen
+module Region_profile = Voltron_obs.Region_profile
 
 let print_diags oc diags =
   let ppf = Format.formatter_of_out_channel oc in
@@ -201,6 +205,19 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write the result as machine-readable JSON to $(docv).")
 
+let no_profile_arg =
+  Arg.(
+    value & flag
+    & info [ "no-profile" ]
+        ~doc:
+          "Select strategies from the abstract interpreter's synthesised \
+           profile (static trip counts, footprint/stride miss model, \
+           conservative cross-iteration dependences) instead of a \
+           profiling run — no program execution before codegen.")
+
+let profile_for ~no_profile p =
+  if no_profile then Some (Voltron_analysis.Profile.of_static p) else None
+
 (* Shared by run's normal and --json output: the pieces that only exist on
    some outcomes. *)
 let outcome_json (m : Voltron.Run.measurement) =
@@ -231,7 +248,7 @@ let sanity_clean (m : Voltron.Run.measurement) =
 (* run --all: the whole workload suite (plus the micro kernels) under every
    strategy at the given core count, one line per cell — the CI's sanitized
    sweep entry point. *)
-let run_sweep ~cores ~scale ~check ~sanitize () =
+let run_sweep ~cores ~scale ~check ~sanitize ~no_profile () =
   let targets =
     (List.map (fun (b : Suite.benchmark) -> b.Suite.bench_name) Suite.all
     @ [ "micro:gsm_llp"; "micro:gzip_strands"; "micro:gsm_ilp" ])
@@ -241,10 +258,11 @@ let run_sweep ~cores ~scale ~check ~sanitize () =
   let failures = ref 0 in
   List.iter
     (fun (name, p) ->
+      let profile = profile_for ~no_profile p in
       List.iter
         (fun s ->
           let choice = choice_of_string s in
-          let m = Voltron.Run.run ~choice ~check ?sanitize ~n_cores:cores p in
+          let m = Voltron.Run.run ~choice ~check ?profile ?sanitize ~n_cores:cores p in
           let ok =
             m.Voltron.Run.outcome = Voltron.Run.Completed
             && m.Voltron.Run.verified && sanity_clean m
@@ -274,18 +292,20 @@ let run_sweep ~cores ~scale ~check ~sanitize () =
 
 let run_cmd =
   let run bench file all cores strategy scale optimize unroll fault_rate
-      fault_seed fault_threshold no_check sanitize_s json_out =
+      fault_seed fault_threshold no_check no_profile sanitize_s json_out =
     or_check_failure @@ fun () ->
     let check = not no_check in
     let sanitize = sanitize_of_flag sanitize_s in
-    if all then run_sweep ~cores ~scale ~check ~sanitize ()
+    if all then run_sweep ~cores ~scale ~check ~sanitize ~no_profile ()
     else begin
       let name, p = resolve_program bench file scale in
       let p = apply_opts optimize unroll p in
       let choice = choice_of_string strategy in
-      let base = Voltron.Run.baseline_cycles p in
+      let profile = profile_for ~no_profile p in
+      let base = Voltron.Run.baseline_cycles ?profile p in
       Printf.printf "benchmark  : %s\n" name;
-      Printf.printf "strategy   : %s on %d cores\n" strategy cores;
+      Printf.printf "strategy   : %s on %d cores%s\n" strategy cores
+        (if no_profile then " (static profile)" else "");
       (match sanitize with
       | None -> ()
       | Some policy ->
@@ -301,7 +321,7 @@ let run_cmd =
             }
           in
           let r =
-            Voltron.Run.run_resilient ~choice ~check ~tweak ?sanitize
+            Voltron.Run.run_resilient ~choice ~check ?profile ~tweak ?sanitize
               ~n_cores:cores p
           in
           Printf.printf "faults     : every kind at rate %g, seed %d%s\n"
@@ -320,8 +340,8 @@ let run_cmd =
           r.Voltron.Run.final
         end
         else
-          Voltron.Run.run ~choice ~check ?sanitize ~sanitize_log:prerr_endline
-            ~n_cores:cores p
+          Voltron.Run.run ~choice ~check ?profile ?sanitize
+            ~sanitize_log:prerr_endline ~n_cores:cores p
       in
       let write_json () =
         match json_out with
@@ -384,14 +404,19 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ file_arg $ all_arg $ cores_arg $ strategy_arg
       $ scale_arg $ optimize_arg $ unroll_arg $ fault_rate_arg $ fault_seed_arg
-      $ fault_threshold_arg $ no_check_arg $ sanitize_arg $ json_arg)
+      $ fault_threshold_arg $ no_check_arg $ no_profile_arg $ sanitize_arg
+      $ json_arg)
 
 let plan_cmd =
-  let plan bench file cores scale =
+  let plan bench file cores scale no_profile =
     let _, p = resolve_program bench file scale in
     let machine = Config.default ~n_cores:cores in
-    let profile = Voltron_analysis.Profile.collect p in
+    let profile =
+      if no_profile then Voltron_analysis.Profile.of_static p
+      else Voltron_analysis.Profile.collect p
+    in
     let regions = Select.plan ~machine ~profile `Hybrid p in
+    if no_profile then print_endline "(selection from static profile)";
     Voltron_util.Table.print
       ~header:[ "region"; "strategy"; "dyn weight" ]
       (List.map
@@ -405,10 +430,25 @@ let plan_cmd =
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Show the hybrid compiler's per-region strategy choices.")
-    Term.(const plan $ bench_arg $ file_arg $ cores_arg $ scale_arg)
+    Term.(const plan $ bench_arg $ file_arg $ cores_arg $ scale_arg $ no_profile_arg)
+
+let check_diag_json (d : Check.diag) =
+  Json.Obj
+    ([
+       ( "severity",
+         Json.Str
+           (match d.Check.d_severity with
+           | Check.Error -> "error"
+           | Check.Warning -> "warning") );
+     ]
+    @ (match d.Check.d_loc with
+      | Some l ->
+        [ ("core", Json.Int l.Check.l_core); ("addr", Json.Int l.Check.l_addr) ]
+      | None -> [])
+    @ [ ("text", Json.Str (Check.diag_to_string d)) ])
 
 let check_cmd =
-  let check bench file all cores strategy scale =
+  let check bench file all cores strategy scale json_out =
     let targets =
       if all then
         List.map (fun (b : Suite.benchmark) -> b.Suite.bench_name) Suite.all
@@ -421,26 +461,53 @@ let check_cmd =
     in
     let machine = Config.default ~n_cores:cores in
     let failures = ref 0 in
+    let cells = ref [] in
     List.iter
       (fun (name, p) ->
         List.iter
           (fun s ->
             let choice = choice_of_string s in
+            let record status diags =
+              cells :=
+                Json.Obj
+                  [
+                    ("benchmark", Json.Str name);
+                    ("strategy", Json.Str s);
+                    ("status", Json.Str status);
+                    ("diagnostics", Json.List (List.map check_diag_json diags));
+                  ]
+                :: !cells
+            in
             match Driver.compile ~machine ~choice p with
             | c ->
-              if c.Driver.check_diags = [] then
+              if c.Driver.check_diags = [] then begin
+                record "clean" [];
                 Printf.printf "%-24s %-7s clean\n%!" name s
+              end
               else begin
+                record "warnings" c.Driver.check_diags;
                 Printf.printf "%-24s %-7s %d warning(s)\n%!" name s
                   (List.length c.Driver.check_diags);
                 print_diags stdout c.Driver.check_diags
               end
             | exception Check.Failed diags ->
               incr failures;
+              record "failed" diags;
               Printf.printf "%-24s %-7s FAILED\n%!" name s;
               print_diags stdout diags)
           strategies)
       targets;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      Json.write_file path
+        (Json.Obj
+           [
+             ("cores", Json.Int cores);
+             ("failures", Json.Int !failures);
+             ("cells", Json.List (List.rev !cells));
+           ]);
+      Printf.printf "wrote check JSON to %s\n" path);
     if !failures > 0 then begin
       Printf.eprintf "%d check failure(s)\n" !failures;
       exit 1
@@ -461,7 +528,7 @@ let check_cmd =
           alignment, coupled PUT/GET pairing, deadlocks and data races.")
     Term.(
       const check $ bench_arg $ file_arg $ all_arg $ cores_arg $ strategy_arg
-      $ scale_arg)
+      $ scale_arg $ json_arg)
 
 let disasm_cmd =
   let disasm bench file cores strategy scale =
@@ -663,6 +730,224 @@ let profile_cmd =
       const profile $ bench_arg $ file_arg $ cores_arg $ strategy_arg
       $ scale_arg $ sample_arg $ json_arg)
 
+(* --- analyze: abstract-interpretation diagnostics + static cost model ----- *)
+
+let absint_diag_json (d : Absint.diag) =
+  Json.Obj
+    [
+      ("region", Json.Str d.Absint.d_region);
+      ("sid", Json.Int d.Absint.d_sid);
+      ("class", Json.Str (Absint.kind_class d.Absint.d_kind));
+      ("text", Json.Str (Absint.diag_to_string d));
+    ]
+
+let print_absint_diags diags =
+  List.iter
+    (fun d -> Format.printf "  %a@." Absint.pp_diag d)
+    diags;
+  Format.pp_print_flush Format.std_formatter ()
+
+(* Estimated cycles of one region under each mode family (None when the
+   mode does not apply — no legal DOALL decomposition). *)
+let region_mode_estimates ~machine ~profile est (pr : Select.planned_region) =
+  let stmts = pr.Select.pr_stmts in
+  [
+    ("seq", Some Codegen.Seq);
+    ("ilp", Some Codegen.Coupled_ilp);
+    ("strands", Some Codegen.Strands);
+    ("dswp", Some Codegen.Dswp);
+    ( "doall",
+      Option.map
+        (fun dp -> Codegen.Doall dp)
+        (Select.doall_plan_of_region ~machine ~profile stmts) );
+  ]
+  |> List.map (fun (n, s) ->
+         (n, Option.map (Estimate.strategy_cycles est stmts) s))
+
+(* analyze --all: every benchmark — diagnostics, then the static estimate
+   reconciled against the obs layer's per-region cycle attribution of the
+   hybrid build (PREDICT.json). Regions measured below [noise_floor] wall
+   cycles are spawn/join glue below the attribution noise floor and are
+   excluded from the geomean. *)
+let noise_floor = 64.
+
+let analyze_sweep ~machine ~cores ~scale ~json_out () =
+  let targets =
+    (List.map (fun (b : Suite.benchmark) -> b.Suite.bench_name) Suite.all
+    @ [ "micro:gsm_llp"; "micro:gzip_strands"; "micro:gsm_ilp" ])
+    |> List.map (fun n -> (n, program_of_name n scale))
+  in
+  let diag_count = ref 0 in
+  let all_diags = ref [] in
+  let rows = ref [] in
+  let errs = ref [] in
+  List.iter
+    (fun (name, p) ->
+      let summary = Absint.analyze p in
+      let diags = Absint.diags summary in
+      if diags <> [] then begin
+        diag_count := !diag_count + List.length diags;
+        Printf.printf "%s: %d diagnostic(s)\n" name (List.length diags);
+        print_absint_diags diags
+      end;
+      all_diags := !all_diags @ List.map absint_diag_json diags;
+      let est = Estimate.create ~machine ~summary p in
+      let compiled = Driver.compile ~machine ~choice:`Hybrid p in
+      let m = Machine.create machine compiled.Driver.executable in
+      let rp = Region_profile.attach m compiled in
+      let result = Machine.run m in
+      (match result.Machine.outcome with
+      | Machine.Finished -> ()
+      | _ ->
+        Printf.eprintf "%s: hybrid run did not finish\n" name;
+        exit 1);
+      let measured region =
+        List.fold_left
+          (fun acc (r : Region_profile.row) ->
+            if r.Region_profile.r_region = region then
+              acc + r.Region_profile.r_cycles
+            else acc)
+          0
+          (Region_profile.rows rp)
+      in
+      List.iter
+        (fun (er : Estimate.row) ->
+          let meas =
+            float_of_int (measured er.Estimate.e_region) /. float_of_int cores
+          in
+          let ratio = if meas > 0. then er.Estimate.e_cycles /. meas else 0. in
+          let counted = meas >= noise_floor && er.Estimate.e_cycles > 0. in
+          Printf.printf
+            "%-24s %-14s %-8s static %10.0f  measured %10.0f  ratio %5.2f%s\n%!"
+            name er.Estimate.e_region er.Estimate.e_strategy
+            er.Estimate.e_cycles meas ratio
+            (if counted then "" else "  (below noise floor, excluded)");
+          if counted then errs := abs_float (log ratio) :: !errs;
+          rows :=
+            Json.Obj
+              [
+                ("benchmark", Json.Str name);
+                ("region", Json.Str er.Estimate.e_region);
+                ("strategy", Json.Str er.Estimate.e_strategy);
+                ("static_cycles", Json.Float er.Estimate.e_cycles);
+                ("measured_cycles", Json.Float meas);
+                ("ratio", Json.Float ratio);
+                ("counted", Json.Bool counted);
+              ]
+            :: !rows)
+        (Estimate.table est compiled.Driver.plan))
+    targets;
+  let geo =
+    match !errs with
+    | [] -> 1.
+    | l -> exp (List.fold_left ( +. ) 0. l /. float_of_int (List.length l))
+  in
+  Printf.printf "geomean prediction error: %.1f%% over %d region(s)\n"
+    ((geo -. 1.) *. 100.)
+    (List.length !errs);
+  Printf.printf "diagnostics: %d\n" !diag_count;
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    Json.write_file path
+      (Json.Obj
+         [
+           ("cores", Json.Int cores);
+           ("strategy", Json.Str "hybrid");
+           ("geomean_error_pct", Json.Float ((geo -. 1.) *. 100.));
+           ("regions_counted", Json.Int (List.length !errs));
+           ("diagnostics", Json.List !all_diags);
+           ("rows", Json.List (List.rev !rows));
+         ]);
+    Printf.printf "wrote prediction JSON to %s\n" path);
+  if !diag_count > 0 then exit 1
+
+let analyze_cmd =
+  let analyze bench file all cores scale json_out =
+    or_check_failure @@ fun () ->
+    let machine = Config.default ~n_cores:cores in
+    if all then analyze_sweep ~machine ~cores ~scale ~json_out ()
+    else begin
+      let name, p = resolve_program bench file scale in
+      let summary = Absint.analyze p in
+      let diags = Absint.diags summary in
+      Printf.printf "benchmark  : %s\n" name;
+      Printf.printf "diagnostics: %d\n" (List.length diags);
+      print_absint_diags diags;
+      let est = Estimate.create ~machine ~summary p in
+      let profile = Estimate.static_profile est in
+      let plan = Select.plan ~machine ~profile `Hybrid p in
+      Printf.printf "\nstatic cycle estimates on %d cores (profile-free):\n"
+        cores;
+      let cells pr = region_mode_estimates ~machine ~profile est pr in
+      Voltron_util.Table.print
+        ~header:[ "region"; "chosen"; "seq"; "ilp"; "strands"; "dswp"; "doall" ]
+        (List.map
+           (fun (pr : Select.planned_region) ->
+             pr.Select.pr_name
+             :: Select.strategy_name pr.Select.pr_strategy
+             :: List.map
+                  (fun (_, c) ->
+                    match c with
+                    | Some c -> Printf.sprintf "%.0f" c
+                    | None -> "-")
+                  (cells pr))
+           plan);
+      (match json_out with
+      | None -> ()
+      | Some path ->
+        Json.write_file path
+          (Json.Obj
+             [
+               ("benchmark", Json.Str name);
+               ("cores", Json.Int cores);
+               ("diagnostics", Json.List (List.map absint_diag_json diags));
+               ( "regions",
+                 Json.List
+                   (List.map
+                      (fun (pr : Select.planned_region) ->
+                        Json.Obj
+                          [
+                            ("region", Json.Str pr.Select.pr_name);
+                            ( "chosen",
+                              Json.Str
+                                (Select.strategy_name pr.Select.pr_strategy) );
+                            ( "estimates",
+                              Json.Obj
+                                (List.filter_map
+                                   (fun (n, c) ->
+                                     Option.map (fun c -> (n, Json.Float c)) c)
+                                   (cells pr)) );
+                          ])
+                      plan) );
+             ]);
+        Printf.printf "wrote analysis JSON to %s\n" path);
+      if diags <> [] then exit 1
+    end
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Analyze every benchmark (and the micro kernels): report \
+             diagnostics, then reconcile the static per-region cycle \
+             estimates against the simulator's per-region attribution of \
+             the hybrid build and print the geomean prediction error \
+             (written to the $(b,--json) file as PREDICT rows).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Abstract interpretation over the HIR: value-range diagnostics \
+          (provable out-of-bounds subscripts, reads of never-written \
+          scalars or cells, dead stores) and a profile-free per-region, \
+          per-mode static cycle estimate. Exits 1 when diagnostics are \
+          reported.")
+    Term.(
+      const analyze $ bench_arg $ file_arg $ all_arg $ cores_arg $ scale_arg
+      $ json_arg)
+
 let fuzz_cmd =
   let fuzz seed count cores strategies size no_minimize corpus emit sanitize_s =
     let sanitize = sanitize_of_flag sanitize_s in
@@ -793,6 +1078,7 @@ let () =
             run_cmd;
             plan_cmd;
             profile_cmd;
+            analyze_cmd;
             check_cmd;
             disasm_cmd;
             asm_cmd;

@@ -1,0 +1,653 @@
+module Hir = Voltron_ir.Hir
+
+type site = {
+  s_sid : int;
+  s_arr : Hir.arr;
+  s_write : bool;
+  s_index : Dom.t;
+  s_count : float;
+}
+
+type loop_info = {
+  li_sid : int;
+  li_kind : [ `For | `Do_while ];
+  li_var : Hir.vreg option;
+  li_trip_min : float;
+  li_trip_max : float;
+  li_trip_est : float;
+  li_enters : float;
+}
+
+type diag_kind =
+  | Oob of { arr : string; size : int; index : Dom.t; write : bool }
+  | Uninit_scalar of { vreg : Hir.vreg }
+  | Uninit_cell of { arr : string; index : Dom.t }
+  | Dead_store of { arr : string; index : int; killer_sid : int }
+
+type diag = { d_region : string; d_sid : int; d_kind : diag_kind }
+
+let kind_class = function
+  | Oob _ -> "oob"
+  | Uninit_scalar _ -> "uninit-scalar"
+  | Uninit_cell _ -> "uninit-cell"
+  | Dead_store _ -> "dead-store"
+
+let pp_diag ppf d =
+  match d.d_kind with
+  | Oob { arr; size; index; write } ->
+    Format.fprintf ppf "%s: s%d: out-of-bounds %s %s[%a] (size %d)" d.d_region
+      d.d_sid
+      (if write then "store to" else "load from")
+      arr Dom.pp index size
+  | Uninit_scalar { vreg } ->
+    Format.fprintf ppf "%s: s%d: read of never-assigned scalar v%d" d.d_region
+      d.d_sid vreg
+  | Uninit_cell { arr; index } ->
+    Format.fprintf ppf "%s: s%d: read of never-written cell %s[%a]" d.d_region
+      d.d_sid arr Dom.pp index
+  | Dead_store { arr; index; killer_sid } ->
+    Format.fprintf ppf
+      "%s: s%d: dead store to %s[%d] (overwritten by s%d before any read)"
+      d.d_region d.d_sid arr index killer_sid
+
+let diag_to_string d = Format.asprintf "%a" pp_diag d
+
+(* --- Internal accumulators --------------------------------------------------- *)
+
+type acc_site = {
+  a_arr : Hir.arr;
+  a_write : bool;
+  mutable a_index : Dom.t;
+  mutable a_count : float;
+}
+
+type acc_loop = {
+  al_kind : [ `For | `Do_while ];
+  al_var : Hir.vreg option;
+  mutable al_tmin : float;
+  mutable al_tmax : float;
+  mutable al_est_sum : float;  (** Σ enters × trip estimate *)
+  mutable al_enters : float;
+}
+
+type summary = {
+  asites : (int, acc_site) Hashtbl.t;
+  aloops : (int, acc_loop) Hashtbl.t;
+  counts : (int, float) Hashtbl.t;
+  mutable sdiags : diag list;
+}
+
+let site sum sid =
+  Option.map
+    (fun (a : acc_site) ->
+      {
+        s_sid = sid;
+        s_arr = a.a_arr;
+        s_write = a.a_write;
+        s_index = a.a_index;
+        s_count = a.a_count;
+      })
+    (Hashtbl.find_opt sum.asites sid)
+
+let index_dom sum sid =
+  Option.map (fun (a : acc_site) -> a.a_index) (Hashtbl.find_opt sum.asites sid)
+
+let sites sum =
+  Hashtbl.fold (fun sid _ acc -> Option.get (site sum sid) :: acc) sum.asites []
+  |> List.sort (fun a b -> compare a.s_sid b.s_sid)
+
+let loop sum sid =
+  Option.map
+    (fun (l : acc_loop) ->
+      {
+        li_sid = sid;
+        li_kind = l.al_kind;
+        li_var = l.al_var;
+        li_trip_min = l.al_tmin;
+        li_trip_max = l.al_tmax;
+        li_trip_est =
+          (if l.al_enters > 0. then l.al_est_sum /. l.al_enters else 0.);
+        li_enters = l.al_enters;
+      })
+    (Hashtbl.find_opt sum.aloops sid)
+
+let loops sum =
+  Hashtbl.fold (fun sid _ acc -> Option.get (loop sum sid) :: acc) sum.aloops []
+  |> List.sort (fun a b -> compare a.li_sid b.li_sid)
+
+let count sum sid = Option.value ~default:0. (Hashtbl.find_opt sum.counts sid)
+let diags sum = List.rev sum.sdiags
+
+(* --- Abstract execution ------------------------------------------------------- *)
+
+(* Point estimate for loops whose trip count the analysis cannot bound
+   (do-while bodies, data-dependent limits). *)
+let default_trips = 16.
+
+type ctx = {
+  sum : summary;
+  mutable record : bool;
+}
+
+let bump ctx sid c =
+  if ctx.record then
+    Hashtbl.replace ctx.sum.counts sid (c +. count ctx.sum sid)
+
+let record_site ctx sid ~arr ~write idx ~count =
+  if ctx.record then begin
+    let s =
+      match Hashtbl.find_opt ctx.sum.asites sid with
+      | Some s -> s
+      | None ->
+        let s = { a_arr = arr; a_write = write; a_index = Dom.bot; a_count = 0. } in
+        Hashtbl.replace ctx.sum.asites sid s;
+        s
+    in
+    s.a_index <- Dom.join s.a_index idx;
+    s.a_count <- s.a_count +. count
+  end
+
+let record_loop ctx sid kind var ~tmin ~tmax ~test ~enters =
+  if ctx.record then begin
+    let l =
+      match Hashtbl.find_opt ctx.sum.aloops sid with
+      | Some l -> l
+      | None ->
+        let l =
+          {
+            al_kind = kind;
+            al_var = var;
+            al_tmin = infinity;
+            al_tmax = 0.;
+            al_est_sum = 0.;
+            al_enters = 0.;
+          }
+        in
+        Hashtbl.replace ctx.sum.aloops sid l;
+        l
+    in
+    l.al_tmin <- min l.al_tmin tmin;
+    l.al_tmax <- max l.al_tmax tmax;
+    l.al_est_sum <- l.al_est_sum +. (test *. enters);
+    l.al_enters <- l.al_enters +. enters
+  end
+
+let eval_operand env = function
+  | Hir.Imm i -> Dom.const i
+  | Hir.Reg r -> env.(r)
+
+let join_env dst src =
+  Array.iteri (fun i v -> dst.(i) <- Dom.join v src.(i)) dst
+
+(* Returns true if [head] changed. *)
+let widen_env head out =
+  let changed = ref false in
+  Array.iteri
+    (fun i v ->
+      let w = Dom.widen v out.(i) in
+      if not (Dom.equal w v) then begin
+        head.(i) <- w;
+        changed := true
+      end)
+    head;
+  !changed
+
+let float_of_bound b = if b = max_int || b = min_int then infinity else float_of_int b
+
+let rec eval_expr ctx env ~count sid (e : Hir.expr) =
+  match e with
+  | Hir.Alu (op, a, b) -> Dom.alu op (eval_operand env a) (eval_operand env b)
+  | Hir.Fpu (op, a, b) ->
+    (* Semantics.fpu computes the matching integer op. *)
+    let alu_op : Voltron_isa.Inst.alu_op =
+      match op with
+      | Voltron_isa.Inst.Fadd -> Voltron_isa.Inst.Add
+      | Voltron_isa.Inst.Fsub -> Voltron_isa.Inst.Sub
+      | Voltron_isa.Inst.Fmul -> Voltron_isa.Inst.Mul
+      | Voltron_isa.Inst.Fdiv -> Voltron_isa.Inst.Div
+    in
+    Dom.alu alu_op (eval_operand env a) (eval_operand env b)
+  | Hir.Cmp (op, a, b) -> Dom.cmp op (eval_operand env a) (eval_operand env b)
+  | Hir.Select (p, a, b) -> (
+    let vp = eval_operand env p in
+    let va = eval_operand env a and vb = eval_operand env b in
+    match Dom.is_const vp with
+    | Some 0 -> vb
+    | Some _ -> va
+    | None -> if Dom.contains_zero vp then Dom.join va vb else va)
+  | Hir.Load (arr, idx) ->
+    record_site ctx sid ~arr ~write:false (eval_operand env idx) ~count;
+    Dom.top
+  | Hir.Operand o -> eval_operand env o
+
+and exec_stmts ctx env ~count stmts =
+  List.iter (exec_stmt ctx env ~count) stmts
+
+and exec_stmt ctx env ~count ({ Hir.sid; node } : Hir.stmt) =
+  bump ctx sid count;
+  match node with
+  | Hir.Assign (v, e) -> env.(v) <- eval_expr ctx env ~count sid e
+  | Hir.Store (arr, idx, _) ->
+    record_site ctx sid ~arr ~write:true (eval_operand env idx) ~count
+  | Hir.If (c, then_, else_) -> (
+    match Dom.is_const (eval_operand env c) with
+    | Some 0 -> exec_stmts ctx env ~count else_
+    | Some _ -> exec_stmts ctx env ~count then_
+    | None ->
+      let taken = Array.copy env in
+      exec_stmts ctx taken ~count:(count /. 2.) then_;
+      exec_stmts ctx env ~count:(count /. 2.) else_;
+      join_env env taken)
+  | Hir.For loop -> exec_for ctx env ~count sid loop
+  | Hir.Do_while { body; cond } -> exec_dowhile ctx env ~count sid body cond
+
+and stabilize ctx head body ~advance =
+  let record0 = ctx.record in
+  ctx.record <- false;
+  let max_iter = (8 * Array.length head) + 32 in
+  let rec go n =
+    let out = Array.copy head in
+    exec_stmts ctx out ~count:0. body;
+    advance out;
+    if widen_env head out then
+      if n < max_iter then go (n + 1)
+      else
+        (* Safety net: the widening chain is finite, but blow every
+           register to ⊤ rather than loop without a proof. *)
+        Array.iteri (fun i _ -> head.(i) <- Dom.top) head
+  in
+  go 0;
+  ctx.record <- record0
+
+and exec_for ctx env ~count sid ({ Hir.var; init; limit; step; body } : Hir.for_loop) =
+  let iv = eval_operand env init in
+  let lim = eval_operand env limit in
+  (* The interpreter reads the limit once at loop entry, so only
+     rebinding of the induction variable inside the body invalidates the
+     head bound var ∈ [init.lo, limit.hi-1] and the trip-count algebra. *)
+  let var_rebound = List.mem var (Hir.defined_vregs body) in
+  let bounded = step > 0 && not var_rebound in
+  let var_abs = if bounded then Dom.loop_var ~init:iv ~limit:lim ~step else Dom.top in
+  let tmin, tmax =
+    if not bounded then (0., infinity)
+    else
+      let lim_lo = float_of_bound lim.Dom.lo
+      and lim_hi = float_of_bound lim.Dom.hi
+      and iv_lo = float_of_bound iv.Dom.lo
+      and iv_hi = float_of_bound iv.Dom.hi in
+      let fstep = float_of_int step in
+      let ceil_div a b = Float.of_int (int_of_float (ceil (a /. b))) in
+      let tmin =
+        if Float.is_finite lim_lo && Float.is_finite iv_hi then
+          Float.max 0. (ceil_div (lim_lo -. iv_hi) fstep)
+        else 0.
+      and tmax =
+        if Float.is_finite lim_hi && Float.is_finite iv_lo then
+          Float.max 0. (ceil_div (lim_hi -. iv_lo) fstep)
+        else infinity
+      in
+      (tmin, tmax)
+  in
+  let t_est =
+    if Float.is_finite tmax then (tmin +. tmax) /. 2.
+    else Float.max tmin default_trips
+  in
+  record_loop ctx sid `For (Some var) ~tmin ~tmax ~test:t_est ~enters:count;
+  if Dom.is_bot var_abs || tmax <= 0. then
+    (* Provably zero trips: only the induction variable's init assignment
+       executes. *)
+    env.(var) <- iv
+  else begin
+    let head = Array.copy env in
+    head.(var) <- var_abs;
+    let inv =
+      if bounded then
+        Dom.range iv.Dom.lo
+          (if lim.Dom.hi = max_int then max_int else lim.Dom.hi - 1)
+      else Dom.top
+    in
+    let advance out = out.(var) <- Dom.meet (Dom.add_const out.(var) step) inv in
+    stabilize ctx head body ~advance;
+    if ctx.record then begin
+      let rec_env = Array.copy head in
+      exec_stmts ctx rec_env ~count:(count *. Float.max t_est 0.) body
+    end;
+    let exit_var = Dom.join iv (Dom.add_const head.(var) step) in
+    Array.blit head 0 env 0 (Array.length env);
+    env.(var) <- exit_var
+  end
+
+and exec_dowhile ctx env ~count sid body cond =
+  let tmax = dowhile_trip_bound env body cond in
+  let t_est = match tmax with Some t -> t | None -> default_trips in
+  let head = Array.copy env in
+  stabilize ctx head body ~advance:(fun _ -> ());
+  record_loop ctx sid `Do_while None ~tmin:1.
+    ~tmax:(Option.value ~default:infinity tmax)
+    ~test:t_est ~enters:count;
+  let out = Array.copy head in
+  exec_stmts ctx out ~count:(count *. t_est) body;
+  ignore (eval_operand out cond);
+  Array.blit out 0 env 0 (Array.length env)
+
+(* Trip-count upper bound for a do-while: find a conjunct of the
+   continuation condition of the shape [x < c] (or [x <= c], [c > x],
+   ...) where [x] is a counter incremented by a positive constant exactly
+   once, unconditionally, at the body's top level, and [c] is a constant
+   or loop-invariant register. Once [x] crosses [c] the conjunction is
+   false, so the crossing iteration bounds the trips of the whole loop —
+   other conjuncts can only exit earlier. The condition register is
+   chased through top-level assignments (through [And] chains) to find
+   such conjuncts. *)
+and dowhile_trip_bound env body cond =
+  (* Top-level reaching definitions (last assignment wins — the condition
+     is evaluated after the body) and everything defined elsewhere. *)
+  let top_defs = Hashtbl.create 16 in
+  let top_def_count = Hashtbl.create 16 in
+  List.iter
+    (fun ({ Hir.node; _ } : Hir.stmt) ->
+      match node with
+      | Hir.Assign (v, e) ->
+        Hashtbl.replace top_defs v e;
+        Hashtbl.replace top_def_count v
+          (1 + Option.value ~default:0 (Hashtbl.find_opt top_def_count v))
+      | Hir.Store _ | Hir.If _ | Hir.For _ | Hir.Do_while _ -> ())
+    body;
+  let nested_defs = Hashtbl.create 16 in
+  List.iter
+    (fun ({ Hir.node; _ } : Hir.stmt) ->
+      match node with
+      | Hir.If (_, a, b) ->
+        List.iter (fun v -> Hashtbl.replace nested_defs v ()) (Hir.defined_vregs a);
+        List.iter (fun v -> Hashtbl.replace nested_defs v ()) (Hir.defined_vregs b)
+      | Hir.For { var; body = b; _ } ->
+        Hashtbl.replace nested_defs var ();
+        List.iter (fun v -> Hashtbl.replace nested_defs v ()) (Hir.defined_vregs b)
+      | Hir.Do_while { body = b; _ } ->
+        List.iter (fun v -> Hashtbl.replace nested_defs v ()) (Hir.defined_vregs b)
+      | Hir.Assign _ | Hir.Store _ -> ())
+    body;
+  let body_def v = Hashtbl.mem top_defs v || Hashtbl.mem nested_defs v in
+  (* Collect [Cmp] conjuncts reachable from the condition through [And]s
+     and single-definition registers. *)
+  let conjuncts = ref [] in
+  let rec walk_operand depth (o : Hir.operand) =
+    match o with
+    | Hir.Imm _ -> ()
+    | Hir.Reg v ->
+      if
+        depth < 16
+        && Hashtbl.find_opt top_def_count v = Some 1
+        && not (Hashtbl.mem nested_defs v)
+      then
+        Option.iter (walk_expr depth) (Hashtbl.find_opt top_defs v)
+  and walk_expr depth (e : Hir.expr) =
+    match e with
+    | Hir.Alu (Voltron_isa.Inst.And, a, b) ->
+      walk_operand (depth + 1) a;
+      walk_operand (depth + 1) b
+    | Hir.Cmp (op, a, b) -> conjuncts := (op, a, b) :: !conjuncts
+    | Hir.Operand o -> walk_operand (depth + 1) o
+    | Hir.Alu _ | Hir.Fpu _ | Hir.Select _ | Hir.Load _ -> ()
+  in
+  walk_operand 0 cond;
+  (* The counter's unconditional top-level increment. *)
+  let step_of x =
+    if Hashtbl.find_opt top_def_count x = Some 1 && not (Hashtbl.mem nested_defs x)
+    then
+      match Hashtbl.find_opt top_defs x with
+      | Some (Hir.Alu (Voltron_isa.Inst.Add, Hir.Reg r, Hir.Imm s))
+      | Some (Hir.Alu (Voltron_isa.Inst.Add, Hir.Imm s, Hir.Reg r))
+        when r = x && s > 0 -> Some s
+      | Some (Hir.Alu (Voltron_isa.Inst.Sub, Hir.Reg r, Hir.Imm s))
+        when r = x && s < 0 -> Some (-s)
+      | _ -> None
+    else None
+  in
+  (* A loop-invariant upper bound for the comparison's right-hand side. *)
+  let bound_hi (o : Hir.operand) =
+    match o with
+    | Hir.Imm c -> Some c
+    | Hir.Reg v ->
+      if body_def v || env.(v).Dom.hi = max_int then None else Some env.(v).Dom.hi
+  in
+  let bound_of (op, a, b) =
+    (* Normalise to "continue while x OP c". *)
+    let candidate x c strict =
+      match (x, step_of x, bound_hi c, (env.(x) : Dom.t)) with
+      | _, Some s, Some c, x0 when x0.Dom.lo <> min_int ->
+        let c = if strict then c else c + 1 in
+        Some (Float.max 1. (ceil (float_of_int (c - x0.Dom.lo) /. float_of_int s)))
+      | _ -> None
+    in
+    match (op, a, b) with
+    | Voltron_isa.Inst.Lt, Hir.Reg x, c -> candidate x c true
+    | Voltron_isa.Inst.Le, Hir.Reg x, c -> candidate x c false
+    | Voltron_isa.Inst.Gt, c, Hir.Reg x -> candidate x c true
+    | Voltron_isa.Inst.Ge, c, Hir.Reg x -> candidate x c false
+    | _ -> None
+  in
+  List.fold_left
+    (fun acc conj ->
+      match (acc, bound_of conj) with
+      | Some a, Some b -> Some (Float.min a b)
+      | None, b -> b
+      | a, None -> a)
+    None !conjuncts
+
+(* --- Diagnostics --------------------------------------------------------------- *)
+
+let region_of_sid (p : Hir.program) =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Hir.region) ->
+      Hir.iter_stmts
+        (fun (s : Hir.stmt) -> Hashtbl.replace tbl s.Hir.sid r.Hir.region_name)
+        r.Hir.stmts)
+    p.Hir.regions;
+  fun sid -> Option.value ~default:"?" (Hashtbl.find_opt tbl sid)
+
+let oob_diags sum (p : Hir.program) region_of =
+  Hashtbl.fold
+    (fun sid (s : acc_site) acc ->
+      if s.a_count <= 0. || Dom.is_bot s.a_index then acc
+      else
+        let decl = p.Hir.arrays.(s.a_arr) in
+        if Dom.is_bot (Dom.meet s.a_index (Dom.range 0 (decl.Hir.size - 1))) then
+          {
+            d_region = region_of sid;
+            d_sid = sid;
+            d_kind =
+              Oob
+                {
+                  arr = decl.Hir.arr_name;
+                  size = decl.Hir.size;
+                  index = s.a_index;
+                  write = s.a_write;
+                };
+          }
+          :: acc
+        else acc)
+    sum.asites []
+
+(* Report a scalar read only when no assignment to it exists anywhere in
+   the program (reads then observe the interpreter's zero-fill). *)
+let uninit_scalar_diags (p : Hir.program) region_of =
+  let defined = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Hir.region) ->
+      List.iter
+        (fun v -> Hashtbl.replace defined v ())
+        (Hir.defined_vregs r.Hir.stmts))
+    p.Hir.regions;
+  let reported = Hashtbl.create 8 in
+  let acc = ref [] in
+  List.iter
+    (fun (r : Hir.region) ->
+      Hir.iter_stmts
+        (fun ({ Hir.sid; node } : Hir.stmt) ->
+          let uses =
+            match node with
+            | Hir.Assign (_, e) -> Hir.expr_uses e
+            | Hir.Store (_, i, x) -> Hir.operand_uses i @ Hir.operand_uses x
+            | Hir.If (c, _, _) -> Hir.operand_uses c
+            | Hir.For { init; limit; _ } ->
+              Hir.operand_uses init @ Hir.operand_uses limit
+            | Hir.Do_while { cond; _ } -> Hir.operand_uses cond
+          in
+          List.iter
+            (fun v ->
+              if (not (Hashtbl.mem defined v)) && not (Hashtbl.mem reported v)
+              then begin
+                Hashtbl.replace reported v ();
+                acc :=
+                  {
+                    d_region = region_of sid;
+                    d_sid = sid;
+                    d_kind = Uninit_scalar { vreg = v };
+                  }
+                  :: !acc
+              end)
+            uses)
+        r.Hir.stmts)
+    p.Hir.regions;
+  !acc
+
+(* A load from an array with no initializer whose index set is disjoint
+   from every store to that array only ever observes the zero fill. *)
+let uninit_cell_diags sum (p : Hir.program) region_of =
+  let stores = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ (s : acc_site) ->
+      if s.a_write && s.a_count > 0. then
+        Hashtbl.replace stores s.a_arr
+          (s.a_index
+          :: Option.value ~default:[] (Hashtbl.find_opt stores s.a_arr)))
+    sum.asites;
+  Hashtbl.fold
+    (fun sid (s : acc_site) acc ->
+      if s.a_write || s.a_count <= 0. || Dom.is_bot s.a_index then acc
+      else
+        let decl = p.Hir.arrays.(s.a_arr) in
+        if decl.Hir.init <> None then acc
+        else
+          let written = Option.value ~default:[] (Hashtbl.find_opt stores s.a_arr) in
+          if List.exists (Dom.may_equal s.a_index) written then acc
+          else
+            {
+              d_region = region_of sid;
+              d_sid = sid;
+              d_kind = Uninit_cell { arr = decl.Hir.arr_name; index = s.a_index };
+            }
+            :: acc)
+    sum.asites []
+
+(* Dead store: a constant-index store overwritten by a later sibling
+   store to the same constant cell, with no possibly-intersecting read of
+   that array in between (including inside intervening compounds). *)
+let dead_store_diags sum (p : Hir.program) region_of =
+  let acc = ref [] in
+  let idx_of sid =
+    match Hashtbl.find_opt sum.asites sid with
+    | Some s when s.a_count > 0. -> Some s.a_index
+    | Some _ | None -> None
+  in
+  let subtree_may_read stmt arr cell =
+    let found = ref false in
+    Hir.iter_stmts
+      (fun ({ Hir.sid; node } : Hir.stmt) ->
+        match node with
+        | Hir.Assign (_, Hir.Load (a, _)) when a = arr -> (
+          match idx_of sid with
+          | Some d -> if Dom.may_equal d (Dom.const cell) then found := true
+          | None -> found := true)
+        | _ -> ())
+      [ stmt ];
+    !found
+  in
+  let rec scan stmts =
+    let arr_stmts = Array.of_list stmts in
+    Array.iteri
+      (fun i (st : Hir.stmt) ->
+        (match st.Hir.node with
+        | Hir.Store (a, _, _) -> (
+          match Option.bind (idx_of st.Hir.sid) Dom.is_const with
+          | None -> ()
+          | Some cell ->
+            let n = Array.length arr_stmts in
+            let rec fwd j =
+              if j >= n then ()
+              else
+                let nxt = arr_stmts.(j) in
+                match nxt.Hir.node with
+                | Hir.Store (a', _, _) when a' = a -> (
+                  match Option.bind (idx_of nxt.Hir.sid) Dom.is_const with
+                  | Some cell' when cell' = cell ->
+                    acc :=
+                      {
+                        d_region = region_of st.Hir.sid;
+                        d_sid = st.Hir.sid;
+                        d_kind =
+                          Dead_store
+                            {
+                              arr = p.Hir.arrays.(a).Hir.arr_name;
+                              index = cell;
+                              killer_sid = nxt.Hir.sid;
+                            };
+                      }
+                      :: !acc
+                  | Some _ | None -> fwd (j + 1))
+                | Hir.Store _ | Hir.Assign (_, Hir.Load _) | Hir.Assign _
+                | Hir.If _ | Hir.For _ | Hir.Do_while _ ->
+                  if subtree_may_read nxt a cell then () else fwd (j + 1)
+            in
+            fwd (i + 1))
+        | Hir.Assign _ | Hir.If _ | Hir.For _ | Hir.Do_while _ -> ());
+        match st.Hir.node with
+        | Hir.If (_, t, e) ->
+          scan t;
+          scan e
+        | Hir.For { body; _ } | Hir.Do_while { body; _ } -> scan body
+        | Hir.Assign _ | Hir.Store _ -> ())
+      arr_stmts
+  in
+  List.iter (fun (r : Hir.region) -> scan r.Hir.stmts) p.Hir.regions;
+  !acc
+
+(* --- Entry points ---------------------------------------------------------------- *)
+
+let fresh_summary () =
+  {
+    asites = Hashtbl.create 64;
+    aloops = Hashtbl.create 16;
+    counts = Hashtbl.create 128;
+    sdiags = [];
+  }
+
+let analyze (p : Hir.program) =
+  let sum = fresh_summary () in
+  let ctx = { sum; record = true } in
+  let env = Array.make (max 1 p.Hir.n_vregs) (Dom.const 0) in
+  List.iter
+    (fun (r : Hir.region) -> exec_stmts ctx env ~count:1.0 r.Hir.stmts)
+    p.Hir.regions;
+  let region_of = region_of_sid p in
+  let ds =
+    oob_diags sum p region_of
+    @ uninit_scalar_diags p region_of
+    @ uninit_cell_diags sum p region_of
+    @ dead_store_diags sum p region_of
+  in
+  sum.sdiags <-
+    List.rev (List.sort (fun a b -> compare (a.d_sid, a.d_region) (b.d_sid, b.d_region)) ds);
+  sum
+
+let summarize_region stmts =
+  let sum = fresh_summary () in
+  let ctx = { sum; record = true } in
+  let nv =
+    1 + List.fold_left max 0 (Hir.defined_vregs stmts @ Hir.used_vregs stmts)
+  in
+  let env = Array.make nv Dom.top in
+  exec_stmts ctx env ~count:1.0 stmts;
+  sum

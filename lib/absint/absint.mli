@@ -1,0 +1,71 @@
+(** Whole-program abstract interpretation over HIR.
+
+    Runs a widening/narrowing fixpoint over [for]/[do-while]/[if] with
+    the {!Dom} interval × congruence domain, mirroring the concrete
+    interpreter: registers start at 0, a [for] loop reads its limit once
+    at entry, loads return ⊤ (array contents are not tracked).
+
+    Products:
+    - per memory site: the joined abstract index and a static execution
+      estimate (consumed by {!Voltron_analysis.Memdep}'s disjointness
+      oracle and the static cost model);
+    - per loop: symbolic trip-count bounds and a point estimate;
+    - typed, located diagnostics: provable out-of-bounds subscripts,
+      reads of never-written scalars/array cells, and dead stores. *)
+
+type site = {
+  s_sid : int;
+  s_arr : Voltron_ir.Hir.arr;
+  s_write : bool;
+  s_index : Dom.t;  (** join over every abstract visit *)
+  s_count : float;  (** static execution-count estimate *)
+}
+
+type loop_info = {
+  li_sid : int;
+  li_kind : [ `For | `Do_while ];
+  li_var : Voltron_ir.Hir.vreg option;
+  li_trip_min : float;
+  li_trip_max : float;  (** [infinity] when unbounded *)
+  li_trip_est : float;
+  li_enters : float;  (** static estimate of loop-entry count *)
+}
+
+type diag_kind =
+  | Oob of { arr : string; size : int; index : Dom.t; write : bool }
+  | Uninit_scalar of { vreg : Voltron_ir.Hir.vreg }
+  | Uninit_cell of { arr : string; index : Dom.t }
+  | Dead_store of { arr : string; index : int; killer_sid : int }
+
+type diag = { d_region : string; d_sid : int; d_kind : diag_kind }
+
+val kind_class : diag_kind -> string
+(** Stable machine-readable tag: ["oob"], ["uninit-scalar"],
+    ["uninit-cell"], ["dead-store"]. *)
+
+val pp_diag : Format.formatter -> diag -> unit
+val diag_to_string : diag -> string
+
+type summary
+
+val analyze : Voltron_ir.Hir.program -> summary
+(** Interpret the whole program (all regions in order, registers
+    initially 0) and run the diagnostic passes. *)
+
+val summarize_region : Voltron_ir.Hir.stmt list -> summary
+(** Interpret a single region with an unconstrained (⊤) entry
+    environment — sound for any live-in values, which is what the
+    per-region dependence oracle needs. No diagnostics. *)
+
+val site : summary -> int -> site option
+val index_dom : summary -> int -> Dom.t option
+(** Abstract index of the memory site with this statement id, if any. *)
+
+val sites : summary -> site list
+val loop : summary -> int -> loop_info option
+val loops : summary -> loop_info list
+val count : summary -> int -> float
+(** Static execution-count estimate for a statement id (0 if never
+    reached). *)
+
+val diags : summary -> diag list

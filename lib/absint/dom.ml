@@ -1,0 +1,406 @@
+module Inst = Voltron_isa.Inst
+
+type t = { lo : int; hi : int; m : int; r : int }
+
+(* Finite interval bounds stay below [cap] in magnitude so that sums of
+   two in-range values cannot wrap natively (2^61 < 2^62). Congruence
+   moduli stay below [mcap] so residue arithmetic cannot overflow. *)
+let cap = 1 lsl 60
+let mcap = 1 lsl 20
+let neg_inf = min_int
+let pos_inf = max_int
+
+let is_fin v = v <> neg_inf && v <> pos_inf
+
+let emod a b =
+  let b = abs b in
+  let r = a mod b in
+  if r < 0 then r + b else r
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let is_pow2 m = m > 0 && m land (m - 1) = 0
+
+let mul_ovf a b =
+  if a = 0 || b = 0 then Some 0
+  else
+    let p = a * b in
+    if p / b = a && abs a <= cap * 2 && abs b <= cap * 2 then Some p else None
+
+(* --- Constructors and normalisation ---------------------------------------- *)
+
+let bot = { lo = 1; hi = 0; m = 1; r = 0 }
+let is_bot t = t.lo > t.hi
+
+(* A congruence survives a possible native wrap only when its modulus is a
+   power of two (the native modulus 2^63 is a multiple of it). *)
+let wrap_safe (m, r) = if m <= 1 || is_pow2 m then (m, r) else (1, 0)
+
+let top = { lo = neg_inf; hi = pos_inf; m = 1; r = 0 }
+
+let norm lo hi (m, r) =
+  if lo > hi then bot
+  else
+    let lo = if is_fin lo && lo < -cap then neg_inf else lo in
+    let hi = if is_fin hi && hi > cap then pos_inf else hi in
+    let m, r =
+      if m < 0 then (1, 0)
+      else if m > mcap then (1, 0)
+      else if m = 0 then (0, r)
+      else if m = 1 then (1, 0)
+      else (m, emod r m)
+    in
+    if lo = hi && is_fin lo then { lo; hi = lo; m = 0; r = lo }
+    else
+      let m, r = if is_fin lo && is_fin hi then (m, r) else wrap_safe (m, r) in
+      (* An infeasible congruence inside the interval window collapses to
+         bot only for windows narrower than the modulus; keep it simple
+         and only check the singleton case above. *)
+      { lo; hi; m; r }
+
+let const c =
+  if abs c > cap then top else { lo = c; hi = c; m = 0; r = c }
+
+let range lo hi = norm lo hi (1, 0)
+
+let is_top t = t.lo = neg_inf && t.hi = pos_inf && t.m = 1 && not (is_bot t)
+
+let is_const t = if (not (is_bot t)) && t.m = 0 then Some t.r else None
+
+let equal a b =
+  is_bot a = is_bot b
+  && (is_bot a || (a.lo = b.lo && a.hi = b.hi && a.m = b.m && a.r = b.r))
+
+(* --- Congruence lattice ----------------------------------------------------- *)
+
+(* (m, r) with m = 0 meaning the exact constant r. *)
+let cjoin (m1, r1) (m2, r2) =
+  if m1 = 0 && m2 = 0 && r1 = r2 then (0, r1)
+  else
+    let d = if r1 >= r2 then r1 - r2 else r2 - r1 in
+    let g = gcd (gcd m1 m2) d in
+    if g = 0 then (0, r1) else if g > mcap then (1, 0) else (g, emod r1 g)
+
+let ccompat (m1, r1) (m2, r2) =
+  if m1 = 0 && m2 = 0 then r1 = r2
+  else
+    let g = gcd m1 m2 in
+    g <= 1 || emod (r1 - r2) g = 0
+
+(* Over-approximate the intersection: keep the more precise side. *)
+let cmeet (m1, r1) (m2, r2) =
+  if not (ccompat (m1, r1) (m2, r2)) then None
+  else if m1 = 0 then Some (0, r1)
+  else if m2 = 0 then Some (0, r2)
+  else if m1 >= m2 then Some (m1, r1)
+  else Some (m2, r2)
+
+let cadd (m1, r1) (m2, r2) =
+  if m1 = 0 && m2 = 0 then
+    if abs r1 <= cap && abs r2 <= cap then (0, r1 + r2) else (1, 0)
+  else
+    let g = gcd m1 m2 in
+    let g = if g = 0 then max m1 m2 else g in
+    if g = 0 || g > mcap then (1, 0) else (g, emod (emod r1 g + emod r2 g) g)
+
+let cneg (m, r) = if m = 0 then (0, -r) else (m, emod (-r) m)
+
+let csub c1 c2 = cadd c1 (cneg c2)
+
+let cmul (m1, r1) (m2, r2) =
+  if m1 = 0 && m2 = 0 then
+    match mul_ovf r1 r2 with Some p -> (0, p) | None -> (1, 0)
+  else
+    (* x = r1 + a·m1, y = r2 + b·m2 ⇒ x·y ≡ r1·r2 (mod gcd(m1·m2, m1·r2, m2·r1)) *)
+    let safe v = match v with Some x -> abs x | None -> 0 in
+    let g =
+      gcd
+        (gcd (safe (mul_ovf m1 m2)) (safe (mul_ovf m1 r2)))
+        (safe (mul_ovf m2 r1))
+    in
+    if g = 0 then (0, safe (mul_ovf r1 r2))
+    else if g = 1 || g > mcap then (1, 0)
+    else (g, emod (emod r1 g * emod r2 g) g)
+
+(* --- Interval helpers -------------------------------------------------------- *)
+
+let fin t = is_fin t.lo && is_fin t.hi
+
+let join a b =
+  if is_bot a then b
+  else if is_bot b then a
+  else
+    norm (min a.lo b.lo) (max a.hi b.hi) (cjoin (a.m, a.r) (b.m, b.r))
+
+let meet a b =
+  if is_bot a || is_bot b then bot
+  else
+    match cmeet (a.m, a.r) (b.m, b.r) with
+    | None -> bot
+    | Some (m, r) -> norm (max a.lo b.lo) (min a.hi b.hi) (m, r)
+
+let widen old next =
+  if is_bot old then next
+  else if is_bot next then old
+  else
+    let j = join old next in
+    let lo = if j.lo < old.lo then neg_inf else old.lo in
+    let hi = if j.hi > old.hi then pos_inf else old.hi in
+    norm lo hi (j.m, j.r)
+
+let with_stride ~m ~r t = meet t (norm neg_inf pos_inf (m, r))
+
+let contains t v =
+  (not (is_bot t)) && t.lo <= v && v <= t.hi
+  && (t.m = 0 || t.m = 1 || emod (v - t.r) t.m = 0)
+  && (t.m <> 0 || t.r = v)
+
+let contains_zero t = contains t 0
+
+let may_equal a b =
+  if is_bot a || is_bot b then false
+  else max a.lo b.lo <= min a.hi b.hi && ccompat (a.m, a.r) (b.m, b.r)
+
+(* --- Transfer functions ------------------------------------------------------ *)
+
+let lift_cg (m, r) = norm neg_inf pos_inf (m, r)
+
+let add a b =
+  if is_bot a || is_bot b then bot
+  else
+    let cg = cadd (a.m, a.r) (b.m, b.r) in
+    if fin a && fin b then norm (a.lo + b.lo) (a.hi + b.hi) cg else lift_cg cg
+
+let add_const t c = add t (const c)
+
+let sub a b =
+  if is_bot a || is_bot b then bot
+  else
+    let cg = csub (a.m, a.r) (b.m, b.r) in
+    if fin a && fin b then norm (a.lo - b.hi) (a.hi - b.lo) cg else lift_cg cg
+
+let mul a b =
+  if is_bot a || is_bot b then bot
+  else
+    let cg = cmul (a.m, a.r) (b.m, b.r) in
+    if fin a && fin b then
+      match
+        ( mul_ovf a.lo b.lo,
+          mul_ovf a.lo b.hi,
+          mul_ovf a.hi b.lo,
+          mul_ovf a.hi b.hi )
+      with
+      | Some p1, Some p2, Some p3, Some p4 ->
+        norm (min (min p1 p2) (min p3 p4)) (max (max p1 p2) (max p3 p4)) cg
+      | _ -> lift_cg cg
+    else lift_cg cg
+
+(* Concrete division truncates toward zero and yields 0 on a zero divisor;
+   |result| never exceeds |dividend|. *)
+let div a b =
+  if is_bot a || is_bot b then bot
+  else
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const (if y = 0 then 0 else x / y)
+    | _, Some c when c <> 0 && fin a ->
+      let q1 = a.lo / c and q2 = a.hi / c in
+      norm (min q1 q2) (max q2 q1) (1, 0)
+    | _ ->
+      if fin a then
+        let mag = max (abs a.lo) (abs a.hi) in
+        norm (-mag) mag (1, 0)
+      else top
+
+let rem a b =
+  if is_bot a || is_bot b then bot
+  else
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const (if y = 0 then 0 else x mod y)
+    | _, Some c when c <> 0 ->
+      let k = abs c in
+      let lo = if a.lo >= 0 then 0 else 1 - k
+      and hi = if a.hi <= 0 then 0 else k - 1 in
+      (* x ≡ r (mod m) with k | m and x ≥ 0 pins x mod k. *)
+      let cg =
+        if a.m > 0 && a.m mod k = 0 && a.lo >= 0 then (k, emod a.r k)
+        else if a.m = 0 && a.r >= 0 then (0, a.r mod k)
+        else (1, 0)
+      in
+      norm lo hi cg
+    | _ ->
+      if fin b then
+        let k = max (abs b.lo) (abs b.hi) in
+        if k = 0 then const 0
+        else
+          let lo = if a.lo >= 0 then 0 else 1 - k
+          and hi = if a.hi <= 0 then 0 else k - 1 in
+          norm lo hi (1, 0)
+      else if a.lo >= 0 then norm 0 pos_inf (1, 0)
+      else top
+
+let nonneg t = (not (is_bot t)) && t.lo >= 0
+
+(* Smallest power of two strictly above v (for bitwise hulls). *)
+let pot_above v =
+  let rec go p = if p > v && p > 0 then p else go (p * 2) in
+  if v >= cap then pos_inf else go 1
+
+let rec and_ a b =
+  if is_bot a || is_bot b then bot
+  else
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const (x land y)
+    | av, Some c when c >= 0 ->
+      (* Result is a sub-mask of c: always within [0, c]. *)
+      let cg =
+        if is_pow2 (c + 1) then
+          (* x land (2^k - 1) = x mod 2^k even for negative x. *)
+          let k = c + 1 in
+          match av with
+          | Some x -> (0, emod x k)
+          | None ->
+            if a.m > 0 then
+              let g = gcd a.m k in
+              if g > 1 then (g, emod a.r g) else (1, 0)
+            else (1, 0)
+        else (1, 0)
+      in
+      (* If x already sits inside [0, c] of a power-of-two window, the
+         mask is the identity. *)
+      if is_pow2 (c + 1) && nonneg a && a.hi <= c then a
+      else norm 0 c cg
+    | Some c, _ when c >= 0 -> and_ b a
+    | _ ->
+      if nonneg a && nonneg b then
+        norm 0 (min (if is_fin a.hi then a.hi else pos_inf)
+                  (if is_fin b.hi then b.hi else pos_inf)) (1, 0)
+      else top
+
+let or_ a b =
+  if is_bot a || is_bot b then bot
+  else
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const (x lor y)
+    | _ ->
+      if nonneg a && nonneg b && is_fin a.hi && is_fin b.hi then
+        let hi = pot_above (max a.hi b.hi) - 1 in
+        norm (max a.lo b.lo) hi (1, 0)
+      else top
+
+let xor a b =
+  if is_bot a || is_bot b then bot
+  else
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const (x lxor y)
+    | _ ->
+      if nonneg a && nonneg b && is_fin a.hi && is_fin b.hi then
+        norm 0 (pot_above (max a.hi b.hi) - 1) (1, 0)
+      else top
+
+let shl a b =
+  if is_bot a || is_bot b then bot
+  else
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const (x lsl (y land 31))
+    | _, Some s -> mul a (const (1 lsl (s land 31)))
+    | _ -> if nonneg a then norm 0 pos_inf (1, 0) else top
+
+let shr a b =
+  if is_bot a || is_bot b then bot
+  else
+    match (is_const a, is_const b) with
+    | Some x, Some y -> const (x asr (y land 31))
+    | _, Some s ->
+      let s = s land 31 in
+      let sh v = if is_fin v then v asr s else v in
+      norm (sh a.lo) (sh a.hi) (1, 0)
+    | _ ->
+      (* Arithmetic shift by an unknown (masked) amount moves the value
+         toward 0 / -1. *)
+      norm (min a.lo 0) (max a.hi 0) (1, 0)
+
+let min_ a b =
+  if is_bot a || is_bot b then bot
+  else
+    let j = cjoin (a.m, a.r) (b.m, b.r) in
+    norm (min a.lo b.lo) (min a.hi b.hi) j
+
+let max_ a b =
+  if is_bot a || is_bot b then bot
+  else
+    let j = cjoin (a.m, a.r) (b.m, b.r) in
+    norm (max a.lo b.lo) (max a.hi b.hi) j
+
+let loop_var ~init ~limit ~step =
+  if is_bot init || is_bot limit then bot
+  else if step <= 0 then top
+  else
+    let hi = if is_fin limit.hi then limit.hi - 1 else pos_inf in
+    let m, r =
+      if init.m = 0 then (step, emod init.r step)
+      else
+        let g = gcd init.m step in
+        if g <= 1 then (1, 0) else (g, emod init.r g)
+    in
+    norm init.lo hi (m, r)
+
+let alu (op : Inst.alu_op) a b =
+  match op with
+  | Inst.Add -> add a b
+  | Inst.Sub -> sub a b
+  | Inst.Mul -> mul a b
+  | Inst.Div -> div a b
+  | Inst.Rem -> rem a b
+  | Inst.And -> and_ a b
+  | Inst.Or -> or_ a b
+  | Inst.Xor -> xor a b
+  | Inst.Shl -> shl a b
+  | Inst.Shr -> shr a b
+  | Inst.Min -> min_ a b
+  | Inst.Max -> max_ a b
+
+let bool_range = { lo = 0; hi = 1; m = 1; r = 0 }
+
+let cmp (op : Inst.cmp_op) a b =
+  if is_bot a || is_bot b then bot
+  else
+    let t = const 1 and f = const 0 in
+    match op with
+    | Inst.Eq ->
+      if not (may_equal a b) then f
+      else (match (is_const a, is_const b) with
+        | Some x, Some y when x = y -> t
+        | _ -> bool_range)
+    | Inst.Ne ->
+      if not (may_equal a b) then t
+      else (match (is_const a, is_const b) with
+        | Some x, Some y when x = y -> f
+        | _ -> bool_range)
+    | Inst.Lt ->
+      if a.hi < b.lo then t else if a.lo >= b.hi then f else bool_range
+    | Inst.Le ->
+      if a.hi <= b.lo then t else if a.lo > b.hi then f else bool_range
+    | Inst.Gt ->
+      if a.lo > b.hi then t else if a.hi <= b.lo then f else bool_range
+    | Inst.Ge ->
+      if a.lo >= b.hi then t else if a.hi < b.lo then f else bool_range
+
+(* --- Printing ----------------------------------------------------------------- *)
+
+let pp ppf t =
+  if is_bot t then Format.fprintf ppf "bot"
+  else if is_top t then Format.fprintf ppf "top"
+  else begin
+    (match is_const t with
+    | Some c -> Format.fprintf ppf "{%d}" c
+    | None ->
+      let b ppf v =
+        if v = neg_inf then Format.fprintf ppf "-inf"
+        else if v = pos_inf then Format.fprintf ppf "+inf"
+        else Format.fprintf ppf "%d" v
+      in
+      Format.fprintf ppf "[%a,%a]" b t.lo b t.hi;
+      if t.m > 1 then Format.fprintf ppf "=%d(mod %d)" t.r t.m)
+  end
+
+let to_string t = Format.asprintf "%a" pp t

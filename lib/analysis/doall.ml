@@ -128,8 +128,28 @@ let check_scalars (loop : Voltron_ir.Hir.for_loop) accumulators =
   !failure
 
 (* Memory independence: every (write, access) pair on the same array must
-   be provably free of cross-iteration collisions (no TM needed then). *)
-let check_memory (loop : Voltron_ir.Hir.for_loop) =
+   be provably free of cross-iteration collisions (no TM needed then).
+   Pairs the affine test cannot resolve fall back to the abstract
+   interpreter: two *distinct* sites whose abstract index sets are
+   disjoint never collide in any pair of iterations. A site paired with
+   itself must still pass the affine test — its abstract set trivially
+   intersects itself even when successive iterations never collide. *)
+let check_memory ?(sharpen = true) (loop : Voltron_ir.Hir.for_loop) ~loop_sid =
+  let absint =
+    lazy
+      (Voltron_absint.Absint.summarize_region
+         [ { Voltron_ir.Hir.sid = loop_sid; node = Voltron_ir.Hir.For loop } ])
+  in
+  let disjoint_sites sid_a sid_b =
+    sharpen && sid_a <> sid_b
+    &&
+    match
+      ( Voltron_absint.Absint.index_dom (Lazy.force absint) sid_a,
+        Voltron_absint.Absint.index_dom (Lazy.force absint) sid_b )
+    with
+    | Some ia, Some ib -> not (Voltron_absint.Dom.may_equal ia ib)
+    | _ -> false
+  in
   let forms = Affine.index_forms ~loop_vars:[ loop.Voltron_ir.Hir.var ] loop.Voltron_ir.Hir.body in
   let form_of sid =
     match Hashtbl.find_opt forms sid with Some f -> f | None -> None
@@ -155,16 +175,16 @@ let check_memory (loop : Voltron_ir.Hir.for_loop) =
                  (form_of sid_a)
              with
              | Affine.Never | Affine.Same_iteration_only -> true
-             | Affine.May_cross | Affine.Unknown -> false)
+             | Affine.May_cross | Affine.Unknown -> disjoint_sites sid_w sid_a)
            all)
     all
 
-let classify (loop : Voltron_ir.Hir.for_loop) ~profile ~loop_sid =
+let classify ?sharpen (loop : Voltron_ir.Hir.for_loop) ~profile ~loop_sid =
   let accumulators = find_accumulators loop in
   match check_scalars loop accumulators with
   | Some reason -> Rejected reason
   | None ->
-    if check_memory loop then Proven accumulators
+    if check_memory ?sharpen loop ~loop_sid then Proven accumulators
     else if not (Profile.has_cross_raw profile loop_sid) then
       Speculative accumulators
     else Rejected "cross-iteration memory dependence observed in profile"

@@ -30,4 +30,14 @@ type verdict =
   | Speculative of accumulator list
   | Rejected of string
 
-val classify : Voltron_ir.Hir.for_loop -> profile:Profile.t -> loop_sid:int -> verdict
+val classify :
+  ?sharpen:bool ->
+  Voltron_ir.Hir.for_loop ->
+  profile:Profile.t ->
+  loop_sid:int ->
+  verdict
+(** [sharpen] (default [true]) lets memory pairs the affine test cannot
+    resolve be discharged by the {!Voltron_absint} disjointness oracle:
+    two distinct sites whose abstract index sets never intersect cannot
+    collide in any pair of iterations, upgrading [Speculative] loops to
+    [Proven]. *)

@@ -1,10 +1,16 @@
+module Absint = Voltron_absint.Absint
+module Dom = Voltron_absint.Dom
+
 type t = {
   cfg : Voltron_ir.Cfg.t;
   forms : (int, Affine.linexpr option) Hashtbl.t;  (** HIR sid -> index form *)
   loop_vars : Voltron_ir.Hir.vreg list;
+  absint : Absint.summary option;
+      (** Region-wide value analysis backing the range/congruence
+          disjointness oracle; [None] when sharpening is disabled. *)
 }
 
-let create ~region_stmts cfg =
+let create ?(sharpen = true) ~region_stmts cfg =
   let loop_vars = ref [] in
   Voltron_ir.Hir.iter_stmts
     (fun ({ Voltron_ir.Hir.node; _ } : Voltron_ir.Hir.stmt) ->
@@ -16,6 +22,7 @@ let create ~region_stmts cfg =
     cfg;
     forms = Affine.index_forms ~loop_vars:[] region_stmts;
     loop_vars = !loop_vars;
+    absint = (if sharpen then Some (Absint.summarize_region region_stmts) else None);
   }
 
 let mem_ref t (op : Voltron_ir.Cfg.lop) = Hashtbl.find_opt t.cfg.Voltron_ir.Cfg.mem_refs op.Voltron_ir.Cfg.oid
@@ -32,6 +39,25 @@ let form_of t (op : Voltron_ir.Cfg.lop) =
     | Some f -> f
     | None -> None
 
+(* The abstract index of each site over-approximates every concrete
+   index it can produce (the region summary starts from a ⊤ environment,
+   and regions are register-closed). Two sites whose abstract indices
+   can never be equal — disjoint intervals or incompatible congruence
+   classes — therefore never touch the same address, in any pair of
+   dynamic instances. *)
+let provably_disjoint t (a : Voltron_ir.Cfg.lop) (b : Voltron_ir.Cfg.lop) =
+  match t.absint with
+  | None -> false
+  | Some sum -> (
+    if a.Voltron_ir.Cfg.hir_sid < 0 || b.Voltron_ir.Cfg.hir_sid < 0 then false
+    else
+      match
+        ( Absint.index_dom sum a.Voltron_ir.Cfg.hir_sid,
+          Absint.index_dom sum b.Voltron_ir.Cfg.hir_sid )
+      with
+      | Some ia, Some ib -> not (Dom.may_equal ia ib)
+      | _ -> false)
+
 let same_instance_alias t a b =
   match (mem_ref t a, mem_ref t b) with
   | None, _ | _, None -> false
@@ -41,8 +67,8 @@ let same_instance_alias t a b =
        | Some fa, Some fb -> (
          match Affine.is_const (Affine.sub fa fb) with
          | Some d -> d = 0
-         | None -> true)
-       | _ -> true)
+         | None -> not (provably_disjoint t a b))
+       | _ -> not (provably_disjoint t a b))
 
 let ever_alias t a b =
   match (mem_ref t a, mem_ref t b) with
@@ -69,5 +95,5 @@ let ever_alias t a b =
                 false)
             t.loop_vars
         in
-        not separated)
-    | _ -> true)
+        (not separated) && not (provably_disjoint t a b))
+    | _ -> not (provably_disjoint t a b))

@@ -11,11 +11,20 @@
       decoupled partitioners, which must keep possibly-dependent memory
       operations on one core (paper §3.3/§4.1 — dependent memory
       operations are placed on the same core so queue-based dummy
-      synchronisation is not needed on the fast path). *)
+      synchronisation is not needed on the fast path).
+
+    When sharpening is on (the default), indices the affine pass gives
+    up on — masked power-of-two subscripts, rebound loop variables,
+    distinct congruence classes — are additionally tested against the
+    {!Voltron_absint} interval × congruence summary of the region: sites
+    whose abstract index sets can never be equal are proven disjoint. *)
 
 type t
 
-val create : region_stmts:Voltron_ir.Hir.stmt list -> Voltron_ir.Cfg.t -> t
+val create :
+  ?sharpen:bool -> region_stmts:Voltron_ir.Hir.stmt list -> Voltron_ir.Cfg.t -> t
+(** [sharpen] (default [true]) enables the abstract-interpretation
+    disjointness oracle; [false] keeps the purely affine verdicts. *)
 
 val mem_ref : t -> Voltron_ir.Cfg.lop -> Voltron_ir.Cfg.mem_ref option
 val is_mem : t -> Voltron_ir.Cfg.lop -> bool

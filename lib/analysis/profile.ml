@@ -106,6 +106,130 @@ let collect ?(cache = Voltron_mem.Coherence.default_config) ?max_steps
   let (_ : Voltron_ir.Interp.result) = Voltron_ir.Interp.run ~events ?max_steps p in
   t
 
+(* --- Static (profile-free) synthesis ------------------------------------------ *)
+
+module Absint = Voltron_absint.Absint
+module Dom = Voltron_absint.Dom
+
+let iround x =
+  if Float.is_finite x then int_of_float (Float.round x) else max_int / 2
+
+(* Conservative static stand-in for the observed cross-iteration RAW set:
+   flag a loop when some (store, load) pair on one array can collide
+   across iterations — affine verdict May_cross/Unknown and the abstract
+   index sets not disjoint. Loops the profile would clear dynamically may
+   stay flagged (costing parallelism, never correctness). *)
+let static_cross_raw (sum : Absint.summary) cross_raw (p : Voltron_ir.Hir.program) =
+  let flag_loop loop_sid (loop : Voltron_ir.Hir.for_loop) =
+    let var = loop.Voltron_ir.Hir.var in
+    let body = loop.Voltron_ir.Hir.body in
+    let forms = Affine.index_forms ~loop_vars:[ var ] body in
+    let form_of sid =
+      match Hashtbl.find_opt forms sid with Some f -> f | None -> None
+    in
+    let loads = ref [] and stores = ref [] in
+    Voltron_ir.Hir.iter_stmts
+      (fun ({ Voltron_ir.Hir.sid; node } : Voltron_ir.Hir.stmt) ->
+        match node with
+        | Voltron_ir.Hir.Assign (_, Voltron_ir.Hir.Load (arr, _)) ->
+          loads := (sid, arr) :: !loads
+        | Voltron_ir.Hir.Store (arr, _, _) -> stores := (sid, arr) :: !stores
+        | Voltron_ir.Hir.Assign _ | Voltron_ir.Hir.If _ | Voltron_ir.Hir.For _
+        | Voltron_ir.Hir.Do_while _ -> ())
+      body;
+    let may_collide (sid_w, arr_w) (sid_l, arr_l) =
+      arr_w = arr_l
+      && (match Affine.cross_iteration_alias ~var (form_of sid_w) (form_of sid_l) with
+         | Affine.Never | Affine.Same_iteration_only -> false
+         | Affine.May_cross | Affine.Unknown -> (
+           match (Absint.index_dom sum sid_w, Absint.index_dom sum sid_l) with
+           | Some iw, Some il -> Dom.may_equal iw il
+           | _ -> true))
+    in
+    if List.exists (fun w -> List.exists (may_collide w) !loads) !stores then
+      Hashtbl.replace cross_raw loop_sid ()
+  in
+  List.iter
+    (fun (r : Voltron_ir.Hir.region) ->
+      Voltron_ir.Hir.iter_stmts
+        (fun ({ Voltron_ir.Hir.sid; node } : Voltron_ir.Hir.stmt) ->
+          match node with
+          | Voltron_ir.Hir.For loop -> flag_loop sid loop
+          | Voltron_ir.Hir.Assign _ | Voltron_ir.Hir.Store _ | Voltron_ir.Hir.If _
+          | Voltron_ir.Hir.Do_while _ -> ())
+        r.Voltron_ir.Hir.stmts)
+    p.Voltron_ir.Hir.regions
+
+let of_static ?(cache = Voltron_mem.Coherence.default_config)
+    ?(summary : Absint.summary option) (p : Voltron_ir.Hir.program) =
+  let sum = match summary with Some s -> s | None -> Absint.analyze p in
+  let t =
+    {
+      loops = Hashtbl.create 32;
+      cross_raw = Hashtbl.create 8;
+      sites = Hashtbl.create 64;
+      dyn = Hashtbl.create 128;
+      total = 0;
+    }
+  in
+  List.iter
+    (fun (li : Absint.loop_info) ->
+      Hashtbl.replace t.loops li.Absint.li_sid
+        {
+          entered = iround li.Absint.li_enters;
+          total_trips = iround (li.Absint.li_enters *. li.Absint.li_trip_est);
+        })
+    (Absint.loops sum);
+  static_cross_raw sum t.cross_raw p;
+  let l1_words = cache.Voltron_mem.Coherence.l1d_sets
+                 * cache.Voltron_mem.Coherence.l1d_ways
+                 * cache.Voltron_mem.Coherence.line_words
+  in
+  let line = float_of_int cache.Voltron_mem.Coherence.line_words in
+  List.iter
+    (fun (s : Absint.site) ->
+      let accesses = iround s.Absint.s_count in
+      if accesses > 0 then begin
+        let d = s.Absint.s_index in
+        let size = p.Voltron_ir.Hir.arrays.(s.Absint.s_arr).Voltron_ir.Hir.size in
+        let width =
+          if Dom.is_bot d then 1
+          else if d.Dom.lo = min_int || d.Dom.hi = max_int then size
+          else min size (d.Dom.hi - d.Dom.lo + 1)
+        in
+        let rate =
+          if width <= l1_words then
+            (* Fits in L1: cold misses on first touch of each line. *)
+            Float.min 1.
+              (ceil (float_of_int width /. line) /. Float.max 1. s.Absint.s_count)
+          else
+            (* Streams through: a miss every line/stride accesses. *)
+            let stride = if Dom.is_bot d || d.Dom.m = 0 then 1 else max 1 d.Dom.m in
+            Float.min 1. (float_of_int stride /. line)
+        in
+        Hashtbl.replace t.sites s.Absint.s_sid
+          { accesses; misses = iround (rate *. float_of_int accesses) }
+      end)
+    (Absint.sites sum);
+  Hashtbl.iter
+    (fun sid c ->
+      let n = iround c in
+      if n > 0 then begin
+        Hashtbl.replace t.dyn sid n;
+        t.total <- t.total + n
+      end)
+    (let tbl = Hashtbl.create 128 in
+     List.iter
+       (fun (r : Voltron_ir.Hir.region) ->
+         Voltron_ir.Hir.iter_stmts
+           (fun (st : Voltron_ir.Hir.stmt) ->
+             Hashtbl.replace tbl st.Voltron_ir.Hir.sid
+               (Absint.count sum st.Voltron_ir.Hir.sid))
+           r.Voltron_ir.Hir.stmts)
+       p.Voltron_ir.Hir.regions;
+     tbl);
+  t
+
 let instances t sid =
   match Hashtbl.find_opt t.loops sid with Some s -> s.entered | None -> 0
 

@@ -19,6 +19,20 @@ val collect :
 (** Runs the program once under the interpreter with profiling hooks.
     [max_steps] bounds the run like {!Voltron_ir.Interp.run}'s. *)
 
+val of_static :
+  ?cache:Voltron_mem.Coherence.config ->
+  ?summary:Voltron_absint.Absint.summary ->
+  Voltron_ir.Hir.program ->
+  t
+(** Profile-free synthesis from the abstract interpreter: loop trip
+    counts and dynamic statement counts come from static trip-count
+    bounds, per-site miss rates from a footprint/stride cache model, and
+    the cross-iteration RAW set from a conservative static dependence
+    test (affine verdict sharpened by the disjointness oracle). Loops
+    the dynamic profile would clear may stay flagged — that costs
+    parallelism, never correctness. [summary] reuses an existing
+    whole-program analysis. *)
+
 val instances : t -> int -> int
 (** How many times loop [sid] was entered. *)
 

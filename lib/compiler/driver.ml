@@ -12,11 +12,13 @@ type compiled = {
   check_diags : Check.diag list;
 }
 
-let compile ~machine ?(choice = `Hybrid) ?(check = true) ?profile ?max_steps
-    (p : Hir.program) =
+let compile ~machine ?(choice = `Hybrid) ?(check = true) ?(static_profile = false)
+    ?profile ?max_steps (p : Hir.program) =
   let profile =
     match profile with
     | Some pr -> pr
+    | None when static_profile ->
+      Voltron_analysis.Profile.of_static ~cache:machine.Config.cache p
     | None -> Voltron_analysis.Profile.collect ?max_steps p
   in
   let oracle = Voltron_ir.Interp.run ?max_steps p in

@@ -17,6 +17,7 @@ val compile :
   machine:Voltron_machine.Config.t ->
   ?choice:Select.choice ->
   ?check:bool ->
+  ?static_profile:bool ->
   ?profile:Voltron_analysis.Profile.t ->
   ?max_steps:int ->
   Voltron_ir.Hir.program ->
@@ -26,6 +27,12 @@ val compile :
     over the array footprint for verification. [max_steps] bounds the
     oracle interpreter run (see {!Voltron_ir.Interp.run}) — the fuzzing
     harness uses it to reject runaway shrink candidates quickly.
+
+    [static_profile] replaces the profiling run with the abstract
+    interpreter's synthesised profile
+    ({!Voltron_analysis.Profile.of_static}) — selection then needs no
+    program execution at all ([--no-profile] on the CLI). An explicit
+    [profile] wins over [static_profile].
 
     Unless [~check:false] is given, the static cross-core checker
     ({!Voltron_check.Check}) runs over the generated images as a

@@ -103,6 +103,36 @@ let doall_rmw b ~name ~n ~conflicts ~seed =
           let v = B.load b dst j in
           B.store b dst j (B.add b (B.mul b v (imm 3)) (imm 1))))
 
+(* GSM LTP-style double-buffered window: every iteration reads the fixed
+   history half of [hist] through a masked subscript and writes the
+   current sample into the live half by the induction variable. The mask
+   defeats the affine dependence test (the store/load pair is Unknown), so
+   with profiling alone the loop can only run as a statistical DOALL under
+   the TM; the abstract interpreter bounds the masked read to
+   [half, half+win) and the store to [0, n) with n <= half, proving the
+   halves disjoint — the loop upgrades to a proven DOALL with no
+   speculation. *)
+let doall_window b ~name ~n ~work ~seed =
+  let rng = Rng.create seed in
+  let win = 256 in
+  let half = max win n in
+  let hist =
+    B.array b ~name:(name ^ "_hist") ~size:(half + win)
+      ~init:(init_of rng (half + win) 1 255) ()
+  in
+  let src = B.array b ~name:(name ^ "_src") ~size:n ~init:(init_of rng n 1 97) () in
+  B.region b name (fun () ->
+      B.for_ b ~from:(imm 0) ~limit:(imm n) (fun i ->
+          let j = B.binop b Inst.And i (imm (win - 1)) in
+          let h = B.load b hist (B.add b j (imm half)) in
+          let s = B.load b src i in
+          let rec grind acc k =
+            if k = 0 then acc
+            else grind (B.add b (B.mul b acc (imm (3 + k))) (imm k)) (k - 1)
+          in
+          let v = grind (B.add b h s) (max 1 work) in
+          B.store b hist i (B.binop b Inst.And v (imm 0xffff))))
+
 (* --- ILP (coupled) --------------------------------------------------------- *)
 
 let ilp_wide b ~name ~n ~taps ~seed =

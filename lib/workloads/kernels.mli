@@ -34,6 +34,13 @@ val doall_rmw : b -> name:string -> n:int -> conflicts:int -> seed:int -> unit
 (** Read-modify-write scatter; [conflicts] iterations collide on one cell
     (TM mis-speculation ablation — see implementation comment). *)
 
+val doall_window : b -> name:string -> n:int -> work:int -> seed:int -> unit
+(** Double-buffered masked window (gsm long-term-predictor shape): writes
+    [hist\[i\]], reads [hist\[half + (i land 255)\]]. The masked read is
+    opaque to the affine test (statistical DOALL under TM); the abstract
+    interpreter proves the halves disjoint, upgrading the loop to a
+    proven, non-speculative DOALL — the sharpened-oracle showcase. *)
+
 val ilp_wide : b -> name:string -> n:int -> taps:int -> seed:int -> unit
 val strands_streams : b -> name:string -> n:int -> streams:int -> seed:int -> unit
 

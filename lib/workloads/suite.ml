@@ -61,6 +61,8 @@ let build_mixed ~name ~mix ~tlp_kind ~llp_kind ~seed ?(scale = 1.0) () =
       | `Indirect ->
         Kernels.doall_indirect b ~name:(name ^ "_llp" ^ tag) ~n ~work:3 ~seed:(next_seed ())
       | `Reduce -> Kernels.doall_reduce b ~name:(name ^ "_llp" ^ tag) ~n ~seed:(next_seed ())
+      | `Window ->
+        Kernels.doall_window b ~name:(name ^ "_llp" ^ tag) ~n ~work:4 ~seed:(next_seed ())
   in
   let emit_seq n tag =
     if n > 0 then Kernels.seq_chase b ~name:(name ^ "_seq" ^ tag) ~n ~seed:(next_seed ())
@@ -73,7 +75,7 @@ let build_mixed ~name ~mix ~tlp_kind ~llp_kind ~seed ?(scale = 1.0) () =
   in
   let llp_n =
     part mix.llp
-      (match llp_kind with `Dense -> 13 | `Indirect -> 14 | `Reduce -> 7)
+      (match llp_kind with `Dense -> 13 | `Indirect -> 14 | `Reduce -> 7 | `Window -> 14)
   in
   let seq_n = part mix.seq 5 in
   if mix.ilp >= 40 then begin
@@ -125,8 +127,11 @@ let all =
     def "epic" (m 15 65 15 5) Pipe `Dense 26;
     def "g721decode" (m 60 20 10 10) Pipe `Reduce 27;
     def "g721encode" (m 60 20 10 10) Pipe `Reduce 28;
-    def "gsmdecode" (m 45 15 35 5) Pipe `Dense 29;
-    def "gsmencode" (m 50 15 30 5) Pipe `Dense 30;
+    (* The gsm pair carries the long-term-predictor window kernel: its
+       masked history reads are the region the sharpened dependence oracle
+       upgrades from speculative to proven DOALL. *)
+    def "gsmdecode" (m 45 15 35 5) Pipe `Window 29;
+    def "gsmencode" (m 50 15 30 5) Pipe `Window 30;
     def "mpeg2dec" (m 35 25 35 5) Strands `Dense 31;
     def "mpeg2enc" (m 30 30 35 5) Pipe `Dense 32;
     def "rawcaudio" (m 65 15 10 10) Pipe `Reduce 33;

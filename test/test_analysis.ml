@@ -342,6 +342,94 @@ let test_memdep_loop_carried_distance_2 () =
     Alcotest.(check bool) "carried across iterations" true (Memdep.ever_alias md ld st)
   | _ -> Alcotest.fail "two mem ops"
 
+(* --- Sharpened dependence oracle -------------------------------------------- *)
+
+(* A single-array loop region lowered with the oracle on or off. *)
+let lower_sized ?(sharpen = true) ~size ~limit stmts_build =
+  let b = B.create "t" in
+  let a = B.array b ~name:"a" ~size () in
+  B.region b "main" (fun () ->
+      B.for_ b ~from:(imm 0) ~limit:(imm limit) (fun i -> stmts_build b a i));
+  let p = B.finish b in
+  let lay = Voltron_ir.Layout.compute p in
+  let ctx = Voltron_ir.Lower.make_ctx ~layout:lay ~first_vreg:p.Hir.n_vregs in
+  match p.Hir.regions with
+  | [ r ] ->
+    let cfg = Voltron_ir.Lower.region ctx r.Hir.stmts in
+    (cfg, Memdep.create ~sharpen ~region_stmts:r.Hir.stmts cfg)
+  | _ -> Alcotest.fail "one region"
+
+let load_store_verdict (cfg, md) =
+  match List.filter (Memdep.is_mem md) (Voltron_ir.Cfg.all_ops cfg) with
+  | [ ld; st ] -> Memdep.ever_alias md ld st
+  | _ -> Alcotest.fail "two mem ops"
+
+(* Double-buffer halves through a masked subscript: load a[8 + (i land 7)]
+   vs store a[i land 7]. The affine pass cannot express the mask, so only
+   the interval oracle separates the windows. *)
+let test_memdep_masked_halves () =
+  let build b a i =
+    let v = B.load b a (B.add b (imm 8) (B.binop b Inst.And i (imm 7))) in
+    B.store b a (B.binop b Inst.And i (imm 7)) v
+  in
+  Alcotest.(check bool) "affine alone conservatively aliases" true
+    (load_store_verdict (lower_sized ~sharpen:false ~size:64 ~limit:16 build));
+  Alcotest.(check bool) "oracle proves windows disjoint" false
+    (load_store_verdict (lower_sized ~size:64 ~limit:16 build))
+
+(* Negative-stride store a[7 - i] against load a[base + i]: ranges
+   [0, 7] vs [base, base + 7] — disjoint for base = 8, colliding for
+   base = 0. Exact verdict both ways. *)
+let test_memdep_negative_stride () =
+  let build base b a i =
+    let v = B.load b a (B.add b (imm base) i) in
+    B.store b a (B.sub b (imm 7) i) v
+  in
+  Alcotest.(check bool) "shifted ranges disjoint" false
+    (load_store_verdict (lower_sized ~size:64 ~limit:8 (build 8)));
+  Alcotest.(check bool) "overlapping ranges alias" true
+    (load_store_verdict (lower_sized ~size:64 ~limit:8 (build 0)))
+
+(* Parity: store a[2i] (even cells) vs load a[513 - 2i] (odd cells). The
+   intervals overlap; only the congruence component separates them. *)
+let test_memdep_parity () =
+  let build b a i =
+    let v = B.load b a (B.sub b (imm 513) (B.mul b i (imm 2))) in
+    B.store b a (B.mul b i (imm 2)) v
+  in
+  Alcotest.(check bool) "even/odd cells disjoint" false
+    (load_store_verdict (lower_sized ~size:514 ~limit:256 build))
+
+(* The window shape end-to-end through DOALL classification: speculative
+   on affine evidence alone, proven once the oracle separates the
+   halves. *)
+let classify_sharpen ~sharpen build =
+  let b = B.create "t" in
+  let a = B.array b ~name:"a" ~size:64 ~init:(fun i -> i) () in
+  B.region b "main" (fun () ->
+      B.for_ b ~from:(imm 0) ~limit:(imm 32) (fun i -> build b a i));
+  let p = B.finish b in
+  let profile = Profile.collect p in
+  match p.Hir.regions with
+  | [ { Hir.stmts = [ { Hir.sid; node = Hir.For loop; _ } ]; _ } ] ->
+    Doall.classify ~sharpen loop ~profile ~loop_sid:sid
+  | _ -> Alcotest.fail "shape"
+
+let test_doall_sharpen_upgrade () =
+  let build b a i =
+    let v = B.load b a (B.add b (imm 32) (B.binop b Inst.And i (imm 31))) in
+    B.store b a i v
+  in
+  (match classify_sharpen ~sharpen:false build with
+  | Doall.Speculative _ -> ()
+  | Doall.Proven _ -> Alcotest.fail "affine alone cannot prove the window"
+  | Doall.Rejected r -> Alcotest.fail ("rejected: " ^ r));
+  match classify_sharpen ~sharpen:true build with
+  | Doall.Proven [] -> ()
+  | Doall.Proven _ -> Alcotest.fail "no accumulators expected"
+  | Doall.Speculative _ -> Alcotest.fail "oracle should prove the window"
+  | Doall.Rejected r -> Alcotest.fail ("rejected: " ^ r)
+
 let test_depgraph_edges () =
   let cfg, md = lower_one (fun b a _ ->
       let v = B.load b a (imm 0) in
@@ -389,5 +477,12 @@ let () =
           Alcotest.test_case "loop carried distance 2" `Quick
             test_memdep_loop_carried_distance_2;
           Alcotest.test_case "depgraph edges" `Quick test_depgraph_edges;
+        ] );
+      ( "sharpen",
+        [
+          Alcotest.test_case "masked halves" `Quick test_memdep_masked_halves;
+          Alcotest.test_case "negative stride" `Quick test_memdep_negative_stride;
+          Alcotest.test_case "parity" `Quick test_memdep_parity;
+          Alcotest.test_case "doall upgrade" `Quick test_doall_sharpen_upgrade;
         ] );
     ]

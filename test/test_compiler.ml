@@ -436,6 +436,180 @@ let test_optimized_compiles_verified () =
       | Error e -> Alcotest.fail e)
     [ `Seq; `Ilp; `Tlp; `Llp; `Hybrid ]
 
+(* --- Static estimator vs measured attribution ---------------------------------- *)
+
+module Estimate = Voltron_compiler.Estimate
+module Codegen = Voltron_compiler.Codegen
+module Machine = Voltron_machine.Machine
+module Region_profile = Voltron_obs.Region_profile
+module Suite = Voltron_workloads.Suite
+
+(* Compile hybrid, run with region attribution attached, and return the
+   plan, the static estimate table and measured per-region wall cycles. *)
+let run_attributed ~machine ?choice p =
+  let compiled = Driver.compile ~machine ?choice ~check:false p in
+  let est = Estimate.create ~machine p in
+  let table = Estimate.table est compiled.Driver.plan in
+  let m = Machine.create machine compiled.Driver.executable in
+  let rp = Region_profile.attach m compiled in
+  let result = Machine.run m in
+  Alcotest.(check bool) "finished" true (result.Machine.outcome = Machine.Finished);
+  (compiled.Driver.plan, table, Region_profile.rows rp)
+
+let measured_wall ~n_cores rows name =
+  List.fold_left
+    (fun acc (r : Region_profile.row) ->
+      if r.Region_profile.r_region = name then
+        acc +. float_of_int r.Region_profile.r_cycles
+      else acc)
+    0. rows
+  /. float_of_int n_cores
+
+(* The per-region static estimate must track the measured per-region
+   cycles on fixed workloads: every non-glue region within 4x either way,
+   geomean error under the sweep's 30% acceptance bar plus slack for the
+   small per-benchmark sample. *)
+let test_estimator_tracks_attribution () =
+  let machine = Config.default ~n_cores:4 in
+  List.iter
+    (fun bname ->
+      (* Full scale: the estimator's overhead constants are calibrated on
+         the full-size sweep; tiny scales shift trip-bound outliers. *)
+      let p = (Suite.by_name bname).Suite.build ~scale:1.0 () in
+      let _plan, table, rows = run_attributed ~machine p in
+      let lnsum = ref 0. in
+      let n = ref 0 in
+      List.iter
+        (fun (row : Estimate.row) ->
+          let meas = measured_wall ~n_cores:4 rows row.Estimate.e_region in
+          (* Same noise floor as `voltron_sim analyze --all`: glue regions
+             of a few cycles carry no signal. *)
+          if meas > 64. then begin
+            let ratio = row.Estimate.e_cycles /. meas in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s (%s) ratio %.2f within 4x" bname
+                 row.Estimate.e_region row.Estimate.e_strategy ratio)
+              true
+              (ratio > 0.25 && ratio < 4.0);
+            lnsum := !lnsum +. abs_float (log ratio);
+            incr n
+          end)
+        table;
+      Alcotest.(check bool) (bname ^ " has measurable regions") true (!n >= 3);
+      let geo = exp (!lnsum /. float_of_int !n) -. 1. in
+      (* The ±30% acceptance bar applies to the full-suite sweep (checked
+         by `analyze --all` in CI); a two-benchmark sample is noisier, so
+         gate at 2x on average here. *)
+      Alcotest.(check bool) (Printf.sprintf "%s geomean %.1f%% under 100%%" bname (geo *. 100.))
+        true (geo < 1.0))
+    [ "164.gzip"; "gsmdecode" ]
+
+(* The DSWP pipeline estimate against what the simulator attributes to the
+   stage cores: the balanced-stage estimate is a speedup in [1, n_cores]
+   and an upper bound on the occupancy the queues actually sustain
+   (attribution shows stages blocked on operand-queue round-trips most of
+   the time). *)
+let test_dswp_estimate_vs_occupancy () =
+  let machine = Config.default ~n_cores:4 in
+  let checked = ref 0 in
+  List.iter
+    (fun bname ->
+      let p = (Suite.by_name bname).Suite.build ~scale:0.2 () in
+      let plan, _table, rows = run_attributed ~machine ~choice:`Tlp p in
+      List.iter
+        (fun (pr : Select.planned_region) ->
+          match pr.Select.pr_strategy with
+          | Codegen.Dswp ->
+            let est = Select.dswp_estimate ~machine pr.Select.pr_stmts in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s estimate %.2f in [1, 4]" bname pr.Select.pr_name est)
+              true
+              (est >= 1.0 && est <= 4.0);
+            let wall = measured_wall ~n_cores:4 rows pr.Select.pr_name in
+            let busy =
+              List.fold_left
+                (fun acc (r : Region_profile.row) ->
+                  if r.Region_profile.r_region = pr.Select.pr_name then
+                    acc +. float_of_int r.Region_profile.r_busy
+                  else acc)
+                0. rows
+            in
+            if wall > 64. then begin
+              let occupancy = busy /. wall in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s occupancy %.2f positive, bounded" bname
+                   pr.Select.pr_name occupancy)
+                true
+                (occupancy > 0.0 && occupancy <= 4.0);
+              (* Occupancy counts every busy issue slot, including
+                 replicated glue the estimate's balanced-stage model does
+                 not credit as speedup — allow it to run slightly ahead. *)
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s estimate %.2f tracks occupancy %.2f" bname
+                   pr.Select.pr_name est occupancy)
+                true
+                (est >= occupancy *. 0.75);
+              incr checked
+            end
+          | _ -> ())
+        plan)
+    [ "epic"; "183.equake" ];
+  Alcotest.(check bool) "saw dswp regions" true (!checked >= 2)
+
+(* --- Proven vs speculative DOALL on the window kernel --------------------------- *)
+
+(* The masked double-buffer kernel: the sharpened oracle proves the halves
+   disjoint, so the plan carries a non-speculative DOALL. Re-emitting the
+   same plan with dp_speculative forced on (what affine evidence alone
+   would produce) must still verify — and cost measurably more cycles for
+   the TM bookkeeping. *)
+let test_window_proven_beats_speculative () =
+  let machine = Config.default ~n_cores:4 in
+  let b = B.create "window" in
+  Voltron_workloads.Kernels.doall_window b ~name:"win" ~n:1024 ~work:4 ~seed:7;
+  let p = B.finish b in
+  let compiled = Driver.compile ~machine ~check:false p in
+  let is_proven_doall (pr : Select.planned_region) =
+    match pr.Select.pr_strategy with
+    | Codegen.Doall dp -> not dp.Codegen.dp_speculative
+    | _ -> false
+  in
+  Alcotest.(check bool) "plan carries a proven doall" true
+    (List.exists is_proven_doall compiled.Driver.plan);
+  let spec_plan =
+    List.map
+      (fun (pr : Select.planned_region) ->
+        match pr.Select.pr_strategy with
+        | Codegen.Doall dp ->
+          {
+            pr with
+            Select.pr_strategy = Codegen.Doall { dp with Codegen.dp_speculative = true };
+          }
+        | _ -> pr)
+      compiled.Driver.plan
+  in
+  let cg = Codegen.create machine p in
+  List.iter
+    (fun (pr : Select.planned_region) ->
+      Codegen.emit_region cg ~name:pr.Select.pr_name pr.Select.pr_stmts
+        pr.Select.pr_strategy)
+    spec_plan;
+  let spec_exe = Codegen.finalize cg in
+  let proven_cycles =
+    match Driver.verify machine compiled with
+    | Ok c -> c
+    | Error e -> Alcotest.fail ("proven build: " ^ e)
+  in
+  let spec_cycles =
+    match Driver.verify machine { compiled with Driver.executable = spec_exe } with
+    | Ok c -> c
+    | Error e -> Alcotest.fail ("speculative build: " ^ e)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "proven %d < speculative %d" proven_cycles spec_cycles)
+    true
+    (proven_cycles < spec_cycles)
+
 let () =
   Alcotest.run "compiler"
     [
@@ -466,5 +640,13 @@ let () =
           Alcotest.test_case "dce" `Quick test_dce_removes_dead;
           Alcotest.test_case "optimized verifies" `Quick test_optimized_compiles_verified;
           QCheck_alcotest.to_alcotest test_opt_preserves_random_programs;
+        ] );
+      ( "estimate",
+        [
+          Alcotest.test_case "tracks attribution" `Slow test_estimator_tracks_attribution;
+          Alcotest.test_case "dswp estimate vs occupancy" `Slow
+            test_dswp_estimate_vs_occupancy;
+          Alcotest.test_case "window proven beats speculative" `Quick
+            test_window_proven_beats_speculative;
         ] );
     ]
