@@ -18,6 +18,8 @@ module E = Voltron.Experiments
 module Suite = Voltron_workloads.Suite
 module Json = Voltron_obs.Json
 module Metrics = Voltron_obs.Metrics
+module Blame = Voltron_obs.Blame
+module Critpath = Voltron_obs.Critpath
 module Config = Voltron_machine.Config
 module Machine = Voltron_machine.Machine
 module Driver = Voltron_compiler.Driver
@@ -353,6 +355,20 @@ let bechamel_tests =
       Test.make ~name:"fig13" (Staged.stage (fun () -> E.fig13 ~scale:0.2 ~benches:slice ()));
       Test.make ~name:"fig14" (Staged.stage (fun () -> E.fig14 ~scale:0.2 ~benches:slice ()));
       Test.make ~name:"micro" (Staged.stage (fun () -> E.micro ~scale:0.2 ()));
+      (* The causal-profiler pipeline end to end: hooks attached, run,
+         critical-path walk and blame report. Compared against fig13 (same
+         workload, hooks detached) this isolates the recording+walk cost. *)
+      Test.make ~name:"blame"
+        (Staged.stage (fun () ->
+             let machine = Config.default ~n_cores:4 in
+             let b = List.find (fun b -> b.Suite.bench_name = "cjpeg") Suite.all in
+             let p = b.Suite.build ~scale:0.2 () in
+             let compiled = Driver.compile ~machine ~choice:`Hybrid ~check:false p in
+             let m = Machine.create machine compiled.Driver.executable in
+             let blame = Blame.attach m compiled in
+             let _ = Machine.run m in
+             Critpath.report ~bench:"cjpeg" ~strategy:"hybrid"
+               (Critpath.compute blame)));
     ]
 
 let run_bechamel () =

@@ -22,6 +22,8 @@ module Absint = Voltron_absint.Absint
 module Estimate = Voltron_compiler.Estimate
 module Codegen = Voltron_compiler.Codegen
 module Region_profile = Voltron_obs.Region_profile
+module Blame = Voltron_obs.Blame
+module Critpath = Voltron_obs.Critpath
 
 let print_diags oc diags =
   let ppf = Format.formatter_of_out_channel oc in
@@ -657,7 +659,8 @@ let trace_cmd =
       $ limit_arg $ timeline_arg $ trace_json_arg)
 
 let profile_cmd =
-  let profile bench file cores strategy scale sample_every json_out =
+  let profile bench file cores strategy scale sample_every show_metrics
+      json_out =
     or_check_failure @@ fun () ->
     let name, p = resolve_program bench file scale in
     let machine = Config.default ~n_cores:cores in
@@ -688,11 +691,31 @@ let profile_cmd =
     Printf.printf "strategy   : %s on %d cores\n" strategy cores;
     Printf.printf "cycles     : %d\n\n" result.Machine.cycles;
     Format.printf "%a" Voltron_obs.Region_profile.pp rp;
+    (* When most core-cycles are not busy, the per-region table says where
+       the waiting happened but not whom it waited on — point at the
+       causal profiler, which does. *)
+    let total = Region_profile.total_cycles rp in
+    let busy =
+      List.fold_left
+        (fun acc r -> acc + r.Region_profile.r_busy)
+        0 (Region_profile.rows rp)
+    in
+    let selector =
+      match bench with Some b -> "-b " ^ b | None -> Printf.sprintf "--file %s" name
+    in
+    if total > 0 && 4 * (total - busy) > total then
+      Printf.printf
+        "note: %d%% of core-cycles are stall or idle; `voltron_sim blame %s \
+         -c %d -s %s` attributes them to cross-core critical-path edges\n"
+        (100 * (total - busy) / total)
+        selector cores strategy;
     (match sampler with
     | None -> ()
     | Some s ->
       Format.printf "@.samples (every %d cycles):@.%a" sample_every
         Voltron_obs.Sampler.pp s);
+    if show_metrics then
+      Format.printf "@.metrics:@.%a" Metrics.pp (Metrics.snapshot ~label:name m);
     match json_out with
     | None -> ()
     | Some path ->
@@ -721,6 +744,12 @@ let profile_cmd =
             "Also record an IPC/occupancy/miss-rate time-series sample every \
              $(docv) cycles; 0 disables the sampler.")
   in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Also print the flat metrics registry (every counter and gauge).")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
@@ -728,7 +757,257 @@ let profile_cmd =
           every region went (busy, each stall kind, idle), per execution mode.")
     Term.(
       const profile $ bench_arg $ file_arg $ cores_arg $ strategy_arg
-      $ scale_arg $ sample_arg $ json_arg)
+      $ scale_arg $ sample_arg $ metrics_arg $ json_arg)
+
+(* --- blame: cross-core critical path, wait-for blame, what-if ------------ *)
+
+let run_outcome_err (result : Machine.result) =
+  match result.Machine.outcome with
+  | Machine.Finished -> None
+  | Machine.Out_of_cycles -> Some "out of cycles"
+  | Machine.Deadlock d -> Some ("deadlock:\n" ^ Machine.diagnosis_to_string d)
+  | Machine.Fault_limit d ->
+    Some ("fault limit reached:\n" ^ Machine.diagnosis_to_string d)
+  | Machine.Stopped d -> Some ("stopped:\n" ^ Machine.diagnosis_to_string d)
+
+let blame_cmd =
+  let run_with_blame ~cores ~choice ~tweak p =
+    let machine = tweak (Config.default ~n_cores:cores) in
+    let compiled = Driver.compile ~machine ~choice p in
+    let m = Machine.create machine compiled.Driver.executable in
+    let b = Blame.attach m compiled in
+    (b, Machine.run m)
+  in
+  let measure ~cores ~choice ~tweak p =
+    let machine = tweak (Config.default ~n_cores:cores) in
+    let compiled = Driver.compile ~machine ~choice p in
+    let m = Machine.create machine compiled.Driver.executable in
+    let result = Machine.run m in
+    match result.Machine.outcome with
+    | Machine.Finished -> Some result.Machine.cycles
+    | _ -> None
+  in
+  let blame bench file cores strategy scale all top net_scale validate tm_rate
+      fault_seed json_out =
+    or_check_failure @@ fun () ->
+    let choice = choice_of_string strategy in
+    let failed = ref false in
+    let analyze name p =
+      let b, result = run_with_blame ~cores ~choice ~tweak:(fun c -> c) p in
+      match run_outcome_err result with
+      | Some err ->
+        Printf.eprintf "%s: %s\n" name err;
+        failed := true;
+        None
+      | None ->
+        (match Blame.coverage b with
+        | Ok () -> ()
+        | Error e ->
+          Printf.eprintf "%s: blame recording hole: %s\n" name e;
+          failed := true);
+        let cp = Critpath.compute b in
+        let rep = Critpath.report ~bench:name ~strategy ~net_scale cp in
+        if rep.Critpath.r_path <> rep.Critpath.r_cycles then begin
+          Printf.eprintf
+            "%s: critical path %d cycles does not reconcile with the %d-cycle \
+             run\n"
+            name rep.Critpath.r_path rep.Critpath.r_cycles;
+          failed := true
+        end;
+        Some (rep, cp)
+    in
+    (* Predicted speedups come from rescaling edges along the recorded
+       critical path; measured ones from reruns whose configuration actually
+       changed the same way. The two agreeing is the causal claim. *)
+    let validate_whatifs name p cp =
+      let base = Critpath.total cp in
+      let hop = (Config.default ~n_cores:cores).Config.net_hop_cost in
+      let scaled_hop = int_of_float ((net_scale *. float_of_int hop) +. 0.5) in
+      let net_row =
+        let predicted = Critpath.whatif_net cp ~scale:net_scale in
+        match
+          measure ~cores ~choice
+            ~tweak:(fun c -> { c with Config.net_hop_cost = scaled_hop })
+            p
+        with
+        | None -> None
+        | Some rerun ->
+          Some
+            ( Printf.sprintf "net-hop-cost %d->%d" hop scaled_hop,
+              float_of_int base /. float_of_int (max 1 predicted),
+              float_of_int base /. float_of_int (max 1 rerun) )
+      in
+      let tm_row =
+        if tm_rate <= 0. then None
+        else begin
+          let tweak c =
+            {
+              c with
+              Config.fault =
+                {
+                  Voltron_fault.Fault.disabled with
+                  Voltron_fault.Fault.tm_abort_rate = tm_rate;
+                  fault_seed;
+                };
+            }
+          in
+          let b_f, r_f = run_with_blame ~cores ~choice ~tweak p in
+          match run_outcome_err r_f with
+          | Some err ->
+            Printf.eprintf "%s (tm injection): %s\n" name err;
+            None
+          | None ->
+            let cp_f = Critpath.compute b_f in
+            let injected = Critpath.total cp_f in
+            let predicted = Critpath.whatif_tm cp_f in
+            Some
+              ( Printf.sprintf "tm-aborts %g->0" tm_rate,
+                float_of_int injected /. float_of_int (max 1 predicted),
+                float_of_int injected /. float_of_int base )
+        end
+      in
+      match List.filter_map Fun.id [ net_row; tm_row ] with
+      | [] -> ()
+      | rows ->
+        Printf.printf "\nwhat-if validation (%s):\n" name;
+        print_endline
+          (Voltron_util.Table.render
+             ~header:[ "class"; "predicted"; "measured"; "error" ]
+             (List.map
+                (fun (cls, pred, meas) ->
+                  [
+                    cls;
+                    Printf.sprintf "x%.3f" pred;
+                    Printf.sprintf "x%.3f" meas;
+                    Printf.sprintf "%.1f%%"
+                      (100. *. Float.abs (pred -. meas) /. meas);
+                  ])
+                rows))
+    in
+    let write_json reports =
+      match json_out with
+      | None -> ()
+      | Some path ->
+        Json.write_file path
+          (Json.Obj
+             [
+               ( "reports",
+                 Json.List (List.map Critpath.report_to_json reports) );
+             ]);
+        Printf.printf "wrote blame JSON to %s\n" path
+    in
+    if all then begin
+      let progs =
+        List.map
+          (fun (b : Suite.benchmark) ->
+            (b.Suite.bench_name, b.Suite.build ~scale ()))
+          Suite.all
+        @ [
+            ("micro:gsm_llp", Suite.micro_gsm_llp ~scale ());
+            ("micro:gzip_strands", Suite.micro_gzip_strands ~scale ());
+            ("micro:gsm_ilp", Suite.micro_gsm_ilp ~scale ());
+          ]
+      in
+      let reps =
+        List.filter_map
+          (fun (name, p) ->
+            match analyze name p with
+            | None -> None
+            | Some (rep, cp) ->
+              if validate then validate_whatifs name p cp;
+              Some rep)
+          progs
+      in
+      let wf (r : Critpath.report) i =
+        match List.nth_opt r.Critpath.r_whatif i with
+        | Some w -> Printf.sprintf "x%.2f" w.Critpath.w_speedup
+        | None -> "-"
+      in
+      print_endline
+        (Voltron_util.Table.render
+           ~header:
+             [ "bench"; "cycles"; "path"; "top edge"; "net what-if"; "tm what-if" ]
+           (List.map
+              (fun (r : Critpath.report) ->
+                let top_edge =
+                  match r.Critpath.r_rows with
+                  | [] -> "-"
+                  | b :: _ ->
+                    Printf.sprintf "%s %s (%d%%)"
+                      (Blame.kind_label b.Critpath.b_kind)
+                      b.Critpath.b_region
+                      (100 * b.Critpath.b_cycles / max 1 r.Critpath.r_cycles)
+                in
+                [
+                  r.Critpath.r_bench;
+                  string_of_int r.Critpath.r_cycles;
+                  (if r.Critpath.r_path = r.Critpath.r_cycles then "exact"
+                   else "MISMATCH");
+                  top_edge;
+                  wf r 0;
+                  wf r 1;
+                ])
+              reps));
+      write_json reps
+    end
+    else begin
+      let name, p = resolve_program bench file scale in
+      match analyze name p with
+      | None -> ()
+      | Some (rep, cp) ->
+        Format.printf "%a" (Critpath.pp_report ~top) rep;
+        if validate then validate_whatifs name p cp;
+        write_json [ rep ]
+    end;
+    if !failed then exit 1
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Analyze the whole workload suite (and the micro kernels) \
+             instead of one benchmark; exits 1 if any run fails to complete \
+             or reconcile.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "top" ] ~docv:"N" ~doc:"Blame-table rows to print.")
+  in
+  let net_scale_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "net-scale" ] ~docv:"K"
+          ~doc:
+            "What-if factor for the per-hop network cost (0 = free wires).")
+  in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Also measure each what-if estimate against a rerun with the \
+             corresponding configuration change.")
+  in
+  let tm_rate_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "tm-abort-rate" ] ~docv:"R"
+          ~doc:
+            "Spurious TM abort rate injected for the TM what-if validation \
+             (with $(b,--validate)); 0 skips it.")
+  in
+  Cmd.v
+    (Cmd.info "blame"
+       ~doc:
+         "Causal profile: record wait-for blame edges, walk the cross-core \
+          critical path (reconciled exactly against the run's cycle count), \
+          and estimate what-if speedups per edge class.")
+    Term.(
+      const blame $ bench_arg $ file_arg $ cores_arg $ strategy_arg $ scale_arg
+      $ all_arg $ top_arg $ net_scale_arg $ validate_arg $ tm_rate_arg
+      $ fault_seed_arg $ json_arg)
 
 (* --- analyze: abstract-interpretation diagnostics + static cost model ----- *)
 
@@ -1078,6 +1357,7 @@ let () =
             run_cmd;
             plan_cmd;
             profile_cmd;
+            blame_cmd;
             analyze_cmd;
             check_cmd;
             disasm_cmd;

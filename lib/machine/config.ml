@@ -5,6 +5,11 @@ type t = {
   n_btrs : int;
   cache : Voltron_mem.Coherence.config;
   net_capacity : int;
+  (* Cycles per mesh hop on the operand network. 1 is the paper's network
+     (2 + hops end-to-end in queue mode); 0 models an idealised
+     zero-hop-latency network — the rerun configuration that validates the
+     causal profiler's "scale network latency" what-if estimates. *)
+  net_hop_cost : int;
   max_cycles : int;
   watchdog : int;
   fault : Voltron_fault.Fault.config;
@@ -23,6 +28,7 @@ let default ~n_cores =
     n_btrs = 8;
     cache = Voltron_mem.Coherence.default_config;
     net_capacity = 32;
+    net_hop_cost = 1;
     max_cycles = 200_000_000;
     watchdog = 100_000;
     fault = Voltron_fault.Fault.disabled;

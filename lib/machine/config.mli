@@ -10,6 +10,10 @@ type t = {
   n_btrs : int;  (** branch-target registers per core *)
   cache : Voltron_mem.Coherence.config;
   net_capacity : int;  (** receive-queue capacity per core *)
+  net_hop_cost : int;
+      (** cycles per mesh hop on the operand network (default 1, the
+          paper's network; 0 idealises hop latency away — the rerun
+          configuration validating the causal profiler's network what-if) *)
   max_cycles : int;  (** hard simulation cap *)
   watchdog : int;  (** abort after this many cycles without progress *)
   fault : Voltron_fault.Fault.config;  (** injection + recovery parameters *)

@@ -30,6 +30,15 @@ type wait =
   | W_asleep
   | W_halted
 
+(* One cycle (or [k] identical cycles) of one core's time, as reported to
+   the causal profiler's blame hook: busy issuing, waiting (with the wait
+   and the peer core it resolves to, when it names one), or held by the
+   coupled-mode stall bus on a peer's behalf. *)
+type blame_event =
+  | Blame_busy
+  | Blame_wait of { b_wait : wait; b_on : int  (** -1: no blamed core *) }
+  | Blame_lockstep of { b_kind : Stats.stall_kind }
+
 type core_diag = {
   d_core : int;
   d_pc : int;
@@ -129,6 +138,17 @@ type t = {
      converts the request into a [Stopped] outcome at the end of the cycle. *)
   mutable on_sanity : (now:int -> unit) option;
   mutable stop_requested : bool;
+  (* Causal profiler: every core-cycle is reported exactly once as busy /
+     waiting / lockstep-held, with a repeat count [k] so the fast-forward
+     bulk paths stay exact. [None] (the default) keeps every report site to
+     a single branch, off the allocation path. *)
+  mutable blame :
+    (core:int -> pc:int -> k:int -> redo:bool -> blame_event -> unit) option;
+  (* Cycle-window hook: called once per run-loop iteration with the closed
+     cycle interval that iteration covered (a fast-forward jump covers
+     many). Unlike [on_cycle], attaching it does NOT disable fast-forward —
+     that is its whole point. *)
+  mutable on_window : (from:int -> upto:int -> unit) option;
   (* Stall fast-forward (Config.fast_forward). [ff_active] is resolved once
      at run entry: on when nothing per-cycle-observing is attached (tracer,
      sampler hook, fault injector — attribution is fine, its cells take bulk
@@ -202,7 +222,9 @@ let create cfg (prog : Program.t) =
       mem;
       tm = Tm.create mem ~n_cores:cfg.n_cores;
       hier = Coherence.create cfg.cache ~n_cores:cfg.n_cores;
-      net = Net.create ?faults:inj mesh ~receive_capacity:cfg.net_capacity;
+      net =
+        Net.create ?faults:inj ~hop_cost:cfg.net_hop_cost mesh
+          ~receive_capacity:cfg.net_capacity;
       cores = Array.init cfg.n_cores (fun id -> fresh_core cfg prog.images.(id) id);
       st = Stats.create ~n_cores:cfg.n_cores;
       inj;
@@ -216,6 +238,8 @@ let create cfg (prog : Program.t) =
       on_cycle = None;
       on_sanity = None;
       stop_requested = false;
+      blame = None;
+      on_window = None;
       ff_active = false;
       wake = max_int;
       sc_wait = Array.make cfg.n_cores None;
@@ -242,7 +266,11 @@ let set_attribution t ~region_of acct =
 
 let set_on_cycle t f = t.on_cycle <- Some f
 let set_sanity_cycle t f = t.on_sanity <- Some f
+let set_blame t f = t.blame <- Some f
+let set_on_window t f = t.on_window <- Some f
 let request_stop t = t.stop_requested <- true
+let pc t ~core = t.cores.(core).pc
+let config t = t.cfg
 
 let trace t ev =
   match t.tracer with None -> () | Some tr -> Trace.record tr ev
@@ -329,6 +357,61 @@ let stall_of_wait = function
   | W_getb | W_send_full _ | W_get_latch _ | W_stall_fault | W_barrier _
   | W_commit | W_serial | W_asleep | W_halted ->
     Stats.Sync
+
+(* Which core is [cs] waiting on, when its wait names one — shared by the
+   watchdog's diagnosis and the causal profiler's blame edges. *)
+let blame_of t cs w =
+  match w with
+  | W_recv { sender; _ } -> Some sender
+  | W_get_latch dir -> Mesh.neighbour (Net.mesh t.net) cs.id dir
+  | W_send_full dst -> Some dst
+  | W_commit ->
+    Array.to_list t.cores
+    |> List.find_opt (fun c -> c.status <> At_commit)
+    |> Option.map (fun c -> c.id)
+  | W_barrier _ ->
+    Array.to_list t.cores
+    |> List.find_opt (fun c ->
+           match c.status with At_barrier _ -> false | _ -> true)
+    |> Option.map (fun c -> c.id)
+  | W_serial -> (
+    match t.serial_queue with
+    | head :: _ when head <> cs.id -> Some head
+    | _ -> None)
+  | W_reg _ | W_ifetch | W_dmem | W_btr | W_getb | W_stall_fault | W_asleep
+  | W_halted ->
+    None
+
+(* The wait a non-Running status stands for. Only called with the blame
+   hook attached — the [W_barrier] case allocates. *)
+let wait_of_status = function
+  | Running -> assert false
+  | Asleep -> W_asleep
+  | Halted -> W_halted
+  | At_barrier m -> W_barrier m
+  | At_commit -> W_commit
+  | Wait_serial -> W_serial
+  | Stuck w -> w
+
+(* Report [k] cycles of [cs] blocked on [w], resolving the blamed peer.
+   The [None] check comes first so the detached path allocates nothing. *)
+let blame_wait t cs w k =
+  match t.blame with
+  | None -> ()
+  | Some f ->
+    let b_on = match blame_of t cs w with Some c -> c | None -> -1 in
+    f ~core:cs.id ~pc:cs.pc ~k ~redo:cs.tm_serial
+      (Blame_wait { b_wait = w; b_on })
+
+(* Same, for a core whose status (rather than its blocker) is the wait. *)
+let blame_status t cs k =
+  match t.blame with
+  | None -> ()
+  | Some f ->
+    let w = wait_of_status cs.status in
+    let b_on = match blame_of t cs w with Some c -> c | None -> -1 in
+    f ~core:cs.id ~pc:cs.pc ~k ~redo:cs.tm_serial
+      (Blame_wait { b_wait = w; b_on })
 
 (* First reason the core cannot issue its current bundle this cycle, or
    [None] when it can. Architecturally side-effect-free; as an
@@ -474,6 +557,12 @@ let exec_comm_out t cs op =
     Net.bcast t.net ~now ~src_core:cs.id (read_operand cs src)
   | Inst.Send { target; src } -> (
     let payload = Net.Value (read_operand cs src) in
+    (* Guarded, not routed through [trace]: SENDs are frequent and the
+       event record must not be allocated on the tracerless path. *)
+    (match t.tracer with
+    | None -> ()
+    | Some tr ->
+      Trace.record tr (Trace.Sent { cycle = now; src = cs.id; dst = target }));
     match Net.send t.net ~now ~src:cs.id ~dst:target payload with
     | Ok () -> ()
     | Error Net.Channel_full ->
@@ -588,6 +677,10 @@ let exec_main t cs op : int option =
   | Inst.Recv { sender; dst; kind } -> (
     match Net.recv t.net ~now ~core:cs.id ~sender with
     | Some v ->
+      (match t.tracer with
+      | None -> ()
+      | Some tr ->
+        Trace.record tr (Trace.Recvd { cycle = now; core = cs.id; sender }));
       let prod =
         match kind with
         | Inst.Rv_data -> P_recv_data
@@ -628,6 +721,10 @@ let initiate_fetch t cs =
    loop; this is phase 2 plus pc update). *)
 let finish_issue t cs (d : Image.decoded) =
   let issued_pc = cs.pc in
+  (* [tm_serial] can be cleared mid-bundle by this bundle's TM_COMMIT, so
+     capture it now: the serial chunk's final bundle is still re-execution
+     work to the causal profiler. *)
+  let was_redo = cs.tm_serial in
   let ops = d.Image.d_ops in
   let target = ref None in
   for i = 0 to Array.length ops - 1 do
@@ -643,6 +740,9 @@ let finish_issue t cs (d : Image.decoded) =
   (match att_cell t ~core:cs.id ~pc:issued_pc with
   | None -> ()
   | Some cell -> cell.Stats.rc_busy <- cell.Stats.rc_busy + 1);
+  (match t.blame with
+  | None -> ()
+  | Some f -> f ~core:cs.id ~pc:issued_pc ~k:1 ~redo:was_redo Blame_busy);
   core_st.ops <- core_st.ops + d.Image.d_real_ops;
   core_st.ops_mem <- core_st.ops_mem + d.Image.d_n_mem;
   core_st.ops_comm <- core_st.ops_comm + d.Image.d_n_comm;
@@ -672,6 +772,13 @@ let finish_issue t cs (d : Image.decoded) =
 let record_idles t cs k =
   let core_st = Stats.core t.st cs.id in
   core_st.idle <- core_st.idle + k;
+  (match t.blame with
+  | None -> ()
+  | Some f ->
+    (* A just-woken core (status already Running in [try_wake]) spent the
+       cycle asleep waiting for its START — report it as such. *)
+    let w = if cs.status = Halted then W_halted else W_asleep in
+    f ~core:cs.id ~pc:cs.pc ~k ~redo:false (Blame_wait { b_wait = w; b_on = -1 }));
   match att_cell t ~core:cs.id ~pc:cs.pc with
   | None -> ()
   | Some cell -> cell.Stats.rc_idle <- cell.Stats.rc_idle + k
@@ -716,10 +823,13 @@ let bulk_credit t k =
     match cs.status with
     | Halted | Asleep -> record_idles t cs k
     | Wait_serial | At_barrier _ | At_commit | Stuck _ ->
+      blame_status t cs k;
       record_stalls t ~core:cs.id Stats.Sync k
     | Running -> (
       match t.sc_wait.(i) with
-      | Some w -> record_stalls t ~core:cs.id (stall_of_wait w) k
+      | Some w ->
+        blame_wait t cs w k;
+        record_stalls t ~core:cs.id (stall_of_wait w) k
       | None -> assert false)
   done
 
@@ -741,10 +851,13 @@ let decoupled_core_step t cs =
   | Halted -> record_idle t cs
   | Asleep -> try_wake t cs
   | Wait_serial | At_barrier _ | At_commit | Stuck _ ->
+    blame_status t cs 1;
     record_stall t ~core:cs.id Stats.Sync
   | Running -> (
     match blocker t cs with
-    | Some w -> record_stall t ~core:cs.id (stall_of_wait w)
+    | Some w ->
+      blame_wait t cs w 1;
+      record_stall t ~core:cs.id (stall_of_wait w)
     | None -> issue_decoupled t cs)
 
 (* Decoupled: each core progresses independently, in core order — a core's
@@ -801,10 +914,13 @@ let decoupled_step t =
         match cs.status with
         | Halted | Asleep -> record_idle t cs
         | Wait_serial | At_barrier _ | At_commit | Stuck _ ->
+          blame_status t cs 1;
           record_stall t ~core:cs.id Stats.Sync
         | Running -> (
           match t.sc_wait.(j) with
-          | Some w -> record_stall t ~core:cs.id (stall_of_wait w)
+          | Some w ->
+            blame_wait t cs w 1;
+            record_stall t ~core:cs.id (stall_of_wait w)
           | None -> assert false)
       done;
       for j = !live to n - 1 do
@@ -880,10 +996,19 @@ let coupled_step t =
     for i = 0 to n - 1 do
       let cs = cores.(i) in
       if cs.status = Running then
-        record_stall t ~core:cs.id
-          (match t.sc_wait.(i) with
-          | Some w -> stall_of_wait w
-          | None -> dominant)
+        match t.sc_wait.(i) with
+        | Some w ->
+          blame_wait t cs w 1;
+          record_stall t ~core:cs.id (stall_of_wait w)
+        | None ->
+          (* Issueable, held only by the stall bus: blamed on the dominant
+             peer reason, the lock-step overhead the coupled mode pays. *)
+          (match t.blame with
+          | None -> ()
+          | Some f ->
+            f ~core:cs.id ~pc:cs.pc ~k:1 ~redo:cs.tm_serial
+              (Blame_lockstep { b_kind = dominant }));
+          record_stall t ~core:cs.id dominant
     done
   end
   else begin
@@ -920,7 +1045,10 @@ let coupled_step t =
      path credited them inside [bulk_credit].) *)
   if not bulked then
     for i = 0 to n - 1 do
-      if t.sc_waiting.(i) then record_stall t ~core:cores.(i).id Stats.Sync
+      if t.sc_waiting.(i) then begin
+        blame_status t cores.(i) 1;
+        record_stall t ~core:cores.(i).id Stats.Sync
+      end
     done
 
 (* --- Fault injection ------------------------------------------------------ *)
@@ -1001,6 +1129,7 @@ let abort_and_serialize t aborted =
     let cs = t.cores.(head) in
     cs.status <- Running;
     initiate_fetch t cs;
+    trace t (Trace.Serial_start { cycle = t.now; core = head });
     List.iter (fun c -> t.cores.(c).status <- Wait_serial) rest);
   t.serial_queue <- aborted
 
@@ -1086,6 +1215,7 @@ let resolve_serial_queue t =
         let ncs = t.cores.(next) in
         ncs.status <- Running;
         initiate_fetch t ncs;
+        trace t (Trace.Serial_start { cycle = t.now; core = next });
         t.last_progress <- t.now
     end
 
@@ -1135,29 +1265,6 @@ let core_wait t cs =
   | At_barrier m -> Some (W_barrier m)
   | At_commit -> Some W_commit
   | Wait_serial -> Some W_serial
-
-(* Which core is [cs] waiting on, when its wait names one. *)
-let blame_of t cs w =
-  match w with
-  | W_recv { sender; _ } -> Some sender
-  | W_get_latch dir -> Mesh.neighbour (Net.mesh t.net) cs.id dir
-  | W_send_full dst -> Some dst
-  | W_commit ->
-    Array.to_list t.cores
-    |> List.find_opt (fun c -> c.status <> At_commit)
-    |> Option.map (fun c -> c.id)
-  | W_barrier _ ->
-    Array.to_list t.cores
-    |> List.find_opt (fun c ->
-           match c.status with At_barrier _ -> false | _ -> true)
-    |> Option.map (fun c -> c.id)
-  | W_serial -> (
-    match t.serial_queue with
-    | head :: _ when head <> cs.id -> Some head
-    | _ -> None)
-  | W_reg _ | W_ifetch | W_dmem | W_btr | W_getb | W_stall_fault | W_asleep
-  | W_halted ->
-    None
 
 let diagnose t =
   let d_cores =
@@ -1259,6 +1366,7 @@ let run t =
     t.now <- t.now + 1;
     if t.now > t.cfg.max_cycles then outcome := Some Out_of_cycles
     else begin
+      let c0 = t.now in
       inject_faults t;
       Net.service t.net ~now:t.now;
       (match t.mode with
@@ -1272,6 +1380,9 @@ let run t =
       resolve_tm_round t;
       resolve_serial_queue t;
       (match t.on_cycle with None -> () | Some f -> f ~now:t.now);
+      (* The step may have fast-forwarded: report the whole covered window.
+         [c0 = t.now] when it stepped one cycle. *)
+      (match t.on_window with None -> () | Some f -> f ~from:c0 ~upto:t.now);
       (match t.on_sanity with None -> () | Some f -> f ~now:t.now);
       if t.stop_requested then outcome := Some (Stopped (diagnose t))
       else if finished t then outcome := Some Finished

@@ -115,6 +115,12 @@ val now : t -> int
 val mode : t -> Voltron_isa.Inst.mode
 (** Current execution mode. *)
 
+val pc : t -> core:int -> int
+(** That core's current pc — the blame recorder's region lookup key. *)
+
+val config : t -> Config.t
+(** The configuration the machine was created with. *)
+
 val reg : t -> core:int -> int -> int
 (** Inspect a register after (or during) a run — used by tests. *)
 
@@ -139,6 +145,37 @@ val set_on_cycle : t -> (now:int -> unit) -> unit
     and barrier/TM resolution) — the interval sampler's hook. The callback
     may read [stats], [coherence], [network] and [now], but must not
     mutate the machine. *)
+
+(** One core-cycle (or [k] identical core-cycles) as reported to the causal
+    profiler's blame hook. *)
+type blame_event =
+  | Blame_busy  (** the core issued a bundle *)
+  | Blame_wait of {
+      b_wait : wait;
+      b_on : int;  (** the peer core the wait resolves to, or -1 *)
+    }
+  | Blame_lockstep of { b_kind : Stats.stall_kind }
+      (** coupled mode only: the core could issue but the stall bus held it
+          for a peer whose dominant stall reason is [b_kind] *)
+
+val set_blame :
+  t -> (core:int -> pc:int -> k:int -> redo:bool -> blame_event -> unit) -> unit
+(** Attach the causal profiler's per-core-cycle classifier. Every simulated
+    core-cycle is reported exactly once — [k] > 1 when a stall fast-forward
+    window credited [k] identical cycles in bulk, so attaching this hook
+    does {e not} disable fast-forward (unlike a tracer). [pc] is the issue
+    pc for {!Blame_busy} and the stuck pc otherwise; [redo] marks serial TM
+    re-execution work. The callback must not mutate the machine. Unset (the
+    default), every report site pays a single branch and allocates
+    nothing. *)
+
+val set_on_window : t -> (from:int -> upto:int -> unit) -> unit
+(** Invoke a callback once per run-loop iteration with the closed cycle
+    interval [\[from, upto\]] that iteration covered — [from = upto] on an
+    ordinary cycle, [from < upto] across a stall fast-forward jump.
+    Attaching it does {e not} disable fast-forward; it is how the interval
+    sampler observes runs it used to force cycle-by-cycle. Runs after
+    {!set_on_cycle}'s callback, same read-only contract. *)
 
 val set_sanity_cycle : t -> (now:int -> unit) -> unit
 (** The runtime sanitizer's per-cycle check hook: runs after {!set_on_cycle}'s

@@ -9,6 +9,9 @@ type event =
   | Mode_change of { cycle : int; mode : Inst.mode }
   | Spawned of { cycle : int; by : int; target : int }
   | Tm_round of { cycle : int; conflict_at : int option }
+  | Sent of { cycle : int; src : int; dst : int }
+  | Recvd of { cycle : int; core : int; sender : int }
+  | Serial_start of { cycle : int; core : int }
 
 type t = {
   limit : int;
@@ -50,7 +53,9 @@ let hotspots t (prog : Program.t) =
           Option.value ~default:(0, 0) (Hashtbl.find_opt table (core, label))
         in
         Hashtbl.replace table (core, label) (issues + 1, total_ops + ops)
-      | Stall _ | Mode_change _ | Spawned _ | Tm_round _ -> ())
+      | Stall _ | Mode_change _ | Spawned _ | Tm_round _ | Sent _ | Recvd _
+      | Serial_start _ ->
+        ())
     t.buf;
   Hashtbl.fold
     (fun (hs_core, hs_label) (hs_issues, hs_ops) acc ->
@@ -73,6 +78,12 @@ let pp_event ppf = function
     Format.fprintf ppf "[%6d] TM round committed" cycle
   | Tm_round { cycle; conflict_at = Some c } ->
     Format.fprintf ppf "[%6d] TM conflict at core %d (serial re-execution)" cycle c
+  | Sent { cycle; src; dst } ->
+    Format.fprintf ppf "[%6d] core %d sent to core %d" cycle src dst
+  | Recvd { cycle; core; sender } ->
+    Format.fprintf ppf "[%6d] core %d received from core %d" cycle core sender
+  | Serial_start { cycle; core } ->
+    Format.fprintf ppf "[%6d] core %d starts serial TM re-execution" cycle core
 
 let report ?(timeline = 60) ppf t prog =
   Format.fprintf ppf "--- timeline (first %d of %d events%s) ---@." timeline

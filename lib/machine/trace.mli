@@ -12,6 +12,13 @@ type event =
   | Mode_change of { cycle : int; mode : Voltron_isa.Inst.mode }
   | Spawned of { cycle : int; by : int; target : int }
   | Tm_round of { cycle : int; conflict_at : int option }
+  | Sent of { cycle : int; src : int; dst : int }
+      (** queue-mode SEND entered the network (blame-edge tail) *)
+  | Recvd of { cycle : int; core : int; sender : int }
+      (** RECV consumed a message (blame-edge head; pairs with the [Sent]
+          of the same (src, dst) channel in FIFO order) *)
+  | Serial_start of { cycle : int; core : int }
+      (** the core began serial re-execution of its aborted TM chunk *)
 
 type t
 

@@ -69,7 +69,7 @@ type t = {
   (* Runtime sanitizer hook: fired after every access, once the protocol
      state transition for that access has fully landed. [None] (the
      default) keeps the hot path to a single branch. *)
-  mutable monitor : (core:int -> kind -> int -> unit) option;
+  mutable monitor : (core:int -> completion:int -> kind -> int -> unit) option;
 }
 
 let create cfg ~n_cores =
@@ -267,7 +267,7 @@ let access t ~now ~core kind addr =
     | Dload -> access_data t ~now ~core ~write:false addr
     | Dstore -> access_data t ~now ~core ~write:true addr
   in
-  (match t.monitor with None -> () | Some f -> f ~core kind addr);
+  (match t.monitor with None -> () | Some f -> f ~core ~completion kind addr);
   completion
 
 let l1d_line_states t ~addr =

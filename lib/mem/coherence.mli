@@ -62,12 +62,14 @@ val would_hit : t -> core:int -> kind -> int -> bool
 val stats : t -> core:int -> stats
 val total_stats : t -> stats
 
-val set_monitor : t -> (core:int -> kind -> int -> unit) -> unit
-(** Attach the runtime sanitizer's access monitor: called after every
-    {!access}, once the MOESI transition for that access has fully landed,
-    with the accessing core, the access kind and the word address. Passive
-    — the callback must not mutate the hierarchy. Unset (the default), the
-    hot path pays a single branch. *)
+val set_monitor : t -> (core:int -> completion:int -> kind -> int -> unit) -> unit
+(** Attach an access monitor (the runtime sanitizer, the causal
+    profiler): called after every {!access}, once the MOESI transition for
+    that access has fully landed, with the accessing core, the cycle the
+    access completes (the fill time — [completion - now] above the L1 hit
+    latency marks a miss-fill edge), the access kind and the word address.
+    Passive — the callback must not mutate the hierarchy. Unset (the
+    default), the hot path pays a single branch. *)
 
 val l1d_line_states : t -> addr:int -> int * (int * Cache.state) list
 (** The data line holding word [addr], and every core whose L1D currently

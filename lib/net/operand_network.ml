@@ -13,6 +13,7 @@ type message = {
   msg_src : int;
   msg_dst : int;
   mutable msg_payload : payload;  (** mutable only for the tamper backdoor *)
+  msg_sent : int;  (** enqueue cycle — the tail of a send→recv blame edge *)
   mutable ready_time : int;  (** cycle at which the receive queue can deliver *)
   seq : int;  (** global enqueue order: FIFO per (src, dst) pair *)
   mutable condition : condition;
@@ -40,6 +41,7 @@ type event =
       ev_dst : int;
       ev_seq : int;
       ev_payload : payload;
+      ev_sent : int;  (** the delivered message's enqueue cycle *)
     }
   | Ev_put of { ev_src : int; ev_dst : int; ev_dir : Voltron_isa.Inst.dir }
       (** successful latch fill; [ev_dir] is the PUT direction at the source *)
@@ -49,6 +51,7 @@ type event =
 type t = {
   net_mesh : Mesh.t;
   capacity : int;
+  hop_cost : int;  (** cycles per mesh hop (1 = the paper's network) *)
   (* latches.(core).(dir_index): value arriving at [core] from direction. *)
   latches : latch array array;
   mutable broadcast : bcast_slot option;
@@ -94,11 +97,13 @@ let dir_index (d : Voltron_isa.Inst.dir) =
   | Voltron_isa.Inst.East -> 2
   | Voltron_isa.Inst.West -> 3
 
-let create ?faults net_mesh ~receive_capacity =
+let create ?faults ?(hop_cost = 1) net_mesh ~receive_capacity =
+  if hop_cost < 0 then invalid_arg "Operand_network.create: negative hop_cost";
   let n = Mesh.n_cores net_mesh in
   {
     net_mesh;
     capacity = receive_capacity;
+    hop_cost;
     latches =
       Array.init n (fun _ ->
           Array.init 4 (fun _ -> { filled = false; value = 0; time = 0 }));
@@ -166,7 +171,9 @@ let getb t ~now ~core =
   | Some slot ->
     if t.consumed_bcast.(core) then None
     else begin
-      let arrival = slot.b_time + Mesh.hops t.net_mesh slot.b_src core in
+      let arrival =
+        slot.b_time + (Mesh.hops t.net_mesh slot.b_src core * t.hop_cost)
+      in
       if now < arrival then None
       else begin
         t.consumed_bcast.(core) <- true;
@@ -221,7 +228,7 @@ let deliverable t ~now m =
    message occupies its channel for a bounded time even at rate 1.0. *)
 let transmit t ~now m =
   let hops = Mesh.hops t.net_mesh m.msg_src m.msg_dst in
-  m.ready_time <- now + 1 + hops;
+  m.ready_time <- now + 1 + (hops * t.hop_cost);
   m.condition <- Clean;
   match t.faults with
   | None -> ()
@@ -246,7 +253,8 @@ let enqueue t ~now ~src ~dst payload =
       msg_src = src;
       msg_dst = dst;
       msg_payload = payload;
-      ready_time = now + 1 + hops;
+      msg_sent = now;
+      ready_time = now + 1 + (hops * t.hop_cost);
       seq = t.next_seq;
       condition = Clean;
       attempt = 1;
@@ -257,7 +265,7 @@ let enqueue t ~now ~src ~dst payload =
   t.in_flight <- msg :: t.in_flight;
   let s = t.net_stats in
   s.msgs_sent <- s.msgs_sent + 1;
-  s.total_latency <- s.total_latency + 2 + hops;
+  s.total_latency <- s.total_latency + 2 + (hops * t.hop_cost);
   s.max_occupancy <- max s.max_occupancy (List.length t.in_flight);
   emit t
     (Ev_send { ev_src = src; ev_dst = dst; ev_seq = msg.seq; ev_payload = payload });
@@ -337,6 +345,7 @@ let take t ~now ~dst ~src ~want_start =
            ev_dst = m.msg_dst;
            ev_seq = m.seq;
            ev_payload = m.msg_payload;
+           ev_sent = m.msg_sent;
          });
     Some m
 
@@ -362,7 +371,7 @@ let getb_ready t ~now ~core =
   | None -> false
   | Some slot ->
     (not t.consumed_bcast.(core))
-    && now >= slot.b_time + Mesh.hops t.net_mesh slot.b_src core
+    && now >= slot.b_time + (Mesh.hops t.net_mesh slot.b_src core * t.hop_cost)
 
 (* --- Wake queries (stall fast-forward) ------------------------------------ *)
 
@@ -396,7 +405,7 @@ let getb_wake t ~core =
   | None -> max_int
   | Some slot ->
     if t.consumed_bcast.(core) then max_int
-    else slot.b_time + Mesh.hops t.net_mesh slot.b_src core
+    else slot.b_time + (Mesh.hops t.net_mesh slot.b_src core * t.hop_cost)
 
 let take_start t ~now ~core =
   if t.in_flight == [] then None

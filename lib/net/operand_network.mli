@@ -35,9 +35,17 @@ type t
 
 type payload = Value of int | Start of int  (** Start carries a code address *)
 
-val create : ?faults:Voltron_fault.Fault.t -> Mesh.t -> receive_capacity:int -> t
+val create :
+  ?faults:Voltron_fault.Fault.t ->
+  ?hop_cost:int ->
+  Mesh.t ->
+  receive_capacity:int ->
+  t
 (** [faults] attaches a fault injector; omitted, the network is perfect and
-    cycle-for-cycle identical to one without the retry machinery. *)
+    cycle-for-cycle identical to one without the retry machinery.
+    [hop_cost] scales per-hop latency in cycles (default 1, the paper's
+    network; 0 idealises hop latency away — the causal profiler's what-if
+    rerun configuration). Raises [Invalid_argument] when negative. *)
 
 val mesh : t -> Mesh.t
 
@@ -161,6 +169,7 @@ type event =
       ev_dst : int;
       ev_seq : int;
       ev_payload : payload;
+      ev_sent : int;  (** the delivered message's enqueue cycle *)
     }  (** a message left the network into the consuming core *)
   | Ev_put of { ev_src : int; ev_dst : int; ev_dir : Voltron_isa.Inst.dir }
       (** successful latch fill; [ev_dir] is the PUT direction at the source *)

@@ -1,0 +1,280 @@
+module Machine = Voltron_machine.Machine
+module Config = Voltron_machine.Config
+module Stats = Voltron_machine.Stats
+module Net = Voltron_net.Operand_network
+module Mesh = Voltron_net.Mesh
+module Coherence = Voltron_mem.Coherence
+module Tm = Voltron_mem.Tm
+module Driver = Voltron_compiler.Driver
+module Program = Voltron_isa.Program
+module Inst = Voltron_isa.Inst
+module Vec = Voltron_util.Vec
+
+type kind =
+  | K_compute
+  | K_redo
+  | K_net_wait
+  | K_spawn
+  | K_bcast_wait
+  | K_latch_wait
+  | K_backpressure
+  | K_miss_fill
+  | K_ifetch
+  | K_operand
+  | K_tm_commit
+  | K_tm_serial
+  | K_barrier
+  | K_lockstep
+  | K_fault
+  | K_drain
+
+let all_kinds =
+  [
+    K_compute;
+    K_redo;
+    K_net_wait;
+    K_spawn;
+    K_bcast_wait;
+    K_latch_wait;
+    K_backpressure;
+    K_miss_fill;
+    K_ifetch;
+    K_operand;
+    K_tm_commit;
+    K_tm_serial;
+    K_barrier;
+    K_lockstep;
+    K_fault;
+    K_drain;
+  ]
+
+let kind_label = function
+  | K_compute -> "compute"
+  | K_redo -> "tm-redo"
+  | K_net_wait -> "net-wait"
+  | K_spawn -> "spawn-wait"
+  | K_bcast_wait -> "bcast-wait"
+  | K_latch_wait -> "latch-wait"
+  | K_backpressure -> "backpressure"
+  | K_miss_fill -> "miss-fill"
+  | K_ifetch -> "ifetch"
+  | K_operand -> "operand"
+  | K_tm_commit -> "tm-commit"
+  | K_tm_serial -> "tm-serial"
+  | K_barrier -> "barrier"
+  | K_lockstep -> "lockstep"
+  | K_fault -> "fault"
+  | K_drain -> "drain"
+
+let kind_of_label s =
+  List.find_opt (fun k -> String.equal (kind_label k) s) all_kinds
+
+let kind_of_wait : Machine.wait -> kind = function
+  | Machine.W_reg Stats.D_stall -> K_miss_fill
+  | Machine.W_reg Stats.I_stall -> K_ifetch
+  | Machine.W_reg _ -> K_operand
+  | Machine.W_ifetch -> K_ifetch
+  | Machine.W_dmem -> K_miss_fill
+  | Machine.W_btr -> K_operand
+  | Machine.W_recv _ -> K_net_wait
+  | Machine.W_getb -> K_bcast_wait
+  | Machine.W_send_full _ -> K_backpressure
+  | Machine.W_get_latch _ -> K_latch_wait
+  | Machine.W_stall_fault -> K_fault
+  | Machine.W_barrier _ -> K_barrier
+  | Machine.W_commit -> K_tm_commit
+  | Machine.W_serial -> K_tm_serial
+  | Machine.W_asleep -> K_spawn
+  | Machine.W_halted -> K_drain
+
+type interval = {
+  iv_kind : kind;
+  iv_blame : int;
+  iv_region : int;
+  iv_mode : int;
+  iv_redo : bool;
+  iv_from : int;
+  mutable iv_to : int;
+}
+
+type delivery = { dv_cycle : int; dv_src : int; dv_sent : int; dv_start : bool }
+
+type tm_counts = {
+  mutable tr_begins : int;
+  mutable tr_commits : int;
+  mutable tr_aborts : int;
+}
+
+type t = {
+  machine : Machine.t;
+  n_cores : int;
+  names : string array;
+  strategies : string array;
+  region_of : core:int -> pc:int -> int;
+  ivs : interval Vec.t array;  (** per core, in time order, tiling the run *)
+  dvs : delivery Vec.t array;  (** per destination core, in delivery order *)
+  tm : tm_counts array;  (** per region *)
+  fill_count : int array;  (** per core: accesses that missed in L1 *)
+  fill_cycles : int array;  (** per core: fill latency beyond an L1 hit *)
+  hop_cost : int;
+  hops : int -> int -> int;
+}
+
+let mode_index = function Inst.Coupled -> 0 | Inst.Decoupled -> 1
+
+let record t ~core ~pc ~k ~redo (ev : Machine.blame_event) =
+  let upto = Machine.now t.machine in
+  let from = upto - k + 1 in
+  let kind, blame =
+    match ev with
+    | Machine.Blame_busy -> ((if redo then K_redo else K_compute), -1)
+    | Machine.Blame_lockstep _ -> (K_lockstep, -1)
+    | Machine.Blame_wait { b_wait; b_on } -> (kind_of_wait b_wait, b_on)
+  in
+  let region = t.region_of ~core ~pc in
+  let mode = mode_index (Machine.mode t.machine) in
+  let v = t.ivs.(core) in
+  match Vec.last v with
+  | Some last
+    when last.iv_to = from - 1
+         && last.iv_kind == kind
+         && last.iv_blame = blame
+         && last.iv_region = region
+         && last.iv_mode = mode
+         && last.iv_redo = redo ->
+    last.iv_to <- upto
+  | _ ->
+    Vec.push v
+      {
+        iv_kind = kind;
+        iv_blame = blame;
+        iv_region = region;
+        iv_mode = mode;
+        iv_redo = redo;
+        iv_from = from;
+        iv_to = upto;
+      }
+
+let attach m (compiled : Driver.compiled) =
+  let names, strategies, region_of = Region_profile.lookup compiled in
+  let n_cores = Program.n_cores compiled.Driver.executable in
+  let net = Machine.network m in
+  let t =
+    {
+      machine = m;
+      n_cores;
+      names;
+      strategies;
+      region_of;
+      ivs = Array.init n_cores (fun _ -> Vec.create ());
+      dvs = Array.init n_cores (fun _ -> Vec.create ());
+      tm = Array.init (Array.length names) (fun _ ->
+          { tr_begins = 0; tr_commits = 0; tr_aborts = 0 });
+      fill_count = Array.make n_cores 0;
+      fill_cycles = Array.make n_cores 0;
+      hop_cost = (Machine.config m).Config.net_hop_cost;
+      hops = Mesh.hops (Net.mesh net);
+    }
+  in
+  Machine.set_blame m (fun ~core ~pc ~k ~redo ev -> record t ~core ~pc ~k ~redo ev);
+  Net.set_monitor net (fun ev ->
+      match ev with
+      | Net.Ev_deliver { ev_src; ev_dst; ev_payload; ev_sent; ev_seq = _ } ->
+        Vec.push t.dvs.(ev_dst)
+          {
+            dv_cycle = Machine.now m;
+            dv_src = ev_src;
+            dv_sent = ev_sent;
+            dv_start =
+              (match ev_payload with Net.Start _ -> true | Net.Value _ -> false);
+          }
+      | Net.Ev_send _ | Net.Ev_put _ | Net.Ev_get _ -> ());
+  let tm_at core =
+    t.tm.(t.region_of ~core ~pc:(Machine.pc m ~core))
+  in
+  Tm.set_monitor (Machine.tm m)
+    {
+      Tm.m_read = (fun ~core:_ ~addr:_ ~value:_ ~tx:_ -> ());
+      m_write = (fun ~core:_ ~addr:_ ~value:_ ~tx:_ -> ());
+      m_begin = (fun ~core -> let r = tm_at core in r.tr_begins <- r.tr_begins + 1);
+      m_commit =
+        (fun ~core -> let r = tm_at core in r.tr_commits <- r.tr_commits + 1);
+      m_abort = (fun ~core -> let r = tm_at core in r.tr_aborts <- r.tr_aborts + 1);
+    };
+  let lat_l1 = (Coherence.config (Machine.coherence m)).Coherence.lat_l1 in
+  Coherence.set_monitor (Machine.coherence m)
+    (fun ~core ~completion _kind _addr ->
+      let extra = completion - Machine.now m - lat_l1 in
+      if extra > 0 then begin
+        t.fill_count.(core) <- t.fill_count.(core) + 1;
+        t.fill_cycles.(core) <- t.fill_cycles.(core) + extra
+      end);
+  t
+
+let n_cores t = t.n_cores
+let cycles t = Machine.now t.machine
+let region_names t = t.names
+let strategy_names t = t.strategies
+let hop_cost t = t.hop_cost
+let hops t = t.hops
+let intervals t core = Vec.to_array t.ivs.(core)
+let deliveries t core = Vec.to_array t.dvs.(core)
+
+let coverage t =
+  let total = cycles t in
+  let problem = ref None in
+  for c = 0 to t.n_cores - 1 do
+    if !problem = None then begin
+      let at = ref 1 in
+      Vec.iter
+        (fun iv ->
+          if !problem = None then
+            if iv.iv_from <> !at then
+              problem :=
+                Some
+                  (Printf.sprintf "core %d: gap [%d..%d] before interval" c !at
+                     (iv.iv_from - 1))
+            else at := iv.iv_to + 1)
+        t.ivs.(c);
+      if !problem = None && !at <> total + 1 then
+        problem :=
+          Some (Printf.sprintf "core %d: tail gap [%d..%d]" c !at total)
+    end
+  done;
+  match !problem with None -> Ok () | Some p -> Error p
+
+let wait_matrix t =
+  let m = Array.make_matrix t.n_cores t.n_cores 0 in
+  Array.iteri
+    (fun c v ->
+      Vec.iter
+        (fun iv ->
+          match iv.iv_kind with
+          | K_net_wait | K_backpressure | K_latch_wait | K_bcast_wait
+          | K_spawn ->
+            if iv.iv_blame >= 0 && iv.iv_blame < t.n_cores then
+              m.(c).(iv.iv_blame) <-
+                m.(c).(iv.iv_blame) + (iv.iv_to - iv.iv_from + 1)
+          | _ -> ())
+        v)
+    t.ivs;
+  m
+
+let msgs_matrix t =
+  let m = Array.make_matrix t.n_cores t.n_cores 0 in
+  Array.iteri
+    (fun dst v ->
+      Vec.iter (fun d -> m.(d.dv_src).(dst) <- m.(d.dv_src).(dst) + 1) v)
+    t.dvs;
+  m
+
+let tm_regions t =
+  let out = ref [] in
+  for r = Array.length t.tm - 1 downto 0 do
+    let c = t.tm.(r) in
+    if c.tr_begins > 0 || c.tr_aborts > 0 then
+      out := (t.names.(r), c.tr_begins, c.tr_commits, c.tr_aborts) :: !out
+  done;
+  !out
+
+let fills t core = (t.fill_count.(core), t.fill_cycles.(core))

@@ -6,7 +6,15 @@
     (issues as 1-cycle ["X"] complete events, stalls as ["i"] instants)
     plus a machine track (tid = [n_cores]) carrying the execution-mode
     B/E spans, spawn and TM-round instants. Timestamps are simulated
-    cycles, written as microseconds. *)
+    cycles, written as microseconds.
+
+    Cross-core dependences render as flow arrows: every send->recv pair
+    becomes an ["s"]/["f"] flow from the sender's track at the send cycle
+    to the receiver's at the receive cycle, and every TM serial
+    re-execution start an arrow from the aborting round's instant. When
+    the tracer hit its event limit, a flow can lose one endpoint; such
+    flows are culled rather than drawn half-open, and the count is
+    reported as [otherData.culled_flows] beside [dropped_events]. *)
 
 val of_trace :
   n_cores:int -> cycles:int -> Voltron_machine.Trace.t -> Json.t

@@ -312,6 +312,14 @@ let find name t =
   | Some i -> Some (float_of_int i)
   | None -> List.assoc_opt name (gauges t)
 
+let pp ppf t =
+  Format.fprintf ppf "%s"
+    (Tabulate.kv
+       (List.map (fun (k, v) -> (k, string_of_int v)) (counters t)
+       @ List.map
+           (fun (k, v) -> (k, Voltron_util.Table.cell_f v))
+           (gauges t)))
+
 let json_of_core c =
   Json.Obj
     [

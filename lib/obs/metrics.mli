@@ -108,6 +108,10 @@ val gauges : t -> (string * float) list
 val find : string -> t -> float option
 (** Look a name up in {!counters} (coerced) then {!gauges}. *)
 
+val pp : Format.formatter -> t -> unit
+(** The flat registry — every counter then every gauge — as one
+    metric/value table (the shared {!Tabulate} renderer). *)
+
 val to_json : t -> Json.t
 (** The full record: label, machine counters, per-core breakdowns,
     cache/net/fault silos and the derived gauges. *)

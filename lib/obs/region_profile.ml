@@ -24,7 +24,7 @@ type row = {
   r_cycles : int;
 }
 
-let attach m (compiled : Driver.compiled) =
+let lookup (compiled : Driver.compiled) =
   let extents = Array.of_list compiled.Driver.region_extents in
   let plan = Array.of_list compiled.Driver.plan in
   assert (Array.length extents = Array.length plan);
@@ -50,25 +50,27 @@ let attach m (compiled : Driver.compiled) =
       let l = lookups.(core) in
       if pc >= 0 && pc < Array.length l then l.(pc) else other
   in
+  let names =
+    Array.append (Array.map (fun e -> e.Codegen.re_name) extents) [| "<other>" |]
+  in
+  let strategies =
+    Array.append
+      (Array.map
+         (fun (pr : Select.planned_region) ->
+           Select.strategy_name pr.Select.pr_strategy)
+         plan)
+      [| "-" |]
+  in
+  (names, strategies, region_of)
+
+let attach m (compiled : Driver.compiled) =
+  let names, strategies, region_of = lookup compiled in
   let acct =
-    Stats.create_region_acct ~n_regions
+    Stats.create_region_acct ~n_regions:(Array.length names)
       ~n_cores:(Program.n_cores compiled.Driver.executable)
   in
   Machine.set_attribution m ~region_of acct;
-  {
-    names =
-      Array.append
-        (Array.map (fun e -> e.Codegen.re_name) extents)
-        [| "<other>" |];
-    strategies =
-      Array.append
-        (Array.map
-           (fun (pr : Select.planned_region) ->
-             Select.strategy_name pr.Select.pr_strategy)
-           plan)
-        [| "-" |];
-    acct;
-  }
+  { names; strategies; acct }
 
 let mode_of_index = function 0 -> Inst.Coupled | _ -> Inst.Decoupled
 
@@ -116,9 +118,7 @@ let total_cycles t =
     t.acct.Stats.ra_cells;
   !total
 
-let mode_name = function
-  | Inst.Coupled -> "coupled"
-  | Inst.Decoupled -> "decoupled"
+let mode_name = Tabulate.mode_name
 
 let pp ppf t =
   let header =
@@ -129,21 +129,16 @@ let pp ppf t =
   let body =
     List.map
       (fun row ->
-        let pct n = Table.cell_pct (100. *. float_of_int n /. float_of_int row.r_cycles) in
-        [
-          row.r_region;
-          row.r_strategy;
-          mode_name row.r_mode;
-          string_of_int row.r_cycles;
-          pct row.r_busy;
-        ]
-        @ List.map
-            (fun k -> pct row.r_stalls.(Stats.stall_kind_index k))
-            Stats.all_stall_kinds
-        @ [ pct row.r_idle ])
+        ( [ row.r_region; row.r_strategy; mode_name row.r_mode ],
+          row.r_cycles,
+          (row.r_busy
+           :: List.map
+                (fun k -> row.r_stalls.(Stats.stall_kind_index k))
+                Stats.all_stall_kinds)
+          @ [ row.r_idle ] ))
       (rows t)
   in
-  Format.fprintf ppf "%s@." (Table.render ~header body);
+  Format.fprintf ppf "%s@." (Tabulate.breakdown ~header body);
   Format.fprintf ppf "total core-cycles: %d@." (total_cycles t)
 
 let to_json t =

@@ -20,6 +20,16 @@ type row = {
   r_cycles : int;  (** busy + idle + every stall, summed over cores *)
 }
 
+val lookup :
+  Voltron_compiler.Driver.compiled ->
+  string array * string array * (core:int -> pc:int -> int)
+(** [(names, strategies, region_of)] — the pc->region map alone, without
+    installing anything on a machine. [names] and [strategies] are indexed
+    by region id, catch-all ["<other>"] (strategy ["-"]) last; [region_of]
+    maps any (core, pc) to a region id, falling back to the catch-all.
+    Shared with the causal profiler's {!Blame}, which needs the same
+    attribution keyed by its own hooks. *)
+
 val attach : Voltron_machine.Machine.t -> Voltron_compiler.Driver.compiled -> t
 (** Install attribution on a machine created from [compiled.executable].
     Call before {!Voltron_machine.Machine.run}. Raises [Invalid_argument]

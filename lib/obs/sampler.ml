@@ -16,39 +16,71 @@ type t = {
   every : int;
   machine : Machine.t;
   mutable prev : Metrics.t;
+  mutable last_boundary : int;  (** last sampled multiple of [every] *)
   mutable rev_samples : sample list;
 }
 
+let sample_of t ~cycle (d : Metrics.t) =
+  let gauge name = Option.value ~default:0. (Metrics.find name d) in
+  {
+    s_cycle = cycle;
+    s_mode = Machine.mode t.machine;
+    s_ipc = gauge "ipc";
+    s_occupancy = gauge "occupancy";
+    s_l1d_miss_rate = gauge "l1d_miss_rate";
+    s_avg_net_latency = gauge "avg_net_latency";
+    s_msgs = d.Metrics.net.Metrics.msgs_sent;
+  }
+
+(* The window hook sees every cycle exactly once, as closed intervals
+   [from, upto] — one cycle wide normally, many across a stall
+   fast-forward jump (which is why sampling no longer forces the
+   cycle-by-cycle path). A window can therefore cross several sample
+   boundaries at once: the first crossed boundary takes the whole interval
+   delta (a jumped window issues nothing, so all activity since the
+   previous snapshot happened at or before it), and any further boundaries
+   inside the jump take synthesized all-stall samples — zero activity over
+   [every] cycles, exactly what per-cycle stepping would have recorded. *)
 let attach ~every m =
   if every <= 0 then invalid_arg "Sampler.attach: every must be positive";
   let t =
-    { every; machine = m; prev = Metrics.snapshot m; rev_samples = [] }
+    {
+      every;
+      machine = m;
+      prev = Metrics.snapshot m;
+      last_boundary = 0;
+      rev_samples = [];
+    }
   in
-  Machine.set_on_cycle m (fun ~now ->
-      if now > 0 && now mod t.every = 0 then begin
+  Machine.set_on_window m (fun ~from:_ ~upto ->
+      if upto / t.every * t.every > t.last_boundary then begin
         let cur = Metrics.snapshot t.machine in
         let d = Metrics.delta ~before:t.prev ~after:cur in
-        let gauge name = Option.value ~default:0. (Metrics.find name d) in
-        t.rev_samples <-
-          {
-            s_cycle = now;
-            s_mode = Machine.mode t.machine;
-            s_ipc = gauge "ipc";
-            s_occupancy = gauge "occupancy";
-            s_l1d_miss_rate = gauge "l1d_miss_rate";
-            s_avg_net_latency = gauge "avg_net_latency";
-            s_msgs = d.Metrics.net.Metrics.msgs_sent;
-          }
-          :: t.rev_samples;
+        let first = t.last_boundary + t.every in
+        let boundary = ref first in
+        while !boundary <= upto do
+          let s =
+            if !boundary = first then
+              sample_of t ~cycle:!boundary
+                { d with Metrics.cycles = first - t.last_boundary }
+            else
+              sample_of t ~cycle:!boundary
+                {
+                  (Metrics.delta ~before:cur ~after:cur) with
+                  Metrics.cycles = t.every;
+                }
+          in
+          t.rev_samples <- s :: t.rev_samples;
+          t.last_boundary <- !boundary;
+          boundary := !boundary + t.every
+        done;
         t.prev <- cur
       end);
   t
 
 let samples t = List.rev t.rev_samples
 
-let mode_name = function
-  | Inst.Coupled -> "coupled"
-  | Inst.Decoupled -> "decoupled"
+let mode_name = Tabulate.mode_name
 
 let pp ppf t =
   match samples t with

@@ -1,10 +1,16 @@
 (** Interval time-series sampler.
 
-    Hooks {!Voltron_machine.Machine.set_on_cycle} and, every [every]
+    Hooks {!Voltron_machine.Machine.set_on_window} and, every [every]
     cycles, records the interval's IPC, occupancy, L1D miss rate, average
     network latency and message count as a {!Metrics.delta} between
     consecutive snapshots — "what was the machine doing {e then}", not
-    just the end-of-run average. *)
+    just the end-of-run average.
+
+    Sampling is fast-forward-compatible: a window that jumps a long stall
+    region reports all the boundaries it crossed at once — the first takes
+    the interval delta, the rest synthesized all-stall samples (zero
+    activity over [every] cycles), which is what per-cycle stepping would
+    have recorded, since a fast-forwarded window issues nothing. *)
 
 type sample = {
   s_cycle : int;  (** end of the sampled interval *)
@@ -19,7 +25,7 @@ type sample = {
 type t
 
 val attach : every:int -> Voltron_machine.Machine.t -> t
-(** Install the sampling hook (displacing any previous [set_on_cycle]
+(** Install the sampling hook (displacing any previous [set_on_window]
     callback). Call before {!Voltron_machine.Machine.run}. Raises
     [Invalid_argument] when [every <= 0]. *)
 

@@ -1,0 +1,22 @@
+module Inst = Voltron_isa.Inst
+module Table = Voltron_util.Table
+
+let mode_name = function
+  | Inst.Coupled -> "coupled"
+  | Inst.Decoupled -> "decoupled"
+
+let breakdown ~header rows =
+  let body =
+    List.map
+      (fun (labels, total, counts) ->
+        let pct n =
+          Table.cell_pct (100. *. float_of_int n /. float_of_int (max 1 total))
+        in
+        labels @ (string_of_int total :: List.map pct counts))
+      rows
+  in
+  Table.render ~header body
+
+let kv pairs =
+  Table.render ~header:[ "metric"; "value" ]
+    (List.map (fun (k, v) -> [ k; v ]) pairs)

@@ -1,0 +1,20 @@
+(** Shared rendering helpers for the observability tables.
+
+    Every profiling report in this layer prints the same two shapes — a
+    breakdown table whose numeric cells are percentages of a per-row total,
+    and a key/value listing — and names execution modes the same way. One
+    module owns those, so [profile], [blame] and the sampler stay
+    word-for-word consistent. *)
+
+val mode_name : Voltron_isa.Inst.mode -> string
+(** ["coupled"] / ["decoupled"] — the one spelling every report uses. *)
+
+val breakdown :
+  header:string list -> (string list * int * int list) list -> string
+(** [breakdown ~header rows] renders one line per [(labels, total, counts)]
+    row: the label cells, then [total] as an integer column, then each
+    count as a percentage of [total] (of 1 when [total] is 0, keeping the
+    cells finite). [header] must cover all three groups. *)
+
+val kv : (string * string) list -> string
+(** Two-column metric/value table. *)

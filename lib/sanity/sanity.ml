@@ -282,7 +282,7 @@ let on_net_event t = function
   | Net.Ev_send { ev_src; ev_dst; ev_seq; ev_payload } ->
     t.outstanding <- t.outstanding + 1;
     Queue.push (ev_seq, ev_payload) (channel t (chan_key ev_src ev_dst ev_payload))
-  | Net.Ev_deliver { ev_src; ev_dst; ev_seq; ev_payload } ->
+  | Net.Ev_deliver { ev_src; ev_dst; ev_seq; ev_payload; ev_sent = _ } ->
     t.outstanding <- t.outstanding - 1;
     let blame = (ev_dst, ev_src) in
     let q = channel t (chan_key ev_src ev_dst ev_payload) in
@@ -371,7 +371,8 @@ let attach ?(policy = Abort) ?(log = fun _ -> ()) ?(limit = 32) m =
       by_class = Hashtbl.create 8;
     }
   in
-  Coherence.set_monitor hier (fun ~core kind addr -> on_access t ~core kind addr);
+  Coherence.set_monitor hier (fun ~core ~completion:_ kind addr ->
+      on_access t ~core kind addr);
   Tm.set_monitor (Machine.tm m)
     {
       Tm.m_read = (fun ~core ~addr ~value ~tx -> on_read t ~core ~addr ~value ~tx);

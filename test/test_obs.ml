@@ -14,6 +14,8 @@ module Metrics = Voltron_obs.Metrics
 module Region_profile = Voltron_obs.Region_profile
 module Sampler = Voltron_obs.Sampler
 module Chrome_trace = Voltron_obs.Chrome_trace
+module Blame = Voltron_obs.Blame
+module Critpath = Voltron_obs.Critpath
 
 let representative_runs =
   [
@@ -151,6 +153,7 @@ let test_chrome_trace_export () =
   let str name ev = Option.bind (field name ev) Json.to_string_opt in
   let last_ts = ref 0 in
   let depth = Hashtbl.create 8 in
+  let flows = Hashtbl.create 16 in
   List.iter
     (fun ev ->
       match str "ph" ev with
@@ -175,12 +178,44 @@ let test_chrome_trace_export () =
         | "E" ->
           Alcotest.(check bool) "E without open B" true (d > 0);
           Hashtbl.replace depth tid (d - 1)
+        | "s" | "f" ->
+          let id =
+            match Option.bind (field "id" ev) Json.to_int_opt with
+            | Some id -> id
+            | None -> Alcotest.fail "flow event without id"
+          in
+          let starts, finishes =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt flows id)
+          in
+          if ph = "s" then Hashtbl.replace flows id (starts + 1, finishes)
+          else begin
+            (* In sorted order the binding "f" never precedes its "s". *)
+            Alcotest.(check (pair int int))
+              "flow f follows its s" (1, 0) (starts, finishes);
+            Hashtbl.replace flows id (starts, finishes + 1)
+          end
         | _ -> ()))
     events;
   Hashtbl.iter
     (fun tid d ->
       Alcotest.(check int) (Printf.sprintf "track %d spans balanced" tid) 0 d)
-    depth
+    depth;
+  (* Every emitted flow has both endpoints — half-open ones are culled into
+     the footer count instead. *)
+  Alcotest.(check bool) "some flow arrows" true (Hashtbl.length flows > 0);
+  Hashtbl.iter
+    (fun id (starts, finishes) ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "flow %d paired" id)
+        (1, 1) (starts, finishes))
+    flows;
+  Alcotest.(check bool)
+    "culled_flows footer present" true
+    (Option.bind
+       (Option.bind (Json.member "otherData" reparsed)
+          (Json.member "culled_flows"))
+       Json.to_int_opt
+    <> None)
 
 let test_metrics_snapshot_and_delta () =
   let p = Suite.micro_gsm_llp ~scale:1.0 () in
@@ -240,6 +275,218 @@ let test_sampler () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* The sampler's bulk-window synthesis must be invisible: the same run with
+   stall fast-forward off (forced per-cycle windows) yields the identical
+   sample series. *)
+let test_sampler_fast_forward_invariant () =
+  let samples_with ~fast_forward =
+    let p = (Suite.by_name "cjpeg").Suite.build ~scale:0.25 () in
+    let machine = { (Config.default ~n_cores:4) with Config.fast_forward } in
+    let compiled = Driver.compile ~machine p in
+    let m = Machine.create machine compiled.Driver.executable in
+    let sampler = Sampler.attach ~every:500 m in
+    let result = Machine.run m in
+    (match result.Machine.outcome with
+    | Machine.Finished -> ()
+    | _ -> Alcotest.fail "sampler ff run did not finish");
+    Sampler.samples sampler
+  in
+  let ff = samples_with ~fast_forward:true in
+  let slow = samples_with ~fast_forward:false in
+  Alcotest.(check int) "same sample count" (List.length slow) (List.length ff);
+  List.iter2
+    (fun (a : Sampler.sample) (b : Sampler.sample) ->
+      Alcotest.(check int) "sample cycle" a.Sampler.s_cycle b.Sampler.s_cycle;
+      Alcotest.(check (float 1e-9)) "sample ipc" a.Sampler.s_ipc b.Sampler.s_ipc;
+      Alcotest.(check int) "sample msgs" a.Sampler.s_msgs b.Sampler.s_msgs)
+    slow ff
+
+(* --- causal profiler ----------------------------------------------------- *)
+
+let run_blame ?(tweak = fun c -> c) ~choice ~n_cores p =
+  let machine = tweak (Config.default ~n_cores) in
+  let compiled = Driver.compile ~machine ~choice p in
+  let m = Machine.create machine compiled.Driver.executable in
+  let b = Blame.attach m compiled in
+  let result = Machine.run m in
+  (match result.Machine.outcome with
+  | Machine.Finished -> ()
+  | _ -> Alcotest.fail "blame run did not finish");
+  (b, result)
+
+(* The reconciliation invariant over the whole suite x strategy x core
+   matrix: the recording tiles every core's cycles, and the critical path's
+   segments tile the run's cycle range, so its length IS the cycle count. *)
+let test_critpath_reconciles () =
+  let programs =
+    List.map
+      (fun (b : Suite.benchmark) ->
+        (b.Suite.bench_name, b.Suite.build ~scale:0.2 ()))
+      Suite.all
+    @ [
+        ("micro:gsm_llp", Suite.micro_gsm_llp ~scale:0.5 ());
+        ("micro:gzip_strands", Suite.micro_gzip_strands ~scale:0.5 ());
+        ("micro:gsm_ilp", Suite.micro_gsm_ilp ~scale:0.5 ());
+      ]
+  in
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun (sname, choice) ->
+          List.iter
+            (fun n_cores ->
+              let b, result = run_blame ~choice ~n_cores p in
+              let label =
+                Printf.sprintf "%s/%s/%d cores" name sname n_cores
+              in
+              (match Blame.coverage b with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail (label ^ ": coverage hole: " ^ e));
+              let cp = Critpath.compute b in
+              Alcotest.(check int)
+                (label ^ ": critical path = end-to-end cycles")
+                result.Machine.cycles (Critpath.length cp);
+              Alcotest.(check int)
+                (label ^ ": total matches machine")
+                result.Machine.cycles (Critpath.total cp))
+            [ 2; 4 ])
+        [
+          ("seq", `Seq);
+          ("ilp", `Ilp);
+          ("tlp", `Tlp);
+          ("llp", `Llp);
+          ("hybrid", `Hybrid);
+        ])
+    programs
+
+(* A sequential run's critical path never leaves core 0. *)
+let test_serial_path_one_core () =
+  let p = (Suite.by_name "cjpeg").Suite.build ~scale:0.25 () in
+  let b, result = run_blame ~choice:`Seq ~n_cores:4 p in
+  let cp = Critpath.compute b in
+  List.iter
+    (fun (g : Critpath.seg) ->
+      if g.Critpath.g_core <> 0 then
+        Alcotest.failf "path segment on core %d (%s) in a seq run"
+          g.Critpath.g_core
+          (Blame.kind_label g.Critpath.g_kind))
+    (Critpath.segments cp);
+  Alcotest.(check int) "seq path reconciles" result.Machine.cycles
+    (Critpath.length cp)
+
+(* Coz-style causality check: the what-if estimate from the recorded path
+   must agree with a real rerun whose configuration changed the same way.
+   Two edge classes (network hop latency, TM aborts) on two workloads
+   each. *)
+let test_whatif_agrees_with_rerun () =
+  let measure ?(tweak = fun c -> c) ~choice ~n_cores p =
+    let machine = tweak (Config.default ~n_cores) in
+    let compiled = Driver.compile ~machine ~choice p in
+    let m = Machine.create machine compiled.Driver.executable in
+    let result = Machine.run m in
+    (match result.Machine.outcome with
+    | Machine.Finished -> ()
+    | _ -> Alcotest.fail "rerun did not finish");
+    result.Machine.cycles
+  in
+  let within_15pct label predicted measured =
+    let err = Float.abs (predicted -. measured) /. measured in
+    if err > 0.15 then
+      Alcotest.failf "%s: predicted x%.3f vs measured x%.3f (%.1f%% off)"
+        label predicted measured (100. *. err)
+  in
+  (* Network latency: free wires, predicted from the path vs rerun with
+     net_hop_cost = 0. *)
+  List.iter
+    (fun (name, p) ->
+      let b, result = run_blame ~choice:`Hybrid ~n_cores:4 p in
+      let cp = Critpath.compute b in
+      let base = float_of_int result.Machine.cycles in
+      let predicted = base /. float_of_int (Critpath.whatif_net cp ~scale:0.) in
+      let rerun =
+        measure
+          ~tweak:(fun c -> { c with Config.net_hop_cost = 0 })
+          ~choice:`Hybrid ~n_cores:4 p
+      in
+      within_15pct (name ^ " net what-if") predicted
+        (base /. float_of_int rerun))
+    [
+      ("micro:gzip_strands", Suite.micro_gzip_strands ~scale:1.0 ());
+      ("164.gzip", (Suite.by_name "164.gzip").Suite.build ~scale:0.3 ());
+    ];
+  (* TM aborts: inject spurious aborts, predict their removal from that
+     run's path, measure the injection-free run. *)
+  List.iter
+    (fun (name, p) ->
+      let tweak c =
+        {
+          c with
+          Config.fault =
+            {
+              Voltron_fault.Fault.disabled with
+              Voltron_fault.Fault.tm_abort_rate = 0.9;
+              fault_seed = 1;
+            };
+        }
+      in
+      let b, injected = run_blame ~tweak ~choice:`Hybrid ~n_cores:4 p in
+      let cp = Critpath.compute b in
+      Alcotest.(check int)
+        (name ^ ": injected run reconciles")
+        injected.Machine.cycles (Critpath.length cp);
+      let inj = float_of_int injected.Machine.cycles in
+      let predicted = inj /. float_of_int (Critpath.whatif_tm cp) in
+      let clean = measure ~choice:`Hybrid ~n_cores:4 p in
+      within_15pct (name ^ " tm what-if") predicted
+        (inj /. float_of_int clean))
+    [
+      ("164.gzip", (Suite.by_name "164.gzip").Suite.build ~scale:0.3 ());
+      ("175.vpr", (Suite.by_name "175.vpr").Suite.build ~scale:0.3 ());
+    ]
+
+(* The BLAME.json document parses back to the identical report. *)
+let test_blame_report_roundtrip () =
+  let p = (Suite.by_name "164.gzip").Suite.build ~scale:0.3 () in
+  let b, _ = run_blame ~choice:`Hybrid ~n_cores:4 p in
+  let cp = Critpath.compute b in
+  let rep = Critpath.report ~bench:"164.gzip" ~strategy:"hybrid" cp in
+  Alcotest.(check bool) "report has blame rows" true (rep.Critpath.r_rows <> []);
+  match Json.parse (Json.to_string (Critpath.report_to_json rep)) with
+  | Error e -> Alcotest.fail ("blame json does not parse: " ^ e)
+  | Ok j -> (
+    match Critpath.report_of_json j with
+    | Error e -> Alcotest.fail ("blame report does not decode: " ^ e)
+    | Ok rep' ->
+      Alcotest.(check bool) "report roundtrips exactly" true (rep = rep'))
+
+(* The recorder's side tables: TM per-region history and the cross-core
+   wait/message matrices the DSWP rebalancing work needs. *)
+let test_blame_side_tables () =
+  let p = (Suite.by_name "164.gzip").Suite.build ~scale:0.3 () in
+  let b, result = run_blame ~choice:`Hybrid ~n_cores:4 p in
+  let tm = Blame.tm_regions b in
+  Alcotest.(check bool) "tm history recorded" true (tm <> []);
+  List.iter
+    (fun (region, begins, commits, aborts) ->
+      Alcotest.(check bool)
+        (region ^ ": commits+aborts <= begins")
+        true
+        (commits + aborts <= begins && begins > 0))
+    tm;
+  let wait = Blame.wait_matrix b in
+  let msgs = Blame.msgs_matrix b in
+  Array.iteri
+    (fun c row ->
+      Alcotest.(check int) "no self-wait" 0 wait.(c).(c);
+      Array.iter
+        (fun cycles ->
+          Alcotest.(check bool) "wait bounded by run" true
+            (cycles >= 0 && cycles <= result.Machine.cycles))
+        row)
+    wait;
+  let sent = Array.fold_left (Array.fold_left ( + )) 0 msgs in
+  Alcotest.(check bool) "messages observed" true (sent > 0)
+
 let () =
   Alcotest.run "obs"
     [
@@ -256,5 +503,19 @@ let () =
           Alcotest.test_case "metrics snapshot and delta" `Quick
             test_metrics_snapshot_and_delta;
           Alcotest.test_case "sampler" `Quick test_sampler;
+          Alcotest.test_case "sampler fast-forward invariant" `Quick
+            test_sampler_fast_forward_invariant;
+        ] );
+      ( "causal",
+        [
+          Alcotest.test_case "critical path reconciles" `Quick
+            test_critpath_reconciles;
+          Alcotest.test_case "serial path stays on one core" `Quick
+            test_serial_path_one_core;
+          Alcotest.test_case "what-if agrees with rerun" `Quick
+            test_whatif_agrees_with_rerun;
+          Alcotest.test_case "blame report json roundtrip" `Quick
+            test_blame_report_roundtrip;
+          Alcotest.test_case "blame side tables" `Quick test_blame_side_tables;
         ] );
     ]
