@@ -16,6 +16,8 @@
 
 module E = Voltron.Experiments
 module Suite = Voltron_workloads.Suite
+module Pool = Voltron_pool.Pool
+module Campaign = Voltron_gen.Campaign
 module Json = Voltron_obs.Json
 module Metrics = Voltron_obs.Metrics
 module Blame = Voltron_obs.Blame
@@ -26,17 +28,17 @@ module Driver = Voltron_compiler.Driver
 
 let line () = print_endline (String.make 78 '=')
 
-let run_figure ~scale name =
+let run_figure ~scale ~jobs name =
   line ();
   (match name with
-  | "fig3" -> E.print_fig3 (E.fig3 ~scale ())
-  | "fig10" -> E.print_fig10 (E.fig10 ~scale ())
-  | "fig11" -> E.print_fig11 (E.fig11 ~scale ())
-  | "fig12" -> E.print_fig12 (E.fig12 ~scale ())
-  | "fig13" -> E.print_fig13 (E.fig13 ~scale ())
-  | "fig14" -> E.print_fig14 (E.fig14 ~scale ())
-  | "micro" -> E.print_micro (E.micro ~scale ())
-  | "resilience" -> E.print_resilience (E.resilience ~scale ())
+  | "fig3" -> E.print_fig3 (E.fig3 ~scale ~jobs ())
+  | "fig10" -> E.print_fig10 (E.fig10 ~scale ~jobs ())
+  | "fig11" -> E.print_fig11 (E.fig11 ~scale ~jobs ())
+  | "fig12" -> E.print_fig12 (E.fig12 ~scale ~jobs ())
+  | "fig13" -> E.print_fig13 (E.fig13 ~scale ~jobs ())
+  | "fig14" -> E.print_fig14 (E.fig14 ~scale ~jobs ())
+  | "micro" -> E.print_micro (E.micro ~scale ~jobs ())
+  | "resilience" -> E.print_resilience (E.resilience ~scale ~jobs ())
   | other ->
     Printf.eprintf "unknown figure: %s\n" other;
     exit 2);
@@ -93,7 +95,7 @@ let json_of_per_type rows =
            ])
        rows)
 
-let json_of_figure ~scale = function
+let json_of_figure ~scale ~jobs = function
   | "fig3" ->
     Json.List
       (List.map
@@ -106,9 +108,9 @@ let json_of_figure ~scale = function
                ("llp_pct", Json.Float c.E.pct_llp);
                ("single_pct", Json.Float c.E.pct_single);
              ])
-         (E.fig3 ~scale ()))
-  | "fig10" -> json_of_per_type (E.fig10 ~scale ())
-  | "fig11" -> json_of_per_type (E.fig11 ~scale ())
+         (E.fig3 ~scale ~jobs ()))
+  | "fig10" -> json_of_per_type (E.fig10 ~scale ~jobs ())
+  | "fig11" -> json_of_per_type (E.fig11 ~scale ~jobs ())
   | "fig12" ->
     Json.List
       (List.map
@@ -125,7 +127,7 @@ let json_of_figure ~scale = function
                ("decoupled_pred", Json.Float s.E.decoupled_pred);
                ("decoupled_sync", Json.Float s.E.decoupled_sync);
              ])
-         (E.fig12 ~scale ()))
+         (E.fig12 ~scale ~jobs ()))
   | "fig13" ->
     Json.List
       (List.map
@@ -136,7 +138,7 @@ let json_of_figure ~scale = function
                ("cores2", Json.Float h.E.hs_2core);
                ("cores4", Json.Float h.E.hs_4core);
              ])
-         (E.fig13 ~scale ()))
+         (E.fig13 ~scale ~jobs ()))
   | "fig14" ->
     Json.List
       (List.map
@@ -147,7 +149,7 @@ let json_of_figure ~scale = function
                ("coupled_pct", Json.Float m.E.coupled_pct);
                ("decoupled_pct", Json.Float m.E.decoupled_pct);
              ])
-         (E.fig14 ~scale ()))
+         (E.fig14 ~scale ~jobs ()))
   | "micro" ->
     Json.List
       (List.map
@@ -158,7 +160,7 @@ let json_of_figure ~scale = function
                ("paper", Json.Float m.E.mi_paper);
                ("measured", Json.Float m.E.mi_measured);
              ])
-         (E.micro ~scale ()))
+         (E.micro ~scale ~jobs ()))
   | "resilience" ->
     Json.List
       (List.map
@@ -177,15 +179,17 @@ let json_of_figure ~scale = function
                ("aborts", Json.Int r.E.rs_aborts);
                ("verified", Json.Bool r.E.rs_verified);
              ])
-         (E.resilience ~scale ()))
+         (E.resilience ~scale ~jobs ()))
   | other ->
     Printf.eprintf "unknown figure: %s\n" other;
     exit 2
 
 (* Key counters per benchmark: one 4-core hybrid run each, with the unified
-   metrics record alongside its speedup. *)
-let json_of_counters ~scale () =
-  List.map
+   metrics record alongside its speedup. Cells are independent, so they fan
+   out on the pool; the list comes back in benchmark order either way. *)
+let json_of_counters ~scale ~jobs () =
+  Array.to_list
+  @@ Pool.parallel_map ~jobs
     (fun (b : Suite.benchmark) ->
       let name = b.Suite.bench_name in
       let p = b.Suite.build ~scale () in
@@ -207,15 +211,15 @@ let json_of_counters ~scale () =
             ("verified", Json.Bool m.Voltron.Run.verified);
             ("metrics", Metrics.to_json metrics);
           ] ))
-    Suite.all
+    (Array.of_list Suite.all)
 
-let run_json ~scale wanted =
+let run_json ~scale ~jobs wanted =
   let wanted = if wanted = [] then figures else wanted in
   let path = "BENCH.json" in
-  Printf.printf "collecting %s (scale %.2f) ...\n%!" (String.concat " " wanted)
-    scale;
-  let figs = List.map (fun f -> (f, json_of_figure ~scale f)) wanted in
-  let counters = json_of_counters ~scale () in
+  Printf.printf "collecting %s (scale %.2f, jobs %d) ...\n%!"
+    (String.concat " " wanted) scale jobs;
+  let figs = List.map (fun f -> (f, json_of_figure ~scale ~jobs f)) wanted in
+  let counters = json_of_counters ~scale ~jobs () in
   Json.write_file path
     (Json.Obj
        [
@@ -237,6 +241,8 @@ let run_json ~scale wanted =
 
 type perf_row = { pw_bench : string; pw_cycles : int; pw_host_s : float }
 
+let host_cores () = Domain.recommended_domain_count ()
+
 let read_json_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -248,7 +254,82 @@ let read_json_file path =
     Printf.eprintf "warning: %s does not parse as JSON (%s); ignoring it\n" path e;
     None
 
-let run_perf ~scale ~baseline () =
+(* The host-parallel leg of perf mode: the same 4-core hybrid sweep, but
+   one compile+run cell per benchmark fanned out on the work-stealing
+   pool. Unlike the serial leg this times compilation too (it happens
+   inside the cell), so its cycles_per_sec is not comparable to the
+   serial entry — the interesting trend is this entry against its own
+   history and against the jobs=1 run of the same cell shape. *)
+let run_parallel_sweep ~scale ~machine ~jobs () =
+  let cell (b : Suite.benchmark) =
+    let p = b.Suite.build ~scale () in
+    let compiled = Driver.compile ~machine ~choice:`Hybrid ~check:false p in
+    let m = Machine.create machine compiled.Driver.executable in
+    let r = Machine.run m in
+    (match r.Machine.outcome with
+    | Machine.Finished -> ()
+    | Machine.Out_of_cycles | Machine.Deadlock _ | Machine.Fault_limit _
+    | Machine.Stopped _ ->
+      failwith (b.Suite.bench_name ^ " did not finish"));
+    r.Machine.cycles
+  in
+  let benches = Array.of_list Suite.all in
+  let t0 = Unix.gettimeofday () in
+  let cycles = Pool.parallel_map ~jobs cell benches in
+  let host = Unix.gettimeofday () -. t0 in
+  let total = Array.fold_left ( + ) 0 cycles in
+  Printf.printf
+    "  parallel sweep (-j %d): %10d cycles %8.3fs %12.0f cyc/s (compile included)\n%!"
+    jobs total host
+    (float_of_int total /. host);
+  Json.Obj
+    [
+      ("mode", Json.Str "sweep-parallel");
+      ("scale", Json.Float scale);
+      ("n_cores", Json.Int 4);
+      ("jobs", Json.Int jobs);
+      ("host_cores", Json.Int (host_cores ()));
+      ("includes_compile", Json.Bool true);
+      ("total_cycles", Json.Int total);
+      ("total_host_s", Json.Float host);
+      ("cycles_per_sec", Json.Float (float_of_int total /. host));
+    ]
+
+(* Fuzz-campaign throughput, jobs=1 vs -j N over the same cell set: the
+   ratio is the pool's real-world win (the acceptance metric from
+   DESIGN.md 15 — about linear up to the physical core count). *)
+let run_fuzz_throughput ~jobs () =
+  let count = 32 and seed = 7 in
+  let time j =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Campaign.run ~jobs:j ~minimize_findings:false
+        ~log:(fun _ -> ())
+        ~seed ~count ()
+    in
+    (Unix.gettimeofday () -. t0, r.Campaign.r_runs)
+  in
+  let serial_s, runs = time 1 in
+  let par_s, _ = time jobs in
+  let speedup = serial_s /. par_s in
+  Printf.printf
+    "  fuzz throughput: %d programs (%d sims) %8.3fs at -j 1, %8.3fs at -j %d \
+     (%.2fx)\n%!"
+    count runs serial_s par_s jobs speedup;
+  Json.Obj
+    [
+      ("mode", Json.Str "fuzz");
+      ("jobs", Json.Int jobs);
+      ("host_cores", Json.Int (host_cores ()));
+      ("programs", Json.Int count);
+      ("simulations", Json.Int runs);
+      ("serial_host_s", Json.Float serial_s);
+      ("parallel_host_s", Json.Float par_s);
+      ("programs_per_sec", Json.Float (float_of_int count /. par_s));
+      ("speedup_vs_serial", Json.Float speedup);
+    ]
+
+let run_perf ~scale ~baseline ~jobs () =
   let machine = Config.default ~n_cores:4 in
   Printf.printf
     "perf: 4-core hybrid sweep over %d workloads (scale %.2f, fast_forward %b)\n%!"
@@ -285,8 +366,11 @@ let run_perf ~scale ~baseline () =
   let entry =
     Json.Obj
       [
+        ("mode", Json.Str "sweep");
         ("scale", Json.Float scale);
         ("n_cores", Json.Int 4);
+        ("jobs", Json.Int 1);
+        ("host_cores", Json.Int (host_cores ()));
         ("fast_forward", Json.Bool machine.Config.fast_forward);
         ("total_cycles", Json.Int total_cycles);
         ("total_host_s", Json.Float total_host);
@@ -306,6 +390,9 @@ let run_perf ~scale ~baseline () =
                rows) );
       ]
   in
+  let par_entry = run_parallel_sweep ~scale ~machine ~jobs () in
+  let fuzz_entry = run_fuzz_throughput ~jobs () in
+  let entries = [ entry; par_entry; fuzz_entry ] in
   let prior =
     if Sys.file_exists "PERF.json" then
       match read_json_file "PERF.json" with
@@ -315,8 +402,9 @@ let run_perf ~scale ~baseline () =
       | None -> []
     else []
   in
-  Json.write_file "PERF.json" (Json.Obj [ ("series", Json.List (prior @ [ entry ])) ]);
-  Printf.printf "wrote PERF.json (%d series entries)\n" (List.length prior + 1);
+  Json.write_file "PERF.json" (Json.Obj [ ("series", Json.List (prior @ entries)) ]);
+  Printf.printf "wrote PERF.json (%d series entries)\n"
+    (List.length prior + List.length entries);
   match baseline with
   | None -> ()
   | Some path -> (
@@ -343,10 +431,25 @@ let run_perf ~scale ~baseline () =
 
 (* --- Bechamel: wall-clock cost of each figure's pipeline ------------------- *)
 
+(* parallel_map overhead on no-op cells: what the pool itself costs —
+   task publication, stealing, wakeup and frontier bookkeeping with zero
+   useful work per cell. The jobs=1 entry is the serial-path floor. *)
+let pool_input = Array.init 256 Fun.id
+
 let bechamel_tests =
   let open Bechamel in
   let slice = [ "cjpeg" ] in
-  Test.make_grouped ~name:"figures"
+  let pool_group =
+    Test.make_grouped ~name:"pool"
+      [
+        Test.make ~name:"noop-j1"
+          (Staged.stage (fun () -> Pool.parallel_map ~jobs:1 Fun.id pool_input));
+        Test.make ~name:"noop-j4"
+          (Staged.stage (fun () -> Pool.parallel_map ~jobs:4 Fun.id pool_input));
+      ]
+  in
+  let figures_group =
+    Test.make_grouped ~name:"figures"
     [
       Test.make ~name:"fig3" (Staged.stage (fun () -> E.fig3 ~scale:0.2 ~benches:slice ()));
       Test.make ~name:"fig10" (Staged.stage (fun () -> E.fig10 ~scale:0.2 ~benches:slice ()));
@@ -370,6 +473,8 @@ let bechamel_tests =
              Critpath.report ~bench:"cjpeg" ~strategy:"hybrid"
                (Critpath.compute blame)));
     ]
+  in
+  Test.make_grouped ~name:"bench" [ figures_group; pool_group ]
 
 let run_bechamel () =
   let open Bechamel in
@@ -392,7 +497,7 @@ let run_bechamel () =
       | Some _ | None -> ())
     results;
   List.iter
-    (fun (name, ms) -> Printf.printf "  %-20s %8.1f ms/run\n" name ms)
+    (fun (name, ms) -> Printf.printf "  %-24s %10.3f ms/run\n" name ms)
     (List.sort compare !rows);
   print_newline ()
 
@@ -401,41 +506,53 @@ let modes = [ "quick"; "bechamel"; "ablations"; "json"; "perf" ]
 (* Strict argument parsing: an unknown figure or mode name is an error, not
    a silent no-op (a typo like "fig12 " used to run the whole suite). *)
 let parse_args args =
-  let rec go scale baseline acc = function
-    | [] -> (scale, baseline, List.rev acc)
+  let rec go scale baseline jobs acc = function
+    | [] -> (scale, baseline, jobs, List.rev acc)
     | "--scale" :: v :: rest -> (
       match float_of_string_opt v with
-      | Some f when f > 0. -> go (Some f) baseline acc rest
+      | Some f when f > 0. -> go (Some f) baseline jobs acc rest
       | Some _ | None ->
         Printf.eprintf "bad --scale value: %s\n" v;
         exit 2)
     | [ "--scale" ] ->
       Printf.eprintf "--scale needs a value\n";
       exit 2
-    | "--baseline" :: path :: rest -> go scale (Some path) acc rest
+    | "--baseline" :: path :: rest -> go scale (Some path) jobs acc rest
     | [ "--baseline" ] ->
       Printf.eprintf "--baseline needs a path\n";
       exit 2
+    | ("-j" | "--jobs") :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some j when j >= 1 -> go scale baseline (Some j) acc rest
+      | Some _ | None ->
+        Printf.eprintf "bad --jobs value: %s\n" v;
+        exit 2)
+    | [ ("-j" | "--jobs") ] ->
+      Printf.eprintf "--jobs needs a value\n";
+      exit 2
     | a :: rest when List.mem a figures || List.mem a modes ->
-      go scale baseline (a :: acc) rest
+      go scale baseline jobs (a :: acc) rest
     | a :: _ ->
       Printf.eprintf
         "unknown argument: %s\n  figures: %s\n  modes: %s\n  options: --scale F \
-         --baseline PERF_ENTRY.json\n"
+         --baseline PERF_ENTRY.json -j/--jobs N\n"
         a (String.concat " " figures) (String.concat " " modes);
       exit 2
   in
-  go None None [] args
+  go None None None [] args
 
 let () =
   let raw = List.tl (Array.to_list Sys.argv) in
-  let scale_override, baseline, args = parse_args raw in
+  let scale_override, baseline, jobs_override, args = parse_args raw in
   let default_scale = if List.mem "quick" args then 0.25 else 1.0 in
   let scale = Option.value scale_override ~default:default_scale in
+  (* -j N, else VOLTRON_JOBS, else every recommended domain. jobs=1 is
+     the bit-identical serial reference, like the simulator CLI. *)
+  let jobs = match jobs_override with Some j -> j | None -> Pool.default_jobs () in
   let wanted = List.filter (fun a -> List.mem a figures) args in
   let t0 = Unix.gettimeofday () in
-  if List.mem "perf" args then run_perf ~scale ~baseline ()
-  else if List.mem "json" args then run_json ~scale wanted
+  if List.mem "perf" args then run_perf ~scale ~baseline ~jobs ()
+  else if List.mem "json" args then run_json ~scale ~jobs wanted
   else if args = [ "bechamel" ] then run_bechamel ()
   else if args = [ "ablations" ] then run_ablations ~scale ()
   else begin
@@ -443,7 +560,7 @@ let () =
     Printf.printf
       "Voltron evaluation harness — reproducing the paper's figures (scale %.2f)\n"
       scale;
-    List.iter (run_figure ~scale) wanted;
+    List.iter (run_figure ~scale ~jobs) wanted;
     if not (List.mem "quick" args) then begin
       run_ablations ~scale ();
       run_bechamel ()

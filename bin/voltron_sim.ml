@@ -220,6 +220,28 @@ let no_profile_arg =
 let profile_for ~no_profile p =
   if no_profile then Some (Voltron_analysis.Profile.of_static p) else None
 
+module Pool = Voltron_pool.Pool
+
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the sweep's independent cells (work-stealing \
+           pool). 0 (the default) means $(b,VOLTRON_JOBS) if set, else the \
+           host's core count; 1 runs the bit-identical serial reference \
+           path. Output is in cell order and byte-identical for every \
+           $(docv).")
+
+let resolve_jobs j = if j <= 0 then Pool.default_jobs () else j
+
+(* Sweep cells run on arbitrary domains, so they render their report into
+   a buffer; the pool's ordered completion frontier prints each cell's
+   chunk in cell order, keeping the transcript independent of [jobs]. *)
+let emit_chunk (chunk : string) =
+  print_string chunk;
+  flush stdout
+
 (* Shared by run's normal and --json output: the pieces that only exist on
    some outcomes. *)
 let outcome_json (m : Voltron.Run.measurement) =
@@ -250,55 +272,67 @@ let sanity_clean (m : Voltron.Run.measurement) =
 (* run --all: the whole workload suite (plus the micro kernels) under every
    strategy at the given core count, one line per cell — the CI's sanitized
    sweep entry point. *)
-let run_sweep ~cores ~scale ~check ~sanitize ~no_profile () =
+let run_sweep ~cores ~scale ~check ~sanitize ~no_profile ~jobs () =
   let targets =
     (List.map (fun (b : Suite.benchmark) -> b.Suite.bench_name) Suite.all
     @ [ "micro:gsm_llp"; "micro:gzip_strands"; "micro:gsm_ilp" ])
     |> List.map (fun n -> (n, program_of_name n scale))
   in
   let strategies = [ "seq"; "ilp"; "tlp"; "llp"; "hybrid" ] in
-  let failures = ref 0 in
-  List.iter
-    (fun (name, p) ->
-      let profile = profile_for ~no_profile p in
-      List.iter
-        (fun s ->
-          let choice = choice_of_string s in
-          let m = Voltron.Run.run ~choice ~check ?profile ?sanitize ~n_cores:cores p in
-          let ok =
-            m.Voltron.Run.outcome = Voltron.Run.Completed
-            && m.Voltron.Run.verified && sanity_clean m
-          in
-          if not ok then incr failures;
-          Printf.printf "%-24s %-7s %-10d %s%s%s\n%!" name s
-            m.Voltron.Run.cycles
-            (short_outcome m.Voltron.Run.outcome)
-            (if m.Voltron.Run.verified then "" else ", NOT VERIFIED")
-            (match m.Voltron.Run.sanity with
-            | None -> ""
-            | Some r when Sanity.clean r -> ", sanitizer clean"
-            | Some r ->
-              Printf.sprintf ", SANITIZER: %d violation(s)" r.Sanity.r_total);
-          match m.Voltron.Run.sanity with
-          | Some r when not (Sanity.clean r) ->
-            List.iter
-              (fun v -> Printf.printf "    %s\n" (Sanity.violation_to_string v))
-              r.Sanity.r_recorded
-          | _ -> ())
-        strategies)
-    targets;
-  if !failures > 0 then begin
-    Printf.eprintf "%d failing cell(s) in the sweep\n" !failures;
+  (* One cell per benchmark: the profile is collected once and shared by
+     the five strategy runs, all inside the cell. *)
+  let cell (name, p) =
+    let buf = Buffer.create 512 in
+    let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let failures = ref 0 in
+    let profile = profile_for ~no_profile p in
+    List.iter
+      (fun s ->
+        let choice = choice_of_string s in
+        let m = Voltron.Run.run ~choice ~check ?profile ?sanitize ~n_cores:cores p in
+        let ok =
+          m.Voltron.Run.outcome = Voltron.Run.Completed
+          && m.Voltron.Run.verified && sanity_clean m
+        in
+        if not ok then incr failures;
+        out "%-24s %-7s %-10d %s%s%s\n" name s
+          m.Voltron.Run.cycles
+          (short_outcome m.Voltron.Run.outcome)
+          (if m.Voltron.Run.verified then "" else ", NOT VERIFIED")
+          (match m.Voltron.Run.sanity with
+          | None -> ""
+          | Some r when Sanity.clean r -> ", sanitizer clean"
+          | Some r ->
+            Printf.sprintf ", SANITIZER: %d violation(s)" r.Sanity.r_total);
+        match m.Voltron.Run.sanity with
+        | Some r when not (Sanity.clean r) ->
+          List.iter
+            (fun v -> out "    %s\n" (Sanity.violation_to_string v))
+            r.Sanity.r_recorded
+        | _ -> ())
+      strategies;
+    (Buffer.contents buf, !failures)
+  in
+  let per_target =
+    Pool.parallel_map_emit ~jobs
+      ~emit:(fun _ (chunk, _) -> emit_chunk chunk)
+      cell (Array.of_list targets)
+  in
+  let failures = Array.fold_left (fun acc (_, f) -> acc + f) 0 per_target in
+  if failures > 0 then begin
+    Printf.eprintf "%d failing cell(s) in the sweep\n" failures;
     exit 1
   end
 
 let run_cmd =
   let run bench file all cores strategy scale optimize unroll fault_rate
-      fault_seed fault_threshold no_check no_profile sanitize_s json_out =
+      fault_seed fault_threshold no_check no_profile sanitize_s json_out jobs =
     or_check_failure @@ fun () ->
     let check = not no_check in
     let sanitize = sanitize_of_flag sanitize_s in
-    if all then run_sweep ~cores ~scale ~check ~sanitize ~no_profile ()
+    if all then
+      run_sweep ~cores ~scale ~check ~sanitize ~no_profile
+        ~jobs:(resolve_jobs jobs) ()
     else begin
       let name, p = resolve_program bench file scale in
       let p = apply_opts optimize unroll p in
@@ -407,7 +441,7 @@ let run_cmd =
       const run $ bench_arg $ file_arg $ all_arg $ cores_arg $ strategy_arg
       $ scale_arg $ optimize_arg $ unroll_arg $ fault_rate_arg $ fault_seed_arg
       $ fault_threshold_arg $ no_check_arg $ no_profile_arg $ sanitize_arg
-      $ json_arg)
+      $ json_arg $ jobs_arg)
 
 let plan_cmd =
   let plan bench file cores scale no_profile =
@@ -450,7 +484,7 @@ let check_diag_json (d : Check.diag) =
     @ [ ("text", Json.Str (Check.diag_to_string d)) ])
 
 let check_cmd =
-  let check bench file all cores strategy scale json_out =
+  let check bench file all cores strategy scale json_out jobs =
     let targets =
       if all then
         List.map (fun (b : Suite.benchmark) -> b.Suite.bench_name) Suite.all
@@ -462,43 +496,63 @@ let check_cmd =
       if all then [ "seq"; "ilp"; "tlp"; "llp"; "hybrid" ] else [ strategy ]
     in
     let machine = Config.default ~n_cores:cores in
-    let failures = ref 0 in
-    let cells = ref [] in
-    List.iter
-      (fun (name, p) ->
-        List.iter
-          (fun s ->
-            let choice = choice_of_string s in
-            let record status diags =
-              cells :=
-                Json.Obj
-                  [
-                    ("benchmark", Json.Str name);
-                    ("strategy", Json.Str s);
-                    ("status", Json.Str status);
-                    ("diagnostics", Json.List (List.map check_diag_json diags));
-                  ]
-                :: !cells
-            in
-            match Driver.compile ~machine ~choice p with
-            | c ->
-              if c.Driver.check_diags = [] then begin
-                record "clean" [];
-                Printf.printf "%-24s %-7s clean\n%!" name s
-              end
-              else begin
-                record "warnings" c.Driver.check_diags;
-                Printf.printf "%-24s %-7s %d warning(s)\n%!" name s
-                  (List.length c.Driver.check_diags);
-                print_diags stdout c.Driver.check_diags
-              end
-            | exception Check.Failed diags ->
-              incr failures;
-              record "failed" diags;
-              Printf.printf "%-24s %-7s FAILED\n%!" name s;
-              print_diags stdout diags)
-          strategies)
-      targets;
+    let cell (name, p) =
+      let buf = Buffer.create 256 in
+      let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      let out_diags diags =
+        let b = Buffer.create 128 in
+        let ppf = Format.formatter_of_buffer b in
+        List.iter (fun d -> Format.fprintf ppf "  %a@." Check.pp_diag d) diags;
+        Format.pp_print_flush ppf ();
+        Buffer.add_buffer buf b
+      in
+      let failures = ref 0 in
+      let cells = ref [] in
+      List.iter
+        (fun s ->
+          let choice = choice_of_string s in
+          let record status diags =
+            cells :=
+              Json.Obj
+                [
+                  ("benchmark", Json.Str name);
+                  ("strategy", Json.Str s);
+                  ("status", Json.Str status);
+                  ("diagnostics", Json.List (List.map check_diag_json diags));
+                ]
+              :: !cells
+          in
+          match Driver.compile ~machine ~choice p with
+          | c ->
+            if c.Driver.check_diags = [] then begin
+              record "clean" [];
+              out "%-24s %-7s clean\n" name s
+            end
+            else begin
+              record "warnings" c.Driver.check_diags;
+              out "%-24s %-7s %d warning(s)\n" name s
+                (List.length c.Driver.check_diags);
+              out_diags c.Driver.check_diags
+            end
+          | exception Check.Failed diags ->
+            incr failures;
+            record "failed" diags;
+            out "%-24s %-7s FAILED\n" name s;
+            out_diags diags)
+        strategies;
+      (Buffer.contents buf, !failures, List.rev !cells)
+    in
+    let per_target =
+      Pool.parallel_map_emit ~jobs:(if all then resolve_jobs jobs else 1)
+        ~emit:(fun _ (chunk, _, _) -> emit_chunk chunk)
+        cell (Array.of_list targets)
+    in
+    let failures =
+      Array.fold_left (fun acc (_, f, _) -> acc + f) 0 per_target
+    in
+    let cells =
+      List.concat_map (fun (_, _, cs) -> cs) (Array.to_list per_target)
+    in
     (match json_out with
     | None -> ()
     | Some path ->
@@ -506,12 +560,12 @@ let check_cmd =
         (Json.Obj
            [
              ("cores", Json.Int cores);
-             ("failures", Json.Int !failures);
-             ("cells", Json.List (List.rev !cells));
+             ("failures", Json.Int failures);
+             ("cells", Json.List cells);
            ]);
       Printf.printf "wrote check JSON to %s\n" path);
-    if !failures > 0 then begin
-      Printf.eprintf "%d check failure(s)\n" !failures;
+    if failures > 0 then begin
+      Printf.eprintf "%d check failure(s)\n" failures;
       exit 1
     end
   in
@@ -530,7 +584,7 @@ let check_cmd =
           alignment, coupled PUT/GET pairing, deadlocks and data races.")
     Term.(
       const check $ bench_arg $ file_arg $ all_arg $ cores_arg $ strategy_arg
-      $ scale_arg $ json_arg)
+      $ scale_arg $ json_arg $ jobs_arg)
 
 let disasm_cmd =
   let disasm bench file cores strategy scale =
@@ -788,38 +842,35 @@ let blame_cmd =
     | _ -> None
   in
   let blame bench file cores strategy scale all top net_scale validate tm_rate
-      fault_seed json_out =
+      fault_seed json_out jobs =
     or_check_failure @@ fun () ->
     let choice = choice_of_string strategy in
-    let failed = ref false in
-    let analyze name p =
+    (* [err] records one failure line; cells buffer these so the sweep can
+       run on the pool and still report in cell order. *)
+    let analyze ~err name p =
       let b, result = run_with_blame ~cores ~choice ~tweak:(fun c -> c) p in
       match run_outcome_err result with
-      | Some err ->
-        Printf.eprintf "%s: %s\n" name err;
-        failed := true;
+      | Some e ->
+        err (Printf.sprintf "%s: %s" name e);
         None
       | None ->
         (match Blame.coverage b with
         | Ok () -> ()
-        | Error e ->
-          Printf.eprintf "%s: blame recording hole: %s\n" name e;
-          failed := true);
+        | Error e -> err (Printf.sprintf "%s: blame recording hole: %s" name e));
         let cp = Critpath.compute b in
         let rep = Critpath.report ~bench:name ~strategy ~net_scale cp in
-        if rep.Critpath.r_path <> rep.Critpath.r_cycles then begin
-          Printf.eprintf
-            "%s: critical path %d cycles does not reconcile with the %d-cycle \
-             run\n"
-            name rep.Critpath.r_path rep.Critpath.r_cycles;
-          failed := true
-        end;
+        if rep.Critpath.r_path <> rep.Critpath.r_cycles then
+          err
+            (Printf.sprintf
+               "%s: critical path %d cycles does not reconcile with the \
+                %d-cycle run"
+               name rep.Critpath.r_path rep.Critpath.r_cycles);
         Some (rep, cp)
     in
     (* Predicted speedups come from rescaling edges along the recorded
        critical path; measured ones from reruns whose configuration actually
        changed the same way. The two agreeing is the causal claim. *)
-    let validate_whatifs name p cp =
+    let validate_whatifs ~out ~err name p cp =
       let base = Critpath.total cp in
       let hop = (Config.default ~n_cores:cores).Config.net_hop_cost in
       let scaled_hop = int_of_float ((net_scale *. float_of_int hop) +. 0.5) in
@@ -853,8 +904,8 @@ let blame_cmd =
           in
           let b_f, r_f = run_with_blame ~cores ~choice ~tweak p in
           match run_outcome_err r_f with
-          | Some err ->
-            Printf.eprintf "%s (tm injection): %s\n" name err;
+          | Some e ->
+            err (Printf.sprintf "%s (tm injection): %s" name e);
             None
           | None ->
             let cp_f = Critpath.compute b_f in
@@ -869,8 +920,8 @@ let blame_cmd =
       match List.filter_map Fun.id [ net_row; tm_row ] with
       | [] -> ()
       | rows ->
-        Printf.printf "\nwhat-if validation (%s):\n" name;
-        print_endline
+        out (Printf.sprintf "\nwhat-if validation (%s):\n" name);
+        out
           (Voltron_util.Table.render
              ~header:[ "class"; "predicted"; "measured"; "error" ]
              (List.map
@@ -882,7 +933,8 @@ let blame_cmd =
                     Printf.sprintf "%.1f%%"
                       (100. *. Float.abs (pred -. meas) /. meas);
                   ])
-                rows))
+                rows)
+          ^ "\n")
     in
     let write_json reports =
       match json_out with
@@ -896,6 +948,7 @@ let blame_cmd =
              ]);
         Printf.printf "wrote blame JSON to %s\n" path
     in
+    let failed = ref false in
     if all then begin
       let progs =
         List.map
@@ -908,15 +961,29 @@ let blame_cmd =
             ("micro:gsm_ilp", Suite.micro_gsm_ilp ~scale ());
           ]
       in
+      let cell (name, p) =
+        let out_buf = Buffer.create 256 and errs = ref [] in
+        let out s = Buffer.add_string out_buf s in
+        let err s = errs := s :: !errs in
+        let rep =
+          match analyze ~err name p with
+          | None -> None
+          | Some (rep, cp) ->
+            if validate then validate_whatifs ~out ~err name p cp;
+            Some rep
+        in
+        (Buffer.contents out_buf, List.rev !errs, rep)
+      in
+      let per_target =
+        Pool.parallel_map_emit ~jobs:(resolve_jobs jobs)
+          ~emit:(fun _ (chunk, errs, _) ->
+            emit_chunk chunk;
+            List.iter (fun e -> Printf.eprintf "%s\n" e) errs;
+            if errs <> [] then failed := true)
+          cell (Array.of_list progs)
+      in
       let reps =
-        List.filter_map
-          (fun (name, p) ->
-            match analyze name p with
-            | None -> None
-            | Some (rep, cp) ->
-              if validate then validate_whatifs name p cp;
-              Some rep)
-          progs
+        List.filter_map (fun (_, _, rep) -> rep) (Array.to_list per_target)
       in
       let wf (r : Critpath.report) i =
         match List.nth_opt r.Critpath.r_whatif i with
@@ -952,11 +1019,15 @@ let blame_cmd =
     end
     else begin
       let name, p = resolve_program bench file scale in
-      match analyze name p with
+      let err s =
+        Printf.eprintf "%s\n" s;
+        failed := true
+      in
+      match analyze ~err name p with
       | None -> ()
       | Some (rep, cp) ->
         Format.printf "%a" (Critpath.pp_report ~top) rep;
-        if validate then validate_whatifs name p cp;
+        if validate then validate_whatifs ~out:print_string ~err name p cp;
         write_json [ rep ]
     end;
     if !failed then exit 1
@@ -1007,7 +1078,7 @@ let blame_cmd =
     Term.(
       const blame $ bench_arg $ file_arg $ cores_arg $ strategy_arg $ scale_arg
       $ all_arg $ top_arg $ net_scale_arg $ validate_arg $ tm_rate_arg
-      $ fault_seed_arg $ json_arg)
+      $ fault_seed_arg $ json_arg $ jobs_arg)
 
 (* --- analyze: abstract-interpretation diagnostics + static cost model ----- *)
 
@@ -1050,36 +1121,36 @@ let region_mode_estimates ~machine ~profile est (pr : Select.planned_region) =
    excluded from the geomean. *)
 let noise_floor = 64.
 
-let analyze_sweep ~machine ~cores ~scale ~json_out () =
+let analyze_sweep ~machine ~cores ~scale ~json_out ~jobs () =
   let targets =
     (List.map (fun (b : Suite.benchmark) -> b.Suite.bench_name) Suite.all
     @ [ "micro:gsm_llp"; "micro:gzip_strands"; "micro:gsm_ilp" ])
     |> List.map (fun n -> (n, program_of_name n scale))
   in
-  let diag_count = ref 0 in
-  let all_diags = ref [] in
-  let rows = ref [] in
-  let errs = ref [] in
-  List.iter
-    (fun (name, p) ->
-      let summary = Absint.analyze p in
-      let diags = Absint.diags summary in
-      if diags <> [] then begin
-        diag_count := !diag_count + List.length diags;
-        Printf.printf "%s: %d diagnostic(s)\n" name (List.length diags);
-        print_absint_diags diags
-      end;
-      all_diags := !all_diags @ List.map absint_diag_json diags;
-      let est = Estimate.create ~machine ~summary p in
-      let compiled = Driver.compile ~machine ~choice:`Hybrid p in
-      let m = Machine.create machine compiled.Driver.executable in
-      let rp = Region_profile.attach m compiled in
-      let result = Machine.run m in
-      (match result.Machine.outcome with
-      | Machine.Finished -> ()
-      | _ ->
-        Printf.eprintf "%s: hybrid run did not finish\n" name;
-        exit 1);
+  (* One cell per benchmark: analysis, hybrid run, per-region reconcile.
+     Geomean inputs, JSON rows and printed chunks are all reassembled in
+     benchmark order, so the report is identical at any [jobs]. *)
+  let cell (name, p) =
+    let buf = Buffer.create 512 in
+    let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let summary = Absint.analyze p in
+    let diags = Absint.diags summary in
+    if diags <> [] then begin
+      out "%s: %d diagnostic(s)\n" name (List.length diags);
+      let b = Buffer.create 128 in
+      let ppf = Format.formatter_of_buffer b in
+      List.iter (fun d -> Format.fprintf ppf "  %a@." Absint.pp_diag d) diags;
+      Format.pp_print_flush ppf ();
+      Buffer.add_buffer buf b
+    end;
+    let diag_jsons = List.map absint_diag_json diags in
+    let est = Estimate.create ~machine ~summary p in
+    let compiled = Driver.compile ~machine ~choice:`Hybrid p in
+    let m = Machine.create machine compiled.Driver.executable in
+    let rp = Region_profile.attach m compiled in
+    let result = Machine.run m in
+    match result.Machine.outcome with
+    | Machine.Finished ->
       let measured region =
         List.fold_left
           (fun acc (r : Region_profile.row) ->
@@ -1089,6 +1160,7 @@ let analyze_sweep ~machine ~cores ~scale ~json_out () =
           0
           (Region_profile.rows rp)
       in
+      let rows = ref [] and errs = ref [] in
       List.iter
         (fun (er : Estimate.row) ->
           let meas =
@@ -1096,8 +1168,8 @@ let analyze_sweep ~machine ~cores ~scale ~json_out () =
           in
           let ratio = if meas > 0. then er.Estimate.e_cycles /. meas else 0. in
           let counted = meas >= noise_floor && er.Estimate.e_cycles > 0. in
-          Printf.printf
-            "%-24s %-14s %-8s static %10.0f  measured %10.0f  ratio %5.2f%s\n%!"
+          out
+            "%-24s %-14s %-8s static %10.0f  measured %10.0f  ratio %5.2f%s\n"
             name er.Estimate.e_region er.Estimate.e_strategy
             er.Estimate.e_cycles meas ratio
             (if counted then "" else "  (below noise floor, excluded)");
@@ -1114,17 +1186,40 @@ let analyze_sweep ~machine ~cores ~scale ~json_out () =
                 ("counted", Json.Bool counted);
               ]
             :: !rows)
-        (Estimate.table est compiled.Driver.plan))
-    targets;
+        (Estimate.table est compiled.Driver.plan);
+      Ok (Buffer.contents buf, diag_jsons, List.rev !rows, List.rev !errs)
+    | _ -> Error (Buffer.contents buf, name)
+  in
+  let fatal = ref false in
+  let per_target =
+    Pool.parallel_map_emit ~jobs
+      ~emit:(fun _ r ->
+        match r with
+        | Ok (chunk, _, _, _) -> emit_chunk chunk
+        | Error (chunk, name) ->
+          emit_chunk chunk;
+          Printf.eprintf "%s: hybrid run did not finish\n" name;
+          fatal := true)
+      cell (Array.of_list targets)
+  in
+  if !fatal then exit 1;
+  let results =
+    List.filter_map (function Ok r -> Some r | Error _ -> None)
+      (Array.to_list per_target)
+  in
+  let all_diags = List.concat_map (fun (_, d, _, _) -> d) results in
+  let diag_count = List.length all_diags in
+  let rows = List.concat_map (fun (_, _, r, _) -> r) results in
+  let errs = List.concat_map (fun (_, _, _, e) -> e) results in
   let geo =
-    match !errs with
+    match errs with
     | [] -> 1.
     | l -> exp (List.fold_left ( +. ) 0. l /. float_of_int (List.length l))
   in
   Printf.printf "geomean prediction error: %.1f%% over %d region(s)\n"
     ((geo -. 1.) *. 100.)
-    (List.length !errs);
-  Printf.printf "diagnostics: %d\n" !diag_count;
+    (List.length errs);
+  Printf.printf "diagnostics: %d\n" diag_count;
   (match json_out with
   | None -> ()
   | Some path ->
@@ -1134,18 +1229,20 @@ let analyze_sweep ~machine ~cores ~scale ~json_out () =
            ("cores", Json.Int cores);
            ("strategy", Json.Str "hybrid");
            ("geomean_error_pct", Json.Float ((geo -. 1.) *. 100.));
-           ("regions_counted", Json.Int (List.length !errs));
-           ("diagnostics", Json.List !all_diags);
-           ("rows", Json.List (List.rev !rows));
+           ("regions_counted", Json.Int (List.length errs));
+           ("diagnostics", Json.List all_diags);
+           ("rows", Json.List rows);
          ]);
     Printf.printf "wrote prediction JSON to %s\n" path);
-  if !diag_count > 0 then exit 1
+  if diag_count > 0 then exit 1
 
 let analyze_cmd =
-  let analyze bench file all cores scale json_out =
+  let analyze bench file all cores scale json_out jobs =
     or_check_failure @@ fun () ->
     let machine = Config.default ~n_cores:cores in
-    if all then analyze_sweep ~machine ~cores ~scale ~json_out ()
+    if all then
+      analyze_sweep ~machine ~cores ~scale ~json_out ~jobs:(resolve_jobs jobs)
+        ()
     else begin
       let name, p = resolve_program bench file scale in
       let summary = Absint.analyze p in
@@ -1225,10 +1322,11 @@ let analyze_cmd =
           reported.")
     Term.(
       const analyze $ bench_arg $ file_arg $ all_arg $ cores_arg $ scale_arg
-      $ json_arg)
+      $ json_arg $ jobs_arg)
 
 let fuzz_cmd =
-  let fuzz seed count cores strategies size no_minimize corpus emit sanitize_s =
+  let fuzz seed index count cores strategies size no_minimize corpus emit
+      sanitize_s jobs =
     let sanitize = sanitize_of_flag sanitize_s in
     let strategies =
       match strategies with
@@ -1263,7 +1361,7 @@ let fuzz_cmd =
     let report =
       Voltron_gen.Campaign.run ?strategies ?cores ?sanitize ~size
         ~minimize_findings:(not no_minimize) ~on_program ~log:print_endline
-        ~seed ~count ()
+        ~jobs:(resolve_jobs jobs) ~index ~seed ~count ()
     in
     Printf.printf
       "fuzz: %d program(s), %d simulation(s), %d checker warning(s), %d \
@@ -1279,7 +1377,21 @@ let fuzz_cmd =
     if report.Voltron_gen.Campaign.r_findings <> [] then exit 1
   in
   let seed_arg =
-    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"First generator seed.")
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Campaign seed. Each cell's generator seed is derived from the \
+             campaign seed and the cell index by an indexed SplitMix64 \
+             stream split.")
+  in
+  let index_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "index" ] ~docv:"K"
+          ~doc:
+            "First campaign cell index. Reproducer headers name the \
+             (seed, index) pair that regenerates a finding's program.")
   in
   let count_arg =
     Arg.(
@@ -1330,8 +1442,9 @@ let fuzz_cmd =
           oracle across the strategy/core matrix, with shrinking and \
           reproducer output.")
     Term.(
-      const fuzz $ seed_arg $ count_arg $ cores_list_arg $ strategies_arg
-      $ size_arg $ no_minimize_arg $ corpus_arg $ emit_arg $ sanitize_arg)
+      const fuzz $ seed_arg $ index_arg $ count_arg $ cores_list_arg
+      $ strategies_arg $ size_arg $ no_minimize_arg $ corpus_arg $ emit_arg
+      $ sanitize_arg $ jobs_arg)
 
 let list_cmd =
   let list () =

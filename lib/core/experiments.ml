@@ -47,6 +47,12 @@ let selected_benches benches =
   | None -> Suite.all
   | Some names -> List.map Suite.by_name names
 
+(* Per-benchmark cells are independent (each builds its own program,
+   profile and machines), so the figure sweeps fan out on the pool;
+   results come back in benchmark order whatever [jobs] is. *)
+let pmap ~jobs f xs =
+  Array.to_list (Voltron_pool.Pool.parallel_map ~jobs f (Array.of_list xs))
+
 (* Measure one program's cycles under a choice/core count, reusing the
    profile; insist on oracle agreement. *)
 let cycles_of ?profile program choice n_cores =
@@ -55,8 +61,8 @@ let cycles_of ?profile program choice n_cores =
     failwith "experiment run diverged from the reference interpreter";
   m
 
-let per_type ~scale ~benches ~n_cores =
-  List.map
+let per_type ~scale ~benches ~jobs ~n_cores =
+  pmap ~jobs
     (fun (b : Suite.benchmark) ->
       let p = b.Suite.build ~scale () in
       let profile = Profile.collect p in
@@ -68,11 +74,14 @@ let per_type ~scale ~benches ~n_cores =
       { bench = b.Suite.bench_name; sp_ilp = sp `Ilp; sp_tlp = sp `Tlp; sp_llp = sp `Llp })
     (selected_benches benches)
 
-let fig10 ?(scale = 1.0) ?benches () = per_type ~scale ~benches ~n_cores:2
-let fig11 ?(scale = 1.0) ?benches () = per_type ~scale ~benches ~n_cores:4
+let fig10 ?(scale = 1.0) ?benches ?(jobs = 1) () =
+  per_type ~scale ~benches ~jobs ~n_cores:2
 
-let fig12 ?(scale = 1.0) ?benches () =
-  List.map
+let fig11 ?(scale = 1.0) ?benches ?(jobs = 1) () =
+  per_type ~scale ~benches ~jobs ~n_cores:4
+
+let fig12 ?(scale = 1.0) ?benches ?(jobs = 1) () =
+  pmap ~jobs
     (fun (b : Suite.benchmark) ->
       let p = b.Suite.build ~scale () in
       let profile = Profile.collect p in
@@ -107,8 +116,8 @@ let fig12 ?(scale = 1.0) ?benches () =
       })
     (selected_benches benches)
 
-let fig13 ?(scale = 1.0) ?benches () =
-  List.map
+let fig13 ?(scale = 1.0) ?benches ?(jobs = 1) () =
+  pmap ~jobs
     (fun (b : Suite.benchmark) ->
       let p = b.Suite.build ~scale () in
       let profile = Profile.collect p in
@@ -117,8 +126,8 @@ let fig13 ?(scale = 1.0) ?benches () =
       { hs_bench = b.Suite.bench_name; hs_2core = sp 2; hs_4core = sp 4 })
     (selected_benches benches)
 
-let fig14 ?(scale = 1.0) ?benches () =
-  List.map
+let fig14 ?(scale = 1.0) ?benches ?(jobs = 1) () =
+  pmap ~jobs
     (fun (b : Suite.benchmark) ->
       let p = b.Suite.build ~scale () in
       let m = cycles_of p `Hybrid 4 in
@@ -136,8 +145,8 @@ let fig14 ?(scale = 1.0) ?benches () =
 
 (* Fig. 3: run every region standalone under each forced strategy and
    attribute its dynamic weight to the winner. *)
-let fig3 ?(scale = 1.0) ?benches () =
-  List.map
+let fig3 ?(scale = 1.0) ?benches ?(jobs = 1) () =
+  pmap ~jobs
     (fun (b : Suite.benchmark) ->
       let p = b.Suite.build ~scale () in
       let profile = Profile.collect p in
@@ -188,7 +197,7 @@ let fig3 ?(scale = 1.0) ?benches () =
       })
     (selected_benches benches)
 
-let micro ?(scale = 1.0) () =
+let micro ?(scale = 1.0) ?(jobs = 1) () =
   let best program =
     let base = Run.baseline_cycles program in
     let candidates =
@@ -198,23 +207,16 @@ let micro ?(scale = 1.0) () =
     in
     float_of_int base /. float_of_int (List.fold_left min max_int candidates)
   in
-  [
-    {
-      mi_name = "gsmdecode DOALL (Fig.7)";
-      mi_paper = 1.9;
-      mi_measured = best (Suite.micro_gsm_llp ~scale ());
-    };
-    {
-      mi_name = "164.gzip strands (Fig.8)";
-      mi_paper = 1.2;
-      mi_measured = best (Suite.micro_gzip_strands ~scale ());
-    };
-    {
-      mi_name = "gsmdecode ILP (Fig.9)";
-      mi_paper = 1.78;
-      mi_measured = best (Suite.micro_gsm_ilp ~scale ());
-    };
-  ]
+  pmap ~jobs
+    (fun (mi_name, mi_paper, build) ->
+      { mi_name; mi_paper; mi_measured = best (build ()) })
+    [
+      ("gsmdecode DOALL (Fig.7)", 1.9, fun () -> Suite.micro_gsm_llp ~scale ());
+      ( "164.gzip strands (Fig.8)",
+        1.2,
+        fun () -> Suite.micro_gzip_strands ~scale () );
+      ("gsmdecode ILP (Fig.9)", 1.78, fun () -> Suite.micro_gsm_ilp ~scale ());
+    ]
 
 (* --- Resilience (AVF-style fault sweep) -------------------------------------- *)
 
@@ -233,9 +235,10 @@ type resilience_row = {
 }
 
 let resilience ?(scale = 1.0) ?(benches = [ "cjpeg"; "gsmdecode"; "179.art" ])
-    ?(rates = [ 0.0; 1e-4; 1e-3; 5e-3 ]) ?(seed = 42) () =
-  List.concat_map
-    (fun name ->
+    ?(rates = [ 0.0; 1e-4; 1e-3; 5e-3 ]) ?(seed = 42) ?(jobs = 1) () =
+  List.concat
+  @@ pmap ~jobs
+       (fun name ->
       let b = Suite.by_name name in
       let p = b.Suite.build ~scale () in
       let profile = Profile.collect p in

@@ -3,7 +3,11 @@
     figure plots. See EXPERIMENTS.md for paper-vs-measured numbers.
 
     All speedups are over the single-core sequential baseline. [scale]
-    shrinks the workloads for quick runs (tests use 0.25). *)
+    shrinks the workloads for quick runs (tests use 0.25). [jobs]
+    (default 1) fans the independent per-benchmark cells out on the
+    work-stealing pool ({!Voltron_pool.Pool}); results are assembled in
+    benchmark order, so every figure is identical for every [jobs]
+    value. *)
 
 type per_type_speedup = {
   bench : string;
@@ -44,28 +48,28 @@ type micro_result = {
   mi_measured : float;  (** ours, 2 cores, best strategy *)
 }
 
-val fig3 : ?scale:float -> ?benches:string list -> unit -> classification list
+val fig3 : ?scale:float -> ?benches:string list -> ?jobs:int -> unit -> classification list
 (** Per-region measured classification: each region runs standalone under
     each forced strategy on 4 cores; the winner's category is credited
     with the region's dynamic weight (the paper's Fig. 3 methodology). *)
 
-val fig10 : ?scale:float -> ?benches:string list -> unit -> per_type_speedup list
+val fig10 : ?scale:float -> ?benches:string list -> ?jobs:int -> unit -> per_type_speedup list
 (** 2-core speedups per parallelism type. *)
 
-val fig11 : ?scale:float -> ?benches:string list -> unit -> per_type_speedup list
+val fig11 : ?scale:float -> ?benches:string list -> ?jobs:int -> unit -> per_type_speedup list
 (** 4-core speedups per parallelism type. *)
 
-val fig12 : ?scale:float -> ?benches:string list -> unit -> stall_breakdown list
+val fig12 : ?scale:float -> ?benches:string list -> ?jobs:int -> unit -> stall_breakdown list
 (** Stall-cycle breakdown, coupled vs decoupled, 4 cores. *)
 
-val fig13 : ?scale:float -> ?benches:string list -> unit -> hybrid_speedup list
+val fig13 : ?scale:float -> ?benches:string list -> ?jobs:int -> unit -> hybrid_speedup list
 (** Hybrid (per-region best) speedups on 2 and 4 cores. *)
 
-val fig14 : ?scale:float -> ?benches:string list -> unit -> mode_split list
+val fig14 : ?scale:float -> ?benches:string list -> ?jobs:int -> unit -> mode_split list
 (** Share of execution time spent in each mode during the 4-core hybrid
     runs. *)
 
-val micro : ?scale:float -> unit -> micro_result list
+val micro : ?scale:float -> ?jobs:int -> unit -> micro_result list
 (** The Figs. 7-9 worked examples on 2 cores. *)
 
 (** {1 Resilience} — AVF-style fault sweep (DESIGN.md "Fault model &
@@ -90,6 +94,7 @@ val resilience :
   ?benches:string list ->
   ?rates:float list ->
   ?seed:int ->
+  ?jobs:int ->
   unit ->
   resilience_row list
 (** For each benchmark (default cjpeg, gsmdecode, 179.art) and each

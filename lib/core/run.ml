@@ -228,108 +228,123 @@ let divergence_to_string = function
 
 (* One compile per case; two simulations (fast-forward on and off) off the
    same executable — the flag is simulation-only, so any disagreement is a
-   simulator bug, not a compilation difference. *)
+   simulator bug, not a compilation difference.
+
+   Each (strategy, cores) cell is a pure value: it compiles its own
+   executable and builds its own machines, so cells run on any domain.
+   Results are accumulated by cell index — (cores-major, strategies-minor,
+   matching the serial iteration order) — never by completion order, so
+   the report is bit-identical for every [jobs] value. *)
 let differential ?(strategies = default_strategies) ?(cores = default_cores)
     ?(max_steps = 2_000_000) ?(max_cycles = 4_000_000)
     ?(tweak = fun c -> c) ?(miscompile = fun c -> c) ?(ff_tweak = fun c -> c)
-    ?sanitize program =
-  let runs = ref 0 and warnings = ref 0 and divs = ref [] in
-  let push d = divs := d :: !divs in
-  let simulate config (compiled : Driver.compiled) =
-    incr runs;
-    let m = Machine.create config compiled.Driver.executable in
-    let san =
-      match sanitize with
-      | None -> None
-      | Some policy -> Some (Sanity.attach ~policy m)
+    ?sanitize ?(jobs = 1) program =
+  let cell (d_cores, d_strategy) =
+    let runs = ref 0 and warnings = ref 0 and divs = ref [] in
+    let push d = divs := d :: !divs in
+    let simulate config (compiled : Driver.compiled) =
+      incr runs;
+      let m = Machine.create config compiled.Driver.executable in
+      let san =
+        match sanitize with
+        | None -> None
+        | Some policy -> Some (Sanity.attach ~policy m)
+      in
+      let result = Machine.run m in
+      (match san with
+      | None -> ()
+      | Some s ->
+        Sanity.finalize s ~completed:(result.Machine.outcome = Machine.Finished));
+      let outcome = outcome_of_machine result.Machine.outcome in
+      let sum =
+        Voltron_mem.Memory.checksum_prefix (Machine.memory m)
+          compiled.Driver.array_footprint
+      in
+      (outcome, result.Machine.cycles, sum, Option.map Sanity.report san)
     in
-    let result = Machine.run m in
-    (match san with
-    | None -> ()
-    | Some s ->
-      Sanity.finalize s ~completed:(result.Machine.outcome = Machine.Finished));
-    let outcome = outcome_of_machine result.Machine.outcome in
-    let sum =
-      Voltron_mem.Memory.checksum_prefix (Machine.memory m)
-        compiled.Driver.array_footprint
+    let case = { d_strategy; d_cores } in
+    let config =
+      let c = tweak (Config.default ~n_cores:d_cores) in
+      { c with Config.max_cycles = min c.Config.max_cycles max_cycles }
     in
-    (outcome, result.Machine.cycles, sum, Option.map Sanity.report san)
-  in
-  List.iter
-    (fun d_cores ->
-      List.iter
-        (fun d_strategy ->
-          let case = { d_strategy; d_cores } in
-          let config =
-            let c = tweak (Config.default ~n_cores:d_cores) in
-            { c with Config.max_cycles = min c.Config.max_cycles max_cycles }
-          in
-          match
-            Driver.compile ~machine:config ~choice:d_strategy ~check:true
-              ~max_steps program
-          with
-          | exception Voltron_check.Check.Failed diags ->
-            push (Checker_rejected { cr_case = case; diags })
-          | compiled ->
-            let compiled = miscompile compiled in
-            if Voltron_check.Check.has_errors compiled.Driver.check_diags then
-              push
-                (Checker_rejected
-                   { cr_case = case; diags = compiled.Driver.check_diags })
-            else begin
-              warnings := !warnings + List.length compiled.Driver.check_diags;
-              let run_ff ff config =
-                simulate { config with Config.fast_forward = ff } compiled
-              in
-              let o_on, cyc_on, sum_on, san_on = run_ff true config in
-              let o_off, cyc_off, sum_off, san_off =
-                run_ff false (ff_tweak config)
-              in
-              (* A dirty sanitizer report is its own divergence class and
-                 supersedes the non-completion judgement for that run (an
-                 Abort-policy stop is the sanitizer working, not a hang). *)
-              let check_sanity ff san =
-                match san with
-                | Some r when not (Sanity.clean r) ->
-                  push
-                    (Sanity_violation
-                       { sv_case = case; sv_fast_forward = ff; sv_report = r });
-                  true
-                | _ -> false
-              in
-              let dirty_on = check_sanity true san_on in
-              let dirty_off = check_sanity false san_off in
-              let check_completed ff o expected sum dirty =
-                if not dirty then
-                  match o with
-                  | Completed ->
-                    if sum <> expected then
-                      push
-                        (Checksum_mismatch { cm_case = case; expected; got = sum })
-                  | o ->
-                    push
-                      (Non_completion
-                         { nc_case = case; nc_fast_forward = ff; nc_outcome = o })
-              in
-              (* The fast-forward run is judged against the oracle; the
-                 per-cycle reference run is judged against the fast-forward
-                 run, so one miscompile is one divergence, and any on/off
-                 disagreement (cycles or memory) is a simulator bug. *)
-              check_completed true o_on compiled.Driver.oracle_checksum sum_on
-                dirty_on;
-              check_completed false o_off sum_on sum_off dirty_off;
-              if o_on = Completed && o_off = Completed && cyc_on <> cyc_off
-              then
+    (match
+       Driver.compile ~machine:config ~choice:d_strategy ~check:true
+         ~max_steps program
+     with
+    | exception Voltron_check.Check.Failed diags ->
+      push (Checker_rejected { cr_case = case; diags })
+    | compiled ->
+      let compiled = miscompile compiled in
+      if Voltron_check.Check.has_errors compiled.Driver.check_diags then
+        push
+          (Checker_rejected
+             { cr_case = case; diags = compiled.Driver.check_diags })
+      else begin
+        warnings := !warnings + List.length compiled.Driver.check_diags;
+        let run_ff ff config =
+          simulate { config with Config.fast_forward = ff } compiled
+        in
+        let o_on, cyc_on, sum_on, san_on = run_ff true config in
+        let o_off, cyc_off, sum_off, san_off =
+          run_ff false (ff_tweak config)
+        in
+        (* A dirty sanitizer report is its own divergence class and
+           supersedes the non-completion judgement for that run (an
+           Abort-policy stop is the sanitizer working, not a hang). *)
+        let check_sanity ff san =
+          match san with
+          | Some r when not (Sanity.clean r) ->
+            push
+              (Sanity_violation
+                 { sv_case = case; sv_fast_forward = ff; sv_report = r });
+            true
+          | _ -> false
+        in
+        let dirty_on = check_sanity true san_on in
+        let dirty_off = check_sanity false san_off in
+        let check_completed ff o expected sum dirty =
+          if not dirty then
+            match o with
+            | Completed ->
+              if sum <> expected then
                 push
-                  (Ff_cycle_mismatch
-                     { fc_case = case; ff_on = cyc_on; ff_off = cyc_off })
-            end)
-        strategies)
-    cores;
+                  (Checksum_mismatch { cm_case = case; expected; got = sum })
+            | o ->
+              push
+                (Non_completion
+                   { nc_case = case; nc_fast_forward = ff; nc_outcome = o })
+        in
+        (* The fast-forward run is judged against the oracle; the
+           per-cycle reference run is judged against the fast-forward
+           run, so one miscompile is one divergence, and any on/off
+           disagreement (cycles or memory) is a simulator bug. *)
+        check_completed true o_on compiled.Driver.oracle_checksum sum_on
+          dirty_on;
+        check_completed false o_off sum_on sum_off dirty_off;
+        if o_on = Completed && o_off = Completed && cyc_on <> cyc_off
+        then
+          push
+            (Ff_cycle_mismatch
+               { fc_case = case; ff_on = cyc_on; ff_off = cyc_off })
+      end);
+    (!runs, !warnings, List.rev !divs)
+  in
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun c -> List.map (fun s -> (c, s)) strategies)
+         cores)
+  in
+  let per_cell = Voltron_pool.Pool.parallel_map ~jobs cell cells in
+  let runs, warnings, divs_rev =
+    Array.fold_left
+      (fun (r, w, ds) (r', w', ds') -> (r + r', w + w', List.rev_append ds' ds))
+      (0, 0, []) per_cell
+  in
   {
-    diff_runs = !runs;
-    diff_warnings = !warnings;
-    diff_divergences = List.rev !divs;
+    diff_runs = runs;
+    diff_warnings = warnings;
+    diff_divergences = List.rev divs_rev;
   }
 
 let baseline_cycles ?profile program =

@@ -163,6 +163,7 @@ val differential :
   ?miscompile:(Voltron_compiler.Driver.compiled -> Voltron_compiler.Driver.compiled) ->
   ?ff_tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
   ?sanitize:Voltron_sanity.Sanity.policy ->
+  ?jobs:int ->
   Voltron_ir.Hir.program ->
   differential
 (** For every strategy x core count: compile once (static checker on),
@@ -182,7 +183,13 @@ val differential :
     miscompile, to prove checksum and checker divergences are caught), the
     second perturbs only the per-cycle reference machine (to prove
     fast-forward divergences are caught). Leave both at their identity
-    defaults in real use. *)
+    defaults in real use.
+
+    [jobs] (default 1) runs the matrix cells on a work-stealing pool of
+    that many domains ({!Voltron_pool.Pool.parallel_map}); each cell
+    compiles and simulates independently, and runs, warnings and
+    divergences are accumulated by cell index, so the result is
+    bit-identical for every [jobs] value. *)
 
 val baseline_cycles : ?profile:Voltron_analysis.Profile.t -> Voltron_ir.Hir.program -> int
 (** Single-core sequential cycles (the paper's 1.0 reference). *)

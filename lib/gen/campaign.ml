@@ -1,8 +1,12 @@
 module Ast = Voltron_lang.Ast
 module Frontend = Voltron_lang.Frontend
 module Run = Voltron.Run
+module Rng = Voltron_util.Rng
+module Pool = Voltron_pool.Pool
 
 type finding = {
+  f_campaign_seed : int;
+  f_index : int;
   f_seed : int;
   f_class : string;
   f_case : Run.diff_case option;
@@ -74,46 +78,69 @@ let minimize ?strategies ?cores ?miscompile ?ff_tweak ?sanitize ~cls ?case p =
   in
   if keep p then Shrink.shrink ~keep p else p
 
+(* One campaign cell = generate, run the contract, shrink. Cells touch no
+   shared state — each derives its generator seed by {!Rng.split} from
+   the campaign seed (a pure function of (campaign seed, cell index), so
+   cell k is the same program at any [jobs] and any [count] covering it)
+   — which makes them safe to fan out on the pool. All log lines a cell
+   produces are buffered and emitted through the pool's ordered
+   completion frontier, so progress counters and finding messages arrive
+   in cell-index order and the transcript is byte-identical for every
+   [jobs] value. *)
 let run ?strategies ?cores ?sanitize ?(size = 24) ?(minimize_findings = true)
-    ?(on_program = fun ~seed:_ _ -> ()) ?(log = ignore) ~seed ~count () =
-  let runs = ref 0 and warnings = ref 0 and findings = ref [] in
-  for k = 0 to count - 1 do
-    let s = seed + k in
+    ?(on_program = fun ~seed:_ _ -> ()) ?(log = ignore) ?(jobs = 1)
+    ?(index = 0) ~seed ~count () =
+  let rng = Rng.create seed in
+  let cell k =
+    let idx = index + k in
+    let s = Rng.next (Rng.split rng idx) in
     let p = Gen.program ~size ~seed:s () in
     on_program ~seed:s p;
+    let lines = ref [] in
+    let say msg = lines := msg :: !lines in
     let failure, r, w = first_failure ?strategies ?cores ?sanitize p in
+    let finding =
+      match failure with
+      | None -> None
+      | Some (cls, case, detail) ->
+        say (Printf.sprintf "seed %d: %s divergence — %s" s cls detail);
+        let minimized =
+          if minimize_findings then begin
+            let m = minimize ?strategies ?cores ?sanitize ~cls ?case p in
+            say
+              (Printf.sprintf "seed %d: shrunk %d -> %d source lines" s
+                 (Gen.source_lines p) (Gen.source_lines m));
+            m
+          end
+          else p
+        in
+        Some
+          {
+            f_campaign_seed = seed;
+            f_index = idx;
+            f_seed = s;
+            f_class = cls;
+            f_case = case;
+            f_detail = detail;
+            f_original = p;
+            f_minimized = minimized;
+          }
+    in
+    (r, w, finding, List.rev !lines)
+  in
+  let runs = ref 0 and warnings = ref 0 and findings = ref [] in
+  let emit k (r, w, finding, lines) =
     runs := !runs + r;
     warnings := !warnings + w;
-    (match failure with
-    | None -> ()
-    | Some (cls, case, detail) ->
-      log (Printf.sprintf "seed %d: %s divergence — %s" s cls detail);
-      let minimized =
-        if minimize_findings then begin
-          let m = minimize ?strategies ?cores ?sanitize ~cls ?case p in
-          log
-            (Printf.sprintf "seed %d: shrunk %d -> %d source lines" s
-               (Gen.source_lines p) (Gen.source_lines m));
-          m
-        end
-        else p
-      in
-      findings :=
-        {
-          f_seed = s;
-          f_class = cls;
-          f_case = case;
-          f_detail = detail;
-          f_original = p;
-          f_minimized = minimized;
-        }
-        :: !findings);
+    (match finding with None -> () | Some f -> findings := f :: !findings);
+    List.iter log lines;
     if (k + 1) mod 25 = 0 then
       log
         (Printf.sprintf "%d/%d programs, %d simulations, %d finding(s)" (k + 1)
            count !runs
            (List.length !findings))
-  done;
+  in
+  ignore (Pool.parallel_map_emit ~jobs ~emit cell (Array.init count Fun.id));
   {
     r_programs = count;
     r_runs = !runs;
@@ -128,16 +155,18 @@ let write_reproducer ~dir f =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let path =
     Filename.concat dir
-      (Printf.sprintf "fuzz_s%d_%s.vc" f.f_seed (sanitize_class f.f_class))
+      (Printf.sprintf "fuzz_s%d_i%d_%s.vc" f.f_campaign_seed f.f_index
+         (sanitize_class f.f_class))
   in
   let oc = open_out path in
   Printf.fprintf oc
     "// voltron_gen reproducer — failure class: %s\n\
-     // seed %d%s\n\
+     // campaign seed %d, cell %d (generator seed %d)%s\n\
      // %s\n\
-     // regenerate the unshrunk original: voltron_sim fuzz --seed %d --count 1\n\
+     // regenerate the unshrunk original: voltron_sim fuzz --seed %d --index \
+     %d --count 1\n\
      %s"
-    f.f_class f.f_seed
+    f.f_class f.f_campaign_seed f.f_index f.f_seed
     (match f.f_case with
     | Some c ->
       Printf.sprintf ", first diverging case: %s on %d cores"
@@ -145,6 +174,6 @@ let write_reproducer ~dir f =
         c.Run.d_cores
     | None -> "")
     (String.concat " " (String.split_on_char '\n' f.f_detail))
-    f.f_seed (Gen.render f.f_minimized);
+    f.f_campaign_seed f.f_index (Gen.render f.f_minimized);
   close_out oc;
   path

@@ -10,7 +10,11 @@
     over a strategy x core matrix. *)
 
 type finding = {
+  f_campaign_seed : int;  (** the campaign's [~seed] *)
+  f_index : int;  (** cell index within the campaign ([~index] + offset) *)
   f_seed : int;
+      (** derived generator seed for this cell:
+          [Rng.next (Rng.split (Rng.create f_campaign_seed) f_index)] *)
   f_class : string;
       (** {!Voltron.Run.divergence_class} of the first divergence, or
           ["crash: <exn>"] when the toolchain raised *)
@@ -66,15 +70,26 @@ val run :
   ?minimize_findings:bool ->
   ?on_program:(seed:int -> Voltron_lang.Ast.program -> unit) ->
   ?log:(string -> unit) ->
+  ?jobs:int ->
+  ?index:int ->
   seed:int ->
   count:int ->
   unit ->
   report
-(** Run [count] programs at seeds [seed, seed+1, ...]. [on_program] sees
+(** Run [count] programs at campaign cells [index, index + count)
+    (default [index = 0]). Cell [k]'s generator seed is derived by
+    {!Voltron_util.Rng.split} from the campaign [seed] and [k] alone, so
+    a single finding regenerates with [~seed ~index:k ~count:1] and the
+    cell set is independent of [jobs] and chunking. [on_program] sees
     every generated program before it runs (the CLI's [--emit] hook);
-    [log] receives one-line progress and finding messages. *)
+    under [jobs > 1] it is called concurrently from worker domains, so it
+    must be thread-safe (writing one file per seed is fine). [log]
+    receives one-line progress and finding messages, always in cell-index
+    order — the transcript is byte-identical for every [jobs] value.
+    [jobs] (default 1) fans the cells out on the work-stealing pool. *)
 
 val write_reproducer : dir:string -> finding -> string
-(** Write the minimized program as [dir/fuzz_s<seed>_<class>.vc] with a
-    triage header (seed, class, diverging case, regeneration command);
-    returns the path. Creates [dir] if missing. *)
+(** Write the minimized program as
+    [dir/fuzz_s<campaign seed>_i<index>_<class>.vc] with a triage header
+    (campaign seed, cell index, generator seed, class, diverging case,
+    regeneration command); returns the path. Creates [dir] if missing. *)

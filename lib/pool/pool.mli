@@ -1,0 +1,53 @@
+(** Domain-based work-stealing pool for campaign sweeps.
+
+    A fixed pool of OCaml 5 [Domain]s, one Chase-Lev-style deque per
+    worker, randomized victim selection, and a child-stealing submission
+    discipline: a worker that opens a nested {!parallel_map} pushes the
+    sub-tasks onto its own deque and executes them newest-first while
+    idle workers steal oldest-first from the other end.
+
+    The pool is a process-wide singleton, created lazily on the first
+    parallel call and grown (never shrunk) to [jobs - 1] worker domains;
+    the calling domain is always the remaining participant. Idle workers
+    sleep on a condition variable, so an idle pool costs nothing between
+    sweeps.
+
+    Determinism contract: {!parallel_map} writes each result into its
+    input slot, so the output order never depends on the completion
+    order, and [jobs = 1] bypasses the pool entirely — a plain
+    left-to-right [Array.map], the bit-identical serial reference every
+    parallel sweep is compared against. *)
+
+val default_jobs : unit -> int
+(** Worker budget when the caller does not pass [?jobs]: the
+    [VOLTRON_JOBS] environment variable if it parses as a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map ~jobs f xs] is [Array.map f xs] computed by up to
+    [jobs] domains (the caller plus [jobs - 1] pool workers). Results
+    are in input order regardless of completion order.
+
+    [jobs] defaults to {!default_jobs}. With [jobs <= 1] (or fewer than
+    two elements) no pool is touched: the map runs serially,
+    left-to-right, in the calling domain.
+
+    [f] runs concurrently on arbitrary domains: it must not touch shared
+    mutable state. If one or more applications raise, the remaining
+    unstarted tasks are skipped and the first exception recorded is
+    re-raised in the caller (with its backtrace) after every started
+    task has finished.
+
+    Nested calls are safe: a worker that opens an inner [parallel_map]
+    helps execute pending tasks (its own first, then stolen ones) while
+    it waits, so the pool cannot deadlock on nesting. *)
+
+val parallel_map_emit :
+  ?jobs:int -> emit:(int -> 'b -> unit) -> ('a -> 'b) -> 'a array -> 'b array
+(** Like {!parallel_map}, but [emit i (f xs.(i))] is called exactly once
+    per element, serialized under a lock and in strict index order, as
+    soon as every element [<= i] has completed — a completion frontier.
+    Progress lines and per-cell reports printed from [emit] are
+    therefore byte-identical for every [jobs] value, even though cells
+    complete out of order. [emit] runs on whichever domain completed the
+    frontier cell; exceptions from [f] suppress all further emits. *)

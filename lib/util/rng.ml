@@ -6,12 +6,16 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
-let next_u64 t =
-  t.state <- Int64.add t.state golden;
-  let z = t.state in
+(* SplitMix64 output finalizer: a bijective avalanche over the stream
+   counter. *)
+let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_u64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
 
 let next t = Int64.to_int (Int64.shift_right_logical (next_u64 t) 2)
 
@@ -43,4 +47,11 @@ let shuffle t a =
     a.(j) <- tmp
   done
 
-let split t = { state = next_u64 t }
+let split t i =
+  assert (i >= 0);
+  (* Indexed stream split: double-mix the parent state offset by the
+     (i+1)-th golden-ratio increment. The double finalizer decorrelates
+     child streams from each other and from the parent's own output
+     sequence (a single mix would make child i's state equal the
+     parent's (i+1)-th output). Pure: does not advance [t]. *)
+  { state = mix (mix (Int64.add t.state (Int64.mul golden (Int64.of_int (i + 1))))) }

@@ -35,5 +35,10 @@ val pick : t -> 'a array -> 'a
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
 
-val split : t -> t
-(** Derive an independent generator; advances [t]. *)
+val split : t -> int -> t
+(** [split t i] derives the [i]-th child generator of [t]'s current
+    state: a statistically independent SplitMix64 stream per index,
+    stable under any evaluation order. Pure — [t] is not advanced, and
+    the same [(state, i)] pair always yields the same child. Campaigns
+    use it to give every cell its own generator derived from the
+    campaign seed. Requires [i >= 0]. *)

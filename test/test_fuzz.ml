@@ -181,7 +181,9 @@ let test_write_reproducer_reparses () =
   Sys.remove dir;
   let finding =
     {
-      Campaign.f_seed = 99;
+      Campaign.f_campaign_seed = 99;
+      f_index = 3;
+      f_seed = 4242;
       f_class = "checksum";
       f_case = Some { Run.d_strategy = `Hybrid; d_cores = 4 };
       f_detail = "synthetic finding for reproducer round-trip";
@@ -191,8 +193,8 @@ let test_write_reproducer_reparses () =
   in
   let path = Campaign.write_reproducer ~dir finding in
   Alcotest.(check bool) "file exists" true (Sys.file_exists path);
-  Alcotest.(check bool) "named by seed and class" true
-    (Filename.basename path = "fuzz_s99_checksum.vc");
+  Alcotest.(check bool) "named by campaign seed, index and class" true
+    (Filename.basename path = "fuzz_s99_i3_checksum.vc");
   (* The triage header must be comments only: the file re-parses. *)
   match Frontend.parse_file path with
   | _ -> Sys.remove path; Unix.rmdir dir

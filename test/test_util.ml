@@ -25,10 +25,45 @@ let test_rng_bounds () =
 
 let test_rng_split_independent () =
   let a = Rng.create 1 in
-  let b = Rng.split a in
+  let b = Rng.split a 0 in
   let xs = List.init 10 (fun _ -> Rng.next a) in
   let ys = List.init 10 (fun _ -> Rng.next b) in
   Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_split_pure () =
+  (* split must not advance the parent, and must be a pure function of
+     (parent state, index). *)
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let c1 = Rng.split a 5 and c2 = Rng.split a 5 in
+  Alcotest.(check int) "same child stream" (Rng.next c1) (Rng.next c2);
+  ignore (Rng.split a 7);
+  for _ = 1 to 20 do
+    Alcotest.(check int) "parent unchanged by split" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_split_statistical () =
+  (* Statistical independence sanity: across 1000 sibling children of one
+     campaign seed, first outputs are pairwise distinct, every output bit
+     is roughly balanced, and children do not correlate with the parent's
+     own output stream. *)
+  let parent = Rng.create 1 in
+  let n = 1000 in
+  let firsts = Array.init n (fun i -> Rng.next (Rng.split parent i)) in
+  let tbl = Hashtbl.create n in
+  Array.iter (fun x -> Hashtbl.replace tbl x ()) firsts;
+  Alcotest.(check int) "children pairwise distinct" n (Hashtbl.length tbl);
+  for bit = 0 to 61 do
+    let ones = Array.fold_left (fun acc x -> acc + ((x lsr bit) land 1)) 0 firsts in
+    Alcotest.(check bool)
+      (Printf.sprintf "bit %d balanced" bit)
+      true
+      (ones > n * 35 / 100 && ones < n * 65 / 100)
+  done;
+  let p = Rng.create 1 in
+  let parent_outs = Array.init n (fun _ -> Rng.next p) in
+  let coincide = ref 0 in
+  Array.iteri (fun i x -> if x = parent_outs.(i) then incr coincide) firsts;
+  Alcotest.(check int) "children decorrelated from parent stream" 0 !coincide
 
 let test_vec_push_pop () =
   let v = Vec.create () in
@@ -151,6 +186,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "split pure" `Quick test_rng_split_pure;
+          Alcotest.test_case "split statistics" `Quick test_rng_split_statistical;
         ] );
       ( "vec",
         [
