@@ -38,6 +38,11 @@ let run_figure ~scale ~jobs name =
   | "fig13" -> E.print_fig13 (E.fig13 ~scale ~jobs ())
   | "fig14" -> E.print_fig14 (E.fig14 ~scale ~jobs ())
   | "micro" -> E.print_micro (E.micro ~scale ~jobs ())
+  | "scaling" ->
+    let rows = E.scaling ~scale ~jobs () in
+    E.print_scaling rows;
+    print_newline ();
+    E.print_crossover (E.crossover rows)
   | "resilience" -> E.print_resilience (E.resilience ~scale ~jobs ())
   | other ->
     Printf.eprintf "unknown figure: %s\n" other;
@@ -78,7 +83,10 @@ let run_ablations ~scale () =
   print_newline ()
 
 let figures =
-  [ "fig3"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "micro"; "resilience" ]
+  [
+    "fig3"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "micro"; "scaling";
+    "resilience";
+  ]
 
 (* --- JSON export (BENCH.json) ---------------------------------------------- *)
 
@@ -161,6 +169,39 @@ let json_of_figure ~scale ~jobs = function
                ("measured", Json.Float m.E.mi_measured);
              ])
          (E.micro ~scale ~jobs ()))
+  | "scaling" ->
+    let rows = E.scaling ~scale ~jobs () in
+    Json.Obj
+      [
+        ( "rows",
+          Json.List
+            (List.map
+               (fun (r : E.scaling_row) ->
+                 Json.Obj
+                   [
+                     ("bench", Json.Str r.E.sc_bench);
+                     ("class", Json.Str r.E.sc_class);
+                     ("cores", Json.Int r.E.sc_cores);
+                     ("snoop_cycles", Json.Int r.E.sc_snoop_cycles);
+                     ("directory_cycles", Json.Int r.E.sc_dir_cycles);
+                     ("snoop_speedup", Json.Float r.E.sc_snoop);
+                     ("directory_speedup", Json.Float r.E.sc_directory);
+                   ])
+               rows) );
+        ( "crossover",
+          Json.List
+            (List.map
+               (fun (c : E.crossover_row) ->
+                 Json.Obj
+                   [
+                     ("class", Json.Str c.E.cx_class);
+                     ("cores", Json.Int c.E.cx_cores);
+                     ("snoop", Json.Float c.E.cx_snoop);
+                     ("directory", Json.Float c.E.cx_directory);
+                     ("winner", Json.Str c.E.cx_winner);
+                   ])
+               (E.crossover rows)) );
+      ]
   | "resilience" ->
     Json.List
       (List.map

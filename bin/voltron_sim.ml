@@ -24,6 +24,7 @@ module Codegen = Voltron_compiler.Codegen
 module Region_profile = Voltron_obs.Region_profile
 module Blame = Voltron_obs.Blame
 module Critpath = Voltron_obs.Critpath
+module Coherence = Voltron_mem.Coherence
 
 let print_diags oc diags =
   let ppf = Format.formatter_of_out_channel oc in
@@ -146,6 +147,23 @@ let short_outcome = function
   | Voltron.Run.Deadlocked _ -> "deadlock"
   | Voltron.Run.Fault_limited _ -> "fault limit"
   | Voltron.Run.Sanity_stopped _ -> "sanitizer stop"
+
+let coherence_of_string s =
+  match Coherence.protocol_of_string s with
+  | Ok p -> p
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+
+let coherence_arg =
+  Arg.(
+    value & opt string "snoop"
+    & info [ "coherence" ] ~docv:"P"
+        ~doc:
+          "Coherence backend: $(b,snoop) (the default bus-snooped MOESI \
+           hierarchy) or $(b,directory) (home-banked MESI directory — \
+           distributed serialization that scales past the shared bus at \
+           16+ cores).")
 
 let sanitize_arg =
   Arg.(
@@ -272,7 +290,7 @@ let sanity_clean (m : Voltron.Run.measurement) =
 (* run --all: the whole workload suite (plus the micro kernels) under every
    strategy at the given core count, one line per cell — the CI's sanitized
    sweep entry point. *)
-let run_sweep ~cores ~scale ~check ~sanitize ~no_profile ~jobs () =
+let run_sweep ~cores ~coherence ~scale ~check ~sanitize ~no_profile ~jobs () =
   let targets =
     (List.map (fun (b : Suite.benchmark) -> b.Suite.bench_name) Suite.all
     @ [ "micro:gsm_llp"; "micro:gzip_strands"; "micro:gsm_ilp" ])
@@ -289,7 +307,10 @@ let run_sweep ~cores ~scale ~check ~sanitize ~no_profile ~jobs () =
     List.iter
       (fun s ->
         let choice = choice_of_string s in
-        let m = Voltron.Run.run ~choice ~check ?profile ?sanitize ~n_cores:cores p in
+        let m =
+          Voltron.Run.run ~choice ~check ?profile ?sanitize
+            ~tweak:(Config.with_coherence coherence) ~n_cores:cores p
+        in
         let ok =
           m.Voltron.Run.outcome = Voltron.Run.Completed
           && m.Voltron.Run.verified && sanity_clean m
@@ -325,13 +346,15 @@ let run_sweep ~cores ~scale ~check ~sanitize ~no_profile ~jobs () =
   end
 
 let run_cmd =
-  let run bench file all cores strategy scale optimize unroll fault_rate
-      fault_seed fault_threshold no_check no_profile sanitize_s json_out jobs =
+  let run bench file all cores coherence_s strategy scale optimize unroll
+      fault_rate fault_seed fault_threshold no_check no_profile sanitize_s
+      json_out jobs =
     or_check_failure @@ fun () ->
     let check = not no_check in
     let sanitize = sanitize_of_flag sanitize_s in
+    let coherence = coherence_of_string coherence_s in
     if all then
-      run_sweep ~cores ~scale ~check ~sanitize ~no_profile
+      run_sweep ~cores ~coherence ~scale ~check ~sanitize ~no_profile
         ~jobs:(resolve_jobs jobs) ()
     else begin
       let name, p = resolve_program bench file scale in
@@ -342,6 +365,10 @@ let run_cmd =
       Printf.printf "benchmark  : %s\n" name;
       Printf.printf "strategy   : %s on %d cores%s\n" strategy cores
         (if no_profile then " (static profile)" else "");
+      (* Only a non-default backend prints a header line, keeping default
+         transcripts byte-identical to the snoop-only harness. *)
+      if coherence <> Coherence.Snoop then
+        Printf.printf "coherence  : %s\n" (Coherence.protocol_name coherence);
       (match sanitize with
       | None -> ()
       | Some policy ->
@@ -349,12 +376,13 @@ let run_cmd =
       let m =
         if fault_rate > 0. then begin
           let tweak c =
-            {
-              c with
-              Config.fault =
-                Voltron_fault.Fault.uniform ~seed:fault_seed
-                  ~degrade_threshold:fault_threshold ~rate:fault_rate ();
-            }
+            Config.with_coherence coherence
+              {
+                c with
+                Config.fault =
+                  Voltron_fault.Fault.uniform ~seed:fault_seed
+                    ~degrade_threshold:fault_threshold ~rate:fault_rate ();
+              }
           in
           let r =
             Voltron.Run.run_resilient ~choice ~check ?profile ~tweak ?sanitize
@@ -377,6 +405,7 @@ let run_cmd =
         end
         else
           Voltron.Run.run ~choice ~check ?profile ?sanitize
+            ~tweak:(Config.with_coherence coherence)
             ~sanitize_log:prerr_endline ~n_cores:cores p
       in
       let write_json () =
@@ -394,6 +423,7 @@ let run_cmd =
                   ("benchmark", Json.Str name);
                   ("strategy", Json.Str strategy);
                   ("cores", Json.Int cores);
+                  ("coherence", Json.Str (Coherence.protocol_name coherence));
                   ("baseline_cycles", Json.Int base);
                   ( "speedup",
                     Json.Float
@@ -438,10 +468,10 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate a benchmark or VC file.")
     Term.(
-      const run $ bench_arg $ file_arg $ all_arg $ cores_arg $ strategy_arg
-      $ scale_arg $ optimize_arg $ unroll_arg $ fault_rate_arg $ fault_seed_arg
-      $ fault_threshold_arg $ no_check_arg $ no_profile_arg $ sanitize_arg
-      $ json_arg $ jobs_arg)
+      const run $ bench_arg $ file_arg $ all_arg $ cores_arg $ coherence_arg
+      $ strategy_arg $ scale_arg $ optimize_arg $ unroll_arg $ fault_rate_arg
+      $ fault_seed_arg $ fault_threshold_arg $ no_check_arg $ no_profile_arg
+      $ sanitize_arg $ json_arg $ jobs_arg)
 
 let plan_cmd =
   let plan bench file cores scale no_profile =
@@ -1325,13 +1355,22 @@ let analyze_cmd =
       $ json_arg $ jobs_arg)
 
 let fuzz_cmd =
-  let fuzz seed index count cores strategies size no_minimize corpus emit
-      sanitize_s jobs =
+  let fuzz seed index count cores strategies coherence_s size no_minimize
+      corpus emit sanitize_s jobs =
     let sanitize = sanitize_of_flag sanitize_s in
     let strategies =
       match strategies with
       | "" -> None
       | s -> Some (List.map choice_of_string (String.split_on_char ',' s))
+    in
+    let coherence =
+      match coherence_s with
+      | "" -> None
+      | s ->
+        Some
+          (List.map
+             (fun p -> coherence_of_string (String.trim p))
+             (String.split_on_char ',' s))
     in
     let cores =
       match cores with
@@ -1359,7 +1398,7 @@ let fuzz_cmd =
           close_out oc
     in
     let report =
-      Voltron_gen.Campaign.run ?strategies ?cores ?sanitize ~size
+      Voltron_gen.Campaign.run ?strategies ?cores ?coherence ?sanitize ~size
         ~minimize_findings:(not no_minimize) ~on_program ~log:print_endline
         ~jobs:(resolve_jobs jobs) ~index ~seed ~count ()
     in
@@ -1412,6 +1451,14 @@ let fuzz_cmd =
             "Comma-separated strategies to test (default \
              seq,ilp,tlp,llp,hybrid).")
   in
+  let coherence_list_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "coherence" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated coherence backends to diff (default \
+             snoop,directory — every campaign cross-checks both).")
+  in
   let size_arg =
     Arg.(
       value & opt int 24
@@ -1443,8 +1490,8 @@ let fuzz_cmd =
           reproducer output.")
     Term.(
       const fuzz $ seed_arg $ index_arg $ count_arg $ cores_list_arg
-      $ strategies_arg $ size_arg $ no_minimize_arg $ corpus_arg $ emit_arg
-      $ sanitize_arg $ jobs_arg)
+      $ strategies_arg $ coherence_list_arg $ size_arg $ no_minimize_arg
+      $ corpus_arg $ emit_arg $ sanitize_arg $ jobs_arg)
 
 let list_cmd =
   let list () =

@@ -218,6 +218,105 @@ let micro ?(scale = 1.0) ?(jobs = 1) () =
       ("gsmdecode ILP (Fig.9)", 1.78, fun () -> Suite.micro_gsm_ilp ~scale ());
     ]
 
+(* --- Coherence scaling: snoop vs directory at 16-64 cores -------------------- *)
+
+type scaling_row = {
+  sc_bench : string;
+  sc_class : string;
+  sc_cores : int;
+  sc_snoop_cycles : int;
+  sc_dir_cycles : int;
+  sc_snoop : float;
+  sc_directory : float;
+}
+
+type crossover_row = {
+  cx_class : string;
+  cx_cores : int;
+  cx_snoop : float;
+  cx_directory : float;
+  cx_winner : string;
+}
+
+let workload_class (b : Suite.benchmark) =
+  let x = b.Suite.bench_mix in
+  fst
+    (List.fold_left
+       (fun (bk, bv) (k, v) -> if v > bv then (k, v) else (bk, bv))
+       ("seq", min_int)
+       [
+         ("ilp", x.Suite.ilp); ("tlp", x.Suite.tlp); ("llp", x.Suite.llp);
+         ("seq", x.Suite.seq);
+       ])
+
+(* Two benchmarks per dominant-mix class (one for seq), so every class
+   contributes a geomean series to the crossover figure without sweeping
+   the whole suite at 64 cores. *)
+let scaling_benches =
+  [ "177.mesa"; "rawcaudio"; "179.art"; "epic"; "171.swim"; "172.mgrid";
+    "197.parser" ]
+
+let scaling ?(scale = 1.0) ?(benches = scaling_benches)
+    ?(cores = [ 16; 32; 64 ]) ?(jobs = 1) () =
+  List.concat
+  @@ pmap ~jobs
+       (fun (b : Suite.benchmark) ->
+         let p = b.Suite.build ~scale () in
+         let profile = Profile.collect p in
+         let base = float_of_int (Run.baseline_cycles ~profile p) in
+         let cls = workload_class b in
+         List.map
+           (fun n ->
+             let cyc proto =
+               let m =
+                 Run.run ~choice:`Hybrid ~profile
+                   ~tweak:(Voltron_machine.Config.with_coherence proto)
+                   ~n_cores:n p
+               in
+               if not m.Run.verified then
+                 failwith "coherence scaling sweep diverged";
+               m.Run.cycles
+             in
+             let sn = cyc Voltron_mem.Coherence.Snoop in
+             let dr = cyc Voltron_mem.Coherence.Directory in
+             {
+               sc_bench = b.Suite.bench_name;
+               sc_class = cls;
+               sc_cores = n;
+               sc_snoop_cycles = sn;
+               sc_dir_cycles = dr;
+               sc_snoop = base /. float_of_int sn;
+               sc_directory = base /. float_of_int dr;
+             })
+           cores)
+       (List.map Suite.by_name benches)
+
+let crossover rows =
+  let keys =
+    List.sort_uniq compare (List.map (fun r -> (r.sc_class, r.sc_cores)) rows)
+  in
+  List.map
+    (fun (cls, n) ->
+      let sel pick =
+        List.filter_map
+          (fun r ->
+            if r.sc_class = cls && r.sc_cores = n then Some (pick r) else None)
+          rows
+      in
+      let sn = Stat.geomean (sel (fun r -> r.sc_snoop)) in
+      let dr = Stat.geomean (sel (fun r -> r.sc_directory)) in
+      {
+        cx_class = cls;
+        cx_cores = n;
+        cx_snoop = sn;
+        cx_directory = dr;
+        cx_winner =
+          (if dr > sn *. 1.01 then "directory"
+           else if sn > dr *. 1.01 then "snoop"
+           else "tie");
+      })
+    keys
+
 (* --- Resilience (AVF-style fault sweep) -------------------------------------- *)
 
 type resilience_row = {
@@ -614,6 +713,41 @@ let print_micro rows =
   Table.print
     ~header:[ "example"; "paper"; "measured" ]
     (List.map (fun r -> [ r.mi_name; f r.mi_paper; f r.mi_measured ]) rows)
+
+let print_scaling rows =
+  print_endline
+    "Coherence scaling: hybrid speedup, snoop vs directory (speedup over \
+     1-core sequential)";
+  Table.print
+    ~header:[ "benchmark"; "class"; "cores"; "snoop"; "directory"; "dir/snoop" ]
+    (List.map
+       (fun r ->
+         [
+           r.sc_bench;
+           r.sc_class;
+           string_of_int r.sc_cores;
+           f r.sc_snoop;
+           f r.sc_directory;
+           f (float_of_int r.sc_snoop_cycles /. float_of_int r.sc_dir_cycles);
+         ])
+       rows)
+
+let print_crossover rows =
+  print_endline
+    "Crossover per workload class (geomean speedup; directory wins where \
+     home-bank serialization beats the shared bus)";
+  Table.print
+    ~header:[ "class"; "cores"; "snoop"; "directory"; "winner" ]
+    (List.map
+       (fun r ->
+         [
+           r.cx_class;
+           string_of_int r.cx_cores;
+           f r.cx_snoop;
+           f r.cx_directory;
+           r.cx_winner;
+         ])
+       rows)
 
 let print_resilience rows =
   print_endline

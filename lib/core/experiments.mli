@@ -72,6 +72,52 @@ val fig14 : ?scale:float -> ?benches:string list -> ?jobs:int -> unit -> mode_sp
 val micro : ?scale:float -> ?jobs:int -> unit -> micro_result list
 (** The Figs. 7-9 worked examples on 2 cores. *)
 
+(** {1 Coherence scaling} — snoop vs directory at 16-64 cores (DESIGN.md
+    16). *)
+
+type scaling_row = {
+  sc_bench : string;
+  sc_class : string;
+      (** dominant mix category of the benchmark: ["ilp"], ["tlp"],
+          ["llp"] or ["seq"] *)
+  sc_cores : int;
+  sc_snoop_cycles : int;
+  sc_dir_cycles : int;
+  sc_snoop : float;  (** hybrid speedup over the 1-core baseline, snoop *)
+  sc_directory : float;  (** same run on the directory backend *)
+}
+
+type crossover_row = {
+  cx_class : string;
+  cx_cores : int;
+  cx_snoop : float;  (** geomean speedup of the class's benchmarks *)
+  cx_directory : float;
+  cx_winner : string;  (** ["snoop"], ["directory"] or ["tie"] (within 1%) *)
+}
+
+val scaling :
+  ?scale:float ->
+  ?benches:string list ->
+  ?cores:int list ->
+  ?jobs:int ->
+  unit ->
+  scaling_row list
+(** Hybrid speedup at 16/32/64 cores (default) under both coherence
+    backends, per benchmark. The default benchmark set covers every
+    dominant-mix class with two members (one for seq). Every cell must
+    verify against the reference interpreter — the sweep doubles as an
+    end-to-end cross-backend differential at high core counts. *)
+
+val crossover : scaling_row list -> crossover_row list
+(** Collapse a scaling sweep into the per-class crossover figure: geomean
+    snoop vs directory speedup per (class, core count), naming the winner.
+    The paper-level claim is that the directory's distributed home-bank
+    serialization overtakes the single snoop bus by 16+ cores on
+    miss-heavy classes. *)
+
+val print_scaling : scaling_row list -> unit
+val print_crossover : crossover_row list -> unit
+
 (** {1 Resilience} — AVF-style fault sweep (DESIGN.md "Fault model &
     recovery"). *)
 

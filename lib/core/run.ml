@@ -154,6 +154,7 @@ let run_resilient ?(choice = `Hybrid) ?(check = true) ?profile
 type diff_case = {
   d_strategy : Voltron_compiler.Select.choice;
   d_cores : int;
+  d_coherence : Voltron_mem.Coherence.protocol;
 }
 
 type divergence =
@@ -185,6 +186,9 @@ let default_strategies : Voltron_compiler.Select.choice list =
 
 let default_cores = [ 2; 4; 8 ]
 
+let default_coherence : Voltron_mem.Coherence.protocol list =
+  [ Voltron_mem.Coherence.Snoop; Voltron_mem.Coherence.Directory ]
+
 let choice_name : Voltron_compiler.Select.choice -> string = function
   | `Seq -> "seq"
   | `Ilp -> "ilp"
@@ -192,7 +196,9 @@ let choice_name : Voltron_compiler.Select.choice -> string = function
   | `Llp -> "llp"
   | `Hybrid -> "hybrid"
 
-let case_name c = Printf.sprintf "%s/%d-core" (choice_name c.d_strategy) c.d_cores
+let case_name c =
+  Printf.sprintf "%s/%d-core/%s" (choice_name c.d_strategy) c.d_cores
+    (Voltron_mem.Coherence.protocol_name c.d_coherence)
 
 let divergence_class = function
   | Non_completion _ -> "non-completion"
@@ -226,9 +232,14 @@ let divergence_to_string = function
       (if sv_fast_forward then "on" else "off")
       (Sanity.report_to_string sv_report)
 
-(* One compile per case; two simulations (fast-forward on and off) off the
-   same executable — the flag is simulation-only, so any disagreement is a
-   simulator bug, not a compilation difference.
+(* One compile per (strategy, cores) cell; the coherence axis and the
+   fast-forward flag are simulation-only, so every simulation in a cell
+   shares one executable — any disagreement is a simulator bug, not a
+   compilation difference. Per coherence backend, two simulations
+   (fast-forward on and off): the fast-forward run is judged against the
+   reference interpreter's checksum — which is timing-independent, so the
+   snoop and directory images are transitively diffed against each other —
+   and the per-cycle run against the fast-forward run.
 
    Each (strategy, cores) cell is a pure value: it compiles its own
    executable and builds its own machines, so cells run on any domain.
@@ -236,9 +247,12 @@ let divergence_to_string = function
    matching the serial iteration order) — never by completion order, so
    the report is bit-identical for every [jobs] value. *)
 let differential ?(strategies = default_strategies) ?(cores = default_cores)
-    ?(max_steps = 2_000_000) ?(max_cycles = 4_000_000)
-    ?(tweak = fun c -> c) ?(miscompile = fun c -> c) ?(ff_tweak = fun c -> c)
-    ?sanitize ?(jobs = 1) program =
+    ?(coherence = default_coherence) ?(max_steps = 2_000_000)
+    ?(max_cycles = 4_000_000) ?(tweak = fun c -> c)
+    ?(miscompile = fun c -> c) ?(ff_tweak = fun c -> c)
+    ?(dir_tweak = fun c -> c) ?sanitize ?(jobs = 1) program =
+  (if coherence = [] then
+     invalid_arg "Run.differential: empty coherence axis");
   let cell (d_cores, d_strategy) =
     let runs = ref 0 and warnings = ref 0 and divs = ref [] in
     let push d = divs := d :: !divs in
@@ -262,7 +276,6 @@ let differential ?(strategies = default_strategies) ?(cores = default_cores)
       in
       (outcome, result.Machine.cycles, sum, Option.map Sanity.report san)
     in
-    let case = { d_strategy; d_cores } in
     let config =
       let c = tweak (Config.default ~n_cores:d_cores) in
       { c with Config.max_cycles = min c.Config.max_cycles max_cycles }
@@ -272,60 +285,79 @@ let differential ?(strategies = default_strategies) ?(cores = default_cores)
          ~max_steps program
      with
     | exception Voltron_check.Check.Failed diags ->
-      push (Checker_rejected { cr_case = case; diags })
+      push
+        (Checker_rejected
+           {
+             cr_case =
+               { d_strategy; d_cores; d_coherence = List.hd coherence };
+             diags;
+           })
     | compiled ->
       let compiled = miscompile compiled in
       if Voltron_check.Check.has_errors compiled.Driver.check_diags then
         push
           (Checker_rejected
-             { cr_case = case; diags = compiled.Driver.check_diags })
+             {
+               cr_case =
+                 { d_strategy; d_cores; d_coherence = List.hd coherence };
+               diags = compiled.Driver.check_diags;
+             })
       else begin
         warnings := !warnings + List.length compiled.Driver.check_diags;
-        let run_ff ff config =
-          simulate { config with Config.fast_forward = ff } compiled
-        in
-        let o_on, cyc_on, sum_on, san_on = run_ff true config in
-        let o_off, cyc_off, sum_off, san_off =
-          run_ff false (ff_tweak config)
-        in
-        (* A dirty sanitizer report is its own divergence class and
-           supersedes the non-completion judgement for that run (an
-           Abort-policy stop is the sanitizer working, not a hang). *)
-        let check_sanity ff san =
-          match san with
-          | Some r when not (Sanity.clean r) ->
-            push
-              (Sanity_violation
-                 { sv_case = case; sv_fast_forward = ff; sv_report = r });
-            true
-          | _ -> false
-        in
-        let dirty_on = check_sanity true san_on in
-        let dirty_off = check_sanity false san_off in
-        let check_completed ff o expected sum dirty =
-          if not dirty then
-            match o with
-            | Completed ->
-              if sum <> expected then
+        List.iter
+          (fun proto ->
+            let case = { d_strategy; d_cores; d_coherence = proto } in
+            let config =
+              let c = Config.with_coherence proto config in
+              if proto = Voltron_mem.Coherence.Directory then dir_tweak c
+              else c
+            in
+            let run_ff ff config =
+              simulate { config with Config.fast_forward = ff } compiled
+            in
+            let o_on, cyc_on, sum_on, san_on = run_ff true config in
+            let o_off, cyc_off, sum_off, san_off =
+              run_ff false (ff_tweak config)
+            in
+            (* A dirty sanitizer report is its own divergence class and
+               supersedes the non-completion judgement for that run (an
+               Abort-policy stop is the sanitizer working, not a hang). *)
+            let check_sanity ff san =
+              match san with
+              | Some r when not (Sanity.clean r) ->
                 push
-                  (Checksum_mismatch { cm_case = case; expected; got = sum })
-            | o ->
+                  (Sanity_violation
+                     { sv_case = case; sv_fast_forward = ff; sv_report = r });
+                true
+              | _ -> false
+            in
+            let dirty_on = check_sanity true san_on in
+            let dirty_off = check_sanity false san_off in
+            let check_completed ff o expected sum dirty =
+              if not dirty then
+                match o with
+                | Completed ->
+                  if sum <> expected then
+                    push
+                      (Checksum_mismatch { cm_case = case; expected; got = sum })
+                | o ->
+                  push
+                    (Non_completion
+                       { nc_case = case; nc_fast_forward = ff; nc_outcome = o })
+            in
+            (* The fast-forward run is judged against the oracle; the
+               per-cycle reference run is judged against the fast-forward
+               run, so one miscompile is one divergence, and any on/off
+               disagreement (cycles or memory) is a simulator bug. *)
+            check_completed true o_on compiled.Driver.oracle_checksum sum_on
+              dirty_on;
+            check_completed false o_off sum_on sum_off dirty_off;
+            if o_on = Completed && o_off = Completed && cyc_on <> cyc_off
+            then
               push
-                (Non_completion
-                   { nc_case = case; nc_fast_forward = ff; nc_outcome = o })
-        in
-        (* The fast-forward run is judged against the oracle; the
-           per-cycle reference run is judged against the fast-forward
-           run, so one miscompile is one divergence, and any on/off
-           disagreement (cycles or memory) is a simulator bug. *)
-        check_completed true o_on compiled.Driver.oracle_checksum sum_on
-          dirty_on;
-        check_completed false o_off sum_on sum_off dirty_off;
-        if o_on = Completed && o_off = Completed && cyc_on <> cyc_off
-        then
-          push
-            (Ff_cycle_mismatch
-               { fc_case = case; ff_on = cyc_on; ff_off = cyc_off })
+                (Ff_cycle_mismatch
+                   { fc_case = case; ff_on = cyc_on; ff_off = cyc_off }))
+          coherence
       end);
     (!runs, !warnings, List.rev !divs)
   in

@@ -109,6 +109,10 @@ val run_resilient :
 type diff_case = {
   d_strategy : Voltron_compiler.Select.choice;
   d_cores : int;
+  d_coherence : Voltron_mem.Coherence.protocol;
+      (** which coherence backend the diverging simulation ran on — named
+          in cell transcripts and reproducer headers so a finding's exact
+          cell regenerates *)
 }
 
 type divergence =
@@ -146,6 +150,10 @@ val default_strategies : Voltron_compiler.Select.choice list
 val default_cores : int list
 (** [[2; 4; 8]] *)
 
+val default_coherence : Voltron_mem.Coherence.protocol list
+(** [[Snoop; Directory]] — every fuzz campaign diffs both backends by
+    default. *)
+
 val choice_name : Voltron_compiler.Select.choice -> string
 val divergence_class : divergence -> string
 (** Stable failure-class tag: ["non-completion"], ["checksum"],
@@ -157,18 +165,27 @@ val divergence_to_string : divergence -> string
 val differential :
   ?strategies:Voltron_compiler.Select.choice list ->
   ?cores:int list ->
+  ?coherence:Voltron_mem.Coherence.protocol list ->
   ?max_steps:int ->
   ?max_cycles:int ->
   ?tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
   ?miscompile:(Voltron_compiler.Driver.compiled -> Voltron_compiler.Driver.compiled) ->
   ?ff_tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
+  ?dir_tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
   ?sanitize:Voltron_sanity.Sanity.policy ->
   ?jobs:int ->
   Voltron_ir.Hir.program ->
   differential
 (** For every strategy x core count: compile once (static checker on),
-    simulate twice — stall fast-forward on, then off — and record every
-    contract violation. [max_steps] bounds the oracle interpreter and
+    then for every coherence backend on the [coherence] axis (default
+    {!default_coherence} — snoop and directory both), simulate twice —
+    stall fast-forward on, then off — and record every contract
+    violation. The coherence protocol is timing-only, so each backend's
+    fast-forward image is judged against the timing-independent reference
+    interpreter — which transitively diffs the snoop and directory
+    checksums against each other — and each backend must complete within
+    the cycle cap with fast-forward-invariant cycles (the cycle-sanity
+    half of the axis). [max_steps] bounds the oracle interpreter and
     [max_cycles] clamps the simulator cap (both deliberately small so
     runaway shrink candidates fail fast instead of simulating 200M
     cycles); raise them for unusually large programs. [sanitize] attaches
@@ -178,12 +195,14 @@ val differential :
     Note the sanitizer's per-cycle hook disables stall fast-forward, so
     the ff-on/ff-off comparison degenerates under it.
 
-    [miscompile] and [ff_tweak] exist for the harness's own tests: the
-    first rewrites the compiled artifact before simulation (an intentional
-    miscompile, to prove checksum and checker divergences are caught), the
-    second perturbs only the per-cycle reference machine (to prove
-    fast-forward divergences are caught). Leave both at their identity
-    defaults in real use.
+    [miscompile], [ff_tweak] and [dir_tweak] exist for the harness's own
+    tests: the first rewrites the compiled artifact before simulation (an
+    intentional miscompile, to prove checksum and checker divergences are
+    caught), the second perturbs only the per-cycle reference machine (to
+    prove fast-forward divergences are caught), the third perturbs only
+    the directory-backend simulations (to prove directory-only bugs are
+    caught and attributed to their backend). Leave all three at their
+    identity defaults in real use.
 
     [jobs] (default 1) runs the matrix cells on a work-stealing pool of
     that many domains ({!Voltron_pool.Pool.parallel_map}); each cell

@@ -36,13 +36,14 @@ let crash_class e =
 let elaborate (p : Ast.program) =
   Frontend.parse_string ~name:p.Ast.prog_name (Gen.render p)
 
-let first_failure ?strategies ?cores ?miscompile ?ff_tweak ?sanitize
-    (p : Ast.program) =
+let first_failure ?strategies ?cores ?coherence ?miscompile ?ff_tweak
+    ?dir_tweak ?sanitize (p : Ast.program) =
   match elaborate p with
   | exception e -> (Some (crash_class e, None, Printexc.to_string e), 0, 0)
   | hir -> (
     match
-      Run.differential ?strategies ?cores ?miscompile ?ff_tweak ?sanitize hir
+      Run.differential ?strategies ?cores ?coherence ?miscompile ?ff_tweak
+        ?dir_tweak ?sanitize hir
     with
     | exception e -> (Some (crash_class e, None, Printexc.to_string e), 0, 0)
     | d -> (
@@ -61,17 +62,22 @@ let first_failure ?strategies ?cores ?miscompile ?ff_tweak ?sanitize
           d.Run.diff_runs,
           d.Run.diff_warnings )))
 
-let minimize ?strategies ?cores ?miscompile ?ff_tweak ?sanitize ~cls ?case p =
-  (* Re-running just the diverging case per candidate keeps shrinking
-     cheap; the class must be preserved exactly. *)
-  let strategies, cores =
+let minimize ?strategies ?cores ?coherence ?miscompile ?ff_tweak ?dir_tweak
+    ?sanitize ~cls ?case p =
+  (* Re-running just the diverging case per candidate — its strategy, core
+     count and coherence backend — keeps shrinking cheap; the class must
+     be preserved exactly. *)
+  let strategies, cores, coherence =
     match case with
-    | Some c -> (Some [ c.Run.d_strategy ], Some [ c.Run.d_cores ])
-    | None -> (strategies, cores)
+    | Some c ->
+      (Some [ c.Run.d_strategy ], Some [ c.Run.d_cores ],
+       Some [ c.Run.d_coherence ])
+    | None -> (strategies, cores, coherence)
   in
   let keep candidate =
     match
-      first_failure ?strategies ?cores ?miscompile ?ff_tweak ?sanitize candidate
+      first_failure ?strategies ?cores ?coherence ?miscompile ?ff_tweak
+        ?dir_tweak ?sanitize candidate
     with
     | Some (cls', _, _), _, _ -> cls' = cls
     | None, _, _ -> false
@@ -87,9 +93,9 @@ let minimize ?strategies ?cores ?miscompile ?ff_tweak ?sanitize ~cls ?case p =
    completion frontier, so progress counters and finding messages arrive
    in cell-index order and the transcript is byte-identical for every
    [jobs] value. *)
-let run ?strategies ?cores ?sanitize ?(size = 24) ?(minimize_findings = true)
-    ?(on_program = fun ~seed:_ _ -> ()) ?(log = ignore) ?(jobs = 1)
-    ?(index = 0) ~seed ~count () =
+let run ?strategies ?cores ?coherence ?sanitize ?(size = 24)
+    ?(minimize_findings = true) ?(on_program = fun ~seed:_ _ -> ())
+    ?(log = ignore) ?(jobs = 1) ?(index = 0) ~seed ~count () =
   let rng = Rng.create seed in
   let cell k =
     let idx = index + k in
@@ -98,7 +104,7 @@ let run ?strategies ?cores ?sanitize ?(size = 24) ?(minimize_findings = true)
     on_program ~seed:s p;
     let lines = ref [] in
     let say msg = lines := msg :: !lines in
-    let failure, r, w = first_failure ?strategies ?cores ?sanitize p in
+    let failure, r, w = first_failure ?strategies ?cores ?coherence ?sanitize p in
     let finding =
       match failure with
       | None -> None
@@ -106,7 +112,7 @@ let run ?strategies ?cores ?sanitize ?(size = 24) ?(minimize_findings = true)
         say (Printf.sprintf "seed %d: %s divergence — %s" s cls detail);
         let minimized =
           if minimize_findings then begin
-            let m = minimize ?strategies ?cores ?sanitize ~cls ?case p in
+            let m = minimize ?strategies ?cores ?coherence ?sanitize ~cls ?case p in
             say
               (Printf.sprintf "seed %d: shrunk %d -> %d source lines" s
                  (Gen.source_lines p) (Gen.source_lines m));
@@ -169,9 +175,10 @@ let write_reproducer ~dir f =
     f.f_class f.f_campaign_seed f.f_index f.f_seed
     (match f.f_case with
     | Some c ->
-      Printf.sprintf ", first diverging case: %s on %d cores"
+      Printf.sprintf ", first diverging case: %s on %d cores, %s coherence"
         (Run.choice_name c.Run.d_strategy)
         c.Run.d_cores
+        (Voltron_mem.Coherence.protocol_name c.Run.d_coherence)
     | None -> "")
     (String.concat " " (String.split_on_char '\n' f.f_detail))
     f.f_campaign_seed f.f_index (Gen.render f.f_minimized);

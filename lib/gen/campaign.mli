@@ -34,37 +34,45 @@ type report = {
 val first_failure :
   ?strategies:Voltron_compiler.Select.choice list ->
   ?cores:int list ->
+  ?coherence:Voltron_mem.Coherence.protocol list ->
   ?miscompile:(Voltron_compiler.Driver.compiled -> Voltron_compiler.Driver.compiled) ->
   ?ff_tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
+  ?dir_tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
   ?sanitize:Voltron_sanity.Sanity.policy ->
   Voltron_lang.Ast.program ->
   (string * Voltron.Run.diff_case option * string) option * int * int
 (** Render, re-parse, elaborate and run the differential contract.
     Returns [(failure, runs, warnings)] where [failure] is
     [Some (class, case, detail)] for the first divergence or crash.
-    [miscompile], [ff_tweak] and [sanitize] are threaded to
+    [coherence] restricts the coherence axis (default: snoop and
+    directory both, {!Voltron.Run.default_coherence}). [miscompile],
+    [ff_tweak], [dir_tweak] and [sanitize] are threaded to
     {!Voltron.Run.differential} (the harness's own self-tests inject
-    deliberate miscompiles through the first two; [sanitize] attaches the
-    runtime invariant sanitizer to every simulation, adding the
-    ["sanitizer"] divergence class). *)
+    deliberate miscompiles through the first three — [dir_tweak] perturbs
+    only directory-backend simulations; [sanitize] attaches the runtime
+    invariant sanitizer to every simulation, adding the ["sanitizer"]
+    divergence class). *)
 
 val minimize :
   ?strategies:Voltron_compiler.Select.choice list ->
   ?cores:int list ->
+  ?coherence:Voltron_mem.Coherence.protocol list ->
   ?miscompile:(Voltron_compiler.Driver.compiled -> Voltron_compiler.Driver.compiled) ->
   ?ff_tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
+  ?dir_tweak:(Voltron_machine.Config.t -> Voltron_machine.Config.t) ->
   ?sanitize:Voltron_sanity.Sanity.policy ->
   cls:string ->
   ?case:Voltron.Run.diff_case ->
   Voltron_lang.Ast.program ->
   Voltron_lang.Ast.program
 (** Shrink while the program still fails with class [cls]. When [case] is
-    given, only that strategy/core pair is re-run per candidate (much
-    faster; the corpus replay test re-confirms the full matrix). *)
+    given, only that strategy/core/coherence cell is re-run per candidate
+    (much faster; the corpus replay test re-confirms the full matrix). *)
 
 val run :
   ?strategies:Voltron_compiler.Select.choice list ->
   ?cores:int list ->
+  ?coherence:Voltron_mem.Coherence.protocol list ->
   ?sanitize:Voltron_sanity.Sanity.policy ->
   ?size:int ->
   ?minimize_findings:bool ->

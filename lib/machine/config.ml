@@ -35,6 +35,12 @@ let default ~n_cores =
     fast_forward = true;
   }
 
+(* Select the coherence backend (snoop bus vs home-based directory); every
+   other cache parameter is untouched. The CLI's --coherence flag and the
+   differential harness's coherence axis both go through here. *)
+let with_coherence protocol t =
+  { t with cache = { t.cache with Voltron_mem.Coherence.protocol } }
+
 let latency (inst : Voltron_isa.Inst.t) =
   match inst with
   | Alu { op; _ } -> (

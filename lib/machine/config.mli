@@ -27,7 +27,11 @@ type t = {
 
 val default : n_cores:int -> t
 (** The paper's setup: single-issue cores, one comm op per cycle, default
-    cache hierarchy, fault injection disabled. *)
+    cache hierarchy (bus-snooped MOESI), fault injection disabled. *)
+
+val with_coherence : Voltron_mem.Coherence.protocol -> t -> t
+(** Swap the coherence backend (snoop bus vs home-based directory) without
+    touching any other cache parameter. *)
 
 val latency : Voltron_isa.Inst.t -> int
 (** Static operation latency in cycles (load latency is the L1-hit use

@@ -203,7 +203,19 @@ let pp_summary ?coherence ?network ppf t =
       cs.Voltron_mem.Coherence.l2_misses
       (100. *. rate cs.Voltron_mem.Coherence.l2_misses cs.Voltron_mem.Coherence.accesses)
       cs.Voltron_mem.Coherence.c2c_transfers cs.Voltron_mem.Coherence.upgrades
-      cs.Voltron_mem.Coherence.writebacks cs.Voltron_mem.Coherence.bus_wait_cycles);
+      cs.Voltron_mem.Coherence.writebacks cs.Voltron_mem.Coherence.bus_wait_cycles;
+    (* Directory-backend counters: only the directory protocol produces
+       them, so the snoop summary line stays byte-identical. *)
+    if
+      cs.Voltron_mem.Coherence.dir_lookups > 0
+      || cs.Voltron_mem.Coherence.dir_invalidations > 0
+      || cs.Voltron_mem.Coherence.dir_indirections > 0
+    then
+      Format.fprintf ppf
+        "  directory: lookups=%d invalidations=%d indirections=%d@."
+        cs.Voltron_mem.Coherence.dir_lookups
+        cs.Voltron_mem.Coherence.dir_invalidations
+        cs.Voltron_mem.Coherence.dir_indirections);
   match network with
   | None -> ()
   | Some (ns : Voltron_net.Operand_network.stats) ->

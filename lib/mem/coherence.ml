@@ -1,3 +1,34 @@
+(* Two interchangeable coherence backends behind one timing interface:
+
+   - [Snoop]: the paper's bus-snooped MOESI protocol. Every miss acquires a
+     single shared bus (busy-until), snoops every peer L1D, and may be
+     served cache-to-cache. Broadcast is free of bookkeeping but the bus is
+     a global serialization point — the scaling wall at high core counts.
+
+   - [Directory]: a home-based MESI protocol. Every data line has a home
+     bank (line mod n_cores) holding a directory entry — the owner (the
+     unique core in M/E, or none) and a sharer bitset. Misses go
+     point-to-point to the home, which forwards to the owner (a 3-hop
+     indirection) or answers from L2/memory, and invalidations fan out
+     only to actual sharers. Serialization is per home bank, so coherence
+     bandwidth scales with the core count.
+
+   Both backends drive the same {!Cache} tag arrays (MESI states are the
+   MOESI subset that never uses O), fire the same access monitor, and are
+   observable through the same [l1d_line_states] / [check_invariants]
+   surface — which is what keeps the sanitizer's single-writer oracle and
+   the causal profiler protocol-independent. *)
+
+type protocol = Snoop | Directory
+
+let protocol_name = function Snoop -> "snoop" | Directory -> "directory"
+
+let protocol_of_string = function
+  | "snoop" -> Ok Snoop
+  | "directory" -> Ok Directory
+  | s ->
+    Error (Printf.sprintf "unknown coherence protocol %S (snoop, directory)" s)
+
 type config = {
   line_words : int;
   l1d_sets : int;
@@ -12,10 +43,22 @@ type config = {
   lat_c2c : int;
   lat_upgrade : int;
   bus_occupancy : int;
+  protocol : protocol;
+  dir_lat_lookup : int;
+  dir_lat_msg : int;
+  dir_lat_fwd : int;
+  dir_lat_inv : int;
+  dir_occupancy : int;
 }
 
 (* 4 kB = 1024 words; 8-word (32 B) lines -> 128 lines; 2-way -> 64 sets.
-   128 kB = 32768 words -> 4096 lines; 4-way -> 1024 sets. *)
+   128 kB = 32768 words -> 4096 lines; 4-way -> 1024 sets.
+
+   Directory pricing: a miss pays one request message to the home plus the
+   directory lookup before any data moves, so its uncontended cost is a
+   few cycles above the snooped bus — but a home bank is busy for
+   [dir_occupancy] (< [bus_occupancy]) cycles and there are n_cores banks,
+   so contended throughput scales where the single bus saturates. *)
 let default_config =
   {
     line_words = 8;
@@ -31,6 +74,12 @@ let default_config =
     lat_c2c = 12;
     lat_upgrade = 3;
     bus_occupancy = 4;
+    protocol = Snoop;
+    dir_lat_lookup = 2;
+    dir_lat_msg = 2;
+    dir_lat_fwd = 2;
+    dir_lat_inv = 4;
+    dir_occupancy = 2;
   }
 
 type kind = Ifetch | Dload | Dstore
@@ -44,6 +93,9 @@ type stats = {
   mutable upgrades : int;
   mutable writebacks : int;
   mutable bus_wait_cycles : int;
+  mutable dir_lookups : int;
+  mutable dir_invalidations : int;
+  mutable dir_indirections : int;
 }
 
 let fresh_stats () =
@@ -56,7 +108,43 @@ let fresh_stats () =
     upgrades = 0;
     writebacks = 0;
     bus_wait_cycles = 0;
+    dir_lookups = 0;
+    dir_invalidations = 0;
+    dir_indirections = 0;
   }
+
+(* Sharer bitsets: 62 bits per word so any core count fits (OCaml ints are
+   63-bit; the sweeps go to 64 cores). *)
+module Bitset = struct
+  type t = int array
+
+  let bits_per_word = 62
+  let create n = Array.make (max 1 ((n + bits_per_word - 1) / bits_per_word)) 0
+  let add t c = t.(c / bits_per_word) <- t.(c / bits_per_word) lor (1 lsl (c mod bits_per_word))
+
+  let remove t c =
+    t.(c / bits_per_word) <- t.(c / bits_per_word) land lnot (1 lsl (c mod bits_per_word))
+
+  let mem t c = t.(c / bits_per_word) land (1 lsl (c mod bits_per_word)) <> 0
+  let is_empty t = Array.for_all (fun w -> w = 0) t
+
+  let iter f t ~n =
+    for c = 0 to n - 1 do
+      if mem t c then f c
+    done
+
+  let to_list t ~n =
+    let acc = ref [] in
+    for c = n - 1 downto 0 do
+      if mem t c then acc := c :: !acc
+    done;
+    !acc
+end
+
+(* One directory entry per line with at least one cached copy: [sharers]
+   is every core whose L1D holds the line (any valid state); [owner] is
+   the unique core holding it M/E (always also a sharer), or -1. *)
+type dir_entry = { mutable owner : int; sharers : Bitset.t }
 
 type t = {
   cfg : config;
@@ -65,6 +153,14 @@ type t = {
   l1i : Cache.t array;
   l2 : Cache.t;
   mutable bus_free : int;
+  (* Directory backend: per-home-bank busy-until and the line -> entry map.
+     Both stay empty under [Snoop]. *)
+  home_free : int array;
+  dir : (int, dir_entry) Hashtbl.t;
+  (* Test backdoor: when set, the directory "forgets" to invalidate the
+     highest-numbered remote sharer on the next write — the known-bad
+     fixture the sanitizer's single-writer oracle must catch. *)
+  mutable stale_sharer_bug : bool;
   per_core : stats array;
   (* Runtime sanitizer hook: fired after every access, once the protocol
      state transition for that access has fully landed. [None] (the
@@ -80,6 +176,9 @@ let create cfg ~n_cores =
     l1i = Array.init n_cores (fun _ -> Cache.create ~sets:cfg.l1i_sets ~ways:cfg.l1i_ways);
     l2 = Cache.create ~sets:cfg.l2_sets ~ways:cfg.l2_ways;
     bus_free = 0;
+    home_free = Array.make n_cores 0;
+    dir = Hashtbl.create 256;
+    stale_sharer_bug = false;
     per_core = Array.init n_cores (fun _ -> fresh_stats ());
     monitor = None;
   }
@@ -101,7 +200,10 @@ let total_stats t =
       acc.c2c_transfers <- acc.c2c_transfers + s.c2c_transfers;
       acc.upgrades <- acc.upgrades + s.upgrades;
       acc.writebacks <- acc.writebacks + s.writebacks;
-      acc.bus_wait_cycles <- acc.bus_wait_cycles + s.bus_wait_cycles)
+      acc.bus_wait_cycles <- acc.bus_wait_cycles + s.bus_wait_cycles;
+      acc.dir_lookups <- acc.dir_lookups + s.dir_lookups;
+      acc.dir_invalidations <- acc.dir_invalidations + s.dir_invalidations;
+      acc.dir_indirections <- acc.dir_indirections + s.dir_indirections)
     t.per_core;
   acc
 
@@ -110,6 +212,8 @@ let total_stats t =
 let iline t core addr = (1 lsl 40) lor (core lsl 32) lor (addr / t.cfg.line_words)
 
 let dline t addr = addr / t.cfg.line_words
+
+(* --- Snoop backend (the paper's bus-snooped MOESI) ------------------------- *)
 
 (* Acquire the bus at the earliest of [now]/[bus_free]; account wait time. *)
 let acquire_bus t ~now ~core =
@@ -260,12 +364,241 @@ let access_inst t ~now ~core addr =
     | None | Some _ -> () (* code is clean; victims need no writeback *));
     start + duration
 
+(* --- Directory backend (home-based MESI) ----------------------------------- *)
+
+let home_of t line = line mod t.n_cores
+
+(* Acquire the line's home bank; each bank is its own busy-until resource,
+   so contention is per home, not global. Wait time lands in the same
+   [bus_wait_cycles] counter (it is interconnect/serialization wait either
+   way). *)
+let acquire_home t ~now ~core home =
+  let start = max now t.home_free.(home) in
+  t.per_core.(core).bus_wait_cycles <-
+    t.per_core.(core).bus_wait_cycles + (start - now);
+  t.home_free.(home) <- start + t.cfg.dir_occupancy;
+  start
+
+let dir_entry t line =
+  match Hashtbl.find_opt t.dir line with
+  | Some e -> e
+  | None ->
+    let e = { owner = -1; sharers = Bitset.create t.n_cores } in
+    Hashtbl.add t.dir line e;
+    e
+
+(* Drop [core]'s copy from the line's entry (an eviction notification: the
+   directory tracks precise sharers, so silent evictions are not allowed). *)
+let dir_forget t ~core line =
+  match Hashtbl.find_opt t.dir line with
+  | None -> ()
+  | Some e ->
+    Bitset.remove e.sharers core;
+    if e.owner = core then e.owner <- -1;
+    if e.owner = -1 && Bitset.is_empty e.sharers then Hashtbl.remove t.dir line
+
+(* L2 inclusion for the directory backend: a dirty L2 victim occupies its
+   own home bank for the writeback instead of the (nonexistent) bus. *)
+let dir_l2_fill t line =
+  match Cache.find t.l2 line with
+  | Some _ -> Cache.touch t.l2 line
+  | None -> (
+    match Cache.insert t.l2 line Cache.S with
+    | None -> ()
+    | Some (victim, vstate) ->
+      if vstate = Cache.M || vstate = Cache.O then
+        let h = home_of t victim in
+        t.home_free.(h) <- t.home_free.(h) + t.cfg.dir_occupancy)
+
+(* Fill into an L1D under the directory: the victim's home is notified
+   (precise sharer tracking), and a dirty victim writes back to L2. *)
+let dir_fill t ~core line st =
+  match Cache.insert t.l1d.(core) line st with
+  | None -> ()
+  | Some (victim, vstate) ->
+    dir_forget t ~core victim;
+    if vstate = Cache.M || vstate = Cache.O then begin
+      t.per_core.(core).writebacks <- t.per_core.(core).writebacks + 1;
+      let h = home_of t victim in
+      t.home_free.(h) <- t.home_free.(h) + t.cfg.dir_occupancy;
+      if Cache.find t.l2 victim = None then ignore (Cache.insert t.l2 victim Cache.S)
+      else Cache.touch t.l2 victim
+    end
+
+(* Invalidate every remote sharer listed in [e]; returns whether any
+   remote copy existed (pricing the invalidation round). The stale-sharer
+   backdoor skips the highest-numbered remote sharer once — the injected
+   protocol bug the sanitizer must catch. *)
+let dir_invalidate_sharers t ~core e line =
+  let st = t.per_core.(core) in
+  let skip =
+    if t.stale_sharer_bug then begin
+      let victim = ref (-1) in
+      Bitset.iter (fun c -> if c <> core then victim := c) e.sharers ~n:t.n_cores;
+      if !victim >= 0 then t.stale_sharer_bug <- false;
+      !victim
+    end
+    else -1
+  in
+  let any = ref false in
+  Bitset.iter
+    (fun c ->
+      if c <> core then begin
+        any := true;
+        if c <> skip then begin
+          st.dir_invalidations <- st.dir_invalidations + 1;
+          Cache.invalidate t.l1d.(c) line;
+          Bitset.remove e.sharers c;
+          if e.owner = c then e.owner <- -1
+        end
+      end)
+    e.sharers ~n:t.n_cores;
+  !any
+
+(* Fetch a line from L2/memory at the home (no cached owner). *)
+let dir_fetch t ~core line =
+  let st = t.per_core.(core) in
+  match Cache.find t.l2 line with
+  | Some _ ->
+    Cache.touch t.l2 line;
+    t.cfg.lat_l2
+  | None ->
+    st.l2_misses <- st.l2_misses + 1;
+    dir_l2_fill t line;
+    t.cfg.lat_mem
+
+let dir_access_data t ~now ~core ~write addr =
+  let st = t.per_core.(core) in
+  st.accesses <- st.accesses + 1;
+  let line = dline t addr in
+  let l1 = t.l1d.(core) in
+  match Cache.find l1 line with
+  | Some _ when not write ->
+    Cache.touch l1 line;
+    now + t.cfg.lat_l1
+  | Some (Cache.M | Cache.E) ->
+    Cache.touch l1 line;
+    Cache.set_state l1 line Cache.M;
+    now + t.cfg.lat_l1
+  | Some (Cache.O | Cache.S) ->
+    (* Write hit on a shared line: upgrade through the home — request
+       message, directory lookup, invalidations to the actual sharers
+       (no broadcast). *)
+    st.upgrades <- st.upgrades + 1;
+    let home = home_of t line in
+    let start = acquire_home t ~now ~core home in
+    st.dir_lookups <- st.dir_lookups + 1;
+    let e = dir_entry t line in
+    let had_remote = dir_invalidate_sharers t ~core e line in
+    e.owner <- core;
+    Bitset.add e.sharers core;
+    Cache.touch l1 line;
+    Cache.set_state l1 line Cache.M;
+    start + t.cfg.dir_lat_msg + t.cfg.dir_lat_lookup
+    + (if had_remote then t.cfg.dir_lat_inv else 0)
+  | Some Cache.I | None ->
+    st.l1d_misses <- st.l1d_misses + 1;
+    let home = home_of t line in
+    let start = acquire_home t ~now ~core home in
+    st.dir_lookups <- st.dir_lookups + 1;
+    let e = dir_entry t line in
+    let remote_owner = if e.owner >= 0 && e.owner <> core then e.owner else -1 in
+    let duration =
+      if write then begin
+        let base =
+          if remote_owner >= 0 then begin
+            (* 3-hop: home forwards the RdX to the owner, which sends the
+               line cache-to-cache and invalidates itself. *)
+            st.dir_indirections <- st.dir_indirections + 1;
+            st.c2c_transfers <- st.c2c_transfers + 1;
+            st.dir_invalidations <- st.dir_invalidations + 1;
+            Cache.invalidate t.l1d.(remote_owner) line;
+            Bitset.remove e.sharers remote_owner;
+            e.owner <- -1;
+            t.cfg.dir_lat_fwd + t.cfg.lat_c2c
+          end
+          else begin
+            let had_remote = dir_invalidate_sharers t ~core e line in
+            dir_fetch t ~core line
+            + if had_remote then t.cfg.dir_lat_inv else 0
+          end
+        in
+        e.owner <- core;
+        Bitset.add e.sharers core;
+        dir_fill t ~core line Cache.M;
+        t.cfg.dir_lat_msg + t.cfg.dir_lat_lookup + base
+      end
+      else begin
+        let base =
+          if remote_owner >= 0 then begin
+            (* 3-hop read: owner supplies the line and downgrades to S
+               (dirty data refreshes L2 on the way). *)
+            st.dir_indirections <- st.dir_indirections + 1;
+            st.c2c_transfers <- st.c2c_transfers + 1;
+            (match Cache.find t.l1d.(remote_owner) line with
+            | Some Cache.M ->
+              t.per_core.(remote_owner).writebacks <-
+                t.per_core.(remote_owner).writebacks + 1;
+              if Cache.find t.l2 line = None then
+                ignore (Cache.insert t.l2 line Cache.S)
+              else Cache.touch t.l2 line
+            | _ -> ());
+            Cache.set_state t.l1d.(remote_owner) line Cache.S;
+            e.owner <- -1;
+            t.cfg.dir_lat_fwd + t.cfg.lat_c2c
+          end
+          else dir_fetch t ~core line
+        in
+        let my_state =
+          if e.owner = -1 && Bitset.is_empty e.sharers then Cache.E else Cache.S
+        in
+        if my_state = Cache.E then e.owner <- core;
+        Bitset.add e.sharers core;
+        dir_fill t ~core line my_state;
+        t.cfg.dir_lat_msg + t.cfg.dir_lat_lookup + base
+      end
+    in
+    start + duration
+
+(* Instruction lines are per-core private (disjoint address spaces), so
+   the directory keeps no entry for them: an ifetch miss is a plain
+   point-to-point fetch through the line's home bank. *)
+let dir_access_inst t ~now ~core addr =
+  let st = t.per_core.(core) in
+  let line = iline t core addr in
+  let l1 = t.l1i.(core) in
+  match Cache.find l1 line with
+  | Some _ ->
+    Cache.touch l1 line;
+    now + t.cfg.lat_l1
+  | None ->
+    st.l1i_misses <- st.l1i_misses + 1;
+    let start = acquire_home t ~now ~core (home_of t line) in
+    let duration =
+      match Cache.find t.l2 line with
+      | Some _ ->
+        Cache.touch t.l2 line;
+        t.cfg.lat_l2
+      | None ->
+        st.l2_misses <- st.l2_misses + 1;
+        dir_l2_fill t line;
+        t.cfg.lat_mem
+    in
+    (match Cache.insert l1 line Cache.S with
+    | None | Some _ -> () (* code is clean; victims need no writeback *));
+    start + t.cfg.dir_lat_msg + duration
+
+(* --- Common surface --------------------------------------------------------- *)
+
 let access t ~now ~core kind addr =
   let completion =
-    match kind with
-    | Ifetch -> access_inst t ~now ~core addr
-    | Dload -> access_data t ~now ~core ~write:false addr
-    | Dstore -> access_data t ~now ~core ~write:true addr
+    match (t.cfg.protocol, kind) with
+    | Snoop, Ifetch -> access_inst t ~now ~core addr
+    | Snoop, Dload -> access_data t ~now ~core ~write:false addr
+    | Snoop, Dstore -> access_data t ~now ~core ~write:true addr
+    | Directory, Ifetch -> dir_access_inst t ~now ~core addr
+    | Directory, Dload -> dir_access_data t ~now ~core ~write:false addr
+    | Directory, Dstore -> dir_access_data t ~now ~core ~write:true addr
   in
   (match t.monitor with None -> () | Some f -> f ~core ~completion kind addr);
   completion
@@ -280,6 +613,18 @@ let l1d_line_states t ~addr =
   done;
   (line, !states)
 
+let dir_sharers t ~addr =
+  match Hashtbl.find_opt t.dir (dline t addr) with
+  | None -> []
+  | Some e -> Bitset.to_list e.sharers ~n:t.n_cores
+
+let dir_owner t ~addr =
+  match Hashtbl.find_opt t.dir (dline t addr) with
+  | None -> None
+  | Some e -> if e.owner >= 0 then Some e.owner else None
+
+let test_inject_stale_sharer t = t.stale_sharer_bug <- true
+
 let would_hit t ~core kind addr =
   match kind with
   | Ifetch -> Cache.find t.l1i.(core) (iline t core addr) <> None
@@ -288,6 +633,37 @@ let would_hit t ~core kind addr =
     match Cache.find t.l1d.(core) (dline t addr) with
     | Some (Cache.M | Cache.E) -> true
     | Some (Cache.O | Cache.S | Cache.I) | None -> false)
+
+(* Directory bookkeeping must mirror the caches exactly: every valid L1D
+   copy is a recorded sharer, every recorded sharer holds a valid copy,
+   and M/E copies are the recorded owner. *)
+let check_directory t =
+  let violation = ref None in
+  let fail fmt = Printf.ksprintf (fun msg -> if !violation = None then violation := Some msg) fmt in
+  for c = 0 to t.n_cores - 1 do
+    List.iter
+      (fun (line, st) ->
+        match Hashtbl.find_opt t.dir line with
+        | None -> fail "line %d: core %d holds a copy the directory forgot" line c
+        | Some e ->
+          if not (Bitset.mem e.sharers c) then
+            fail "line %d: core %d holds a copy but is not a recorded sharer" line c
+          else if (st = Cache.M || st = Cache.E) && e.owner <> c then
+            fail "line %d: core %d holds %s but the directory owner is %d" line c
+              (Format.asprintf "%a" Cache.pp_state st)
+              e.owner)
+      (Cache.valid_lines t.l1d.(c))
+  done;
+  Hashtbl.iter
+    (fun line e ->
+      Bitset.iter
+        (fun c ->
+          if Cache.find t.l1d.(c) line = None then
+            fail "line %d: directory lists core %d as sharer but its cache does not hold it"
+              line c)
+        e.sharers ~n:t.n_cores)
+    t.dir;
+  !violation
 
 let check_invariants t =
   (* Gather, per line, the multiset of L1D states across cores. *)
@@ -316,4 +692,9 @@ let check_invariants t =
           violation := Some (Printf.sprintf "line %d: %d owners" line o)
       end)
     lines;
-  match !violation with None -> Ok "coherent" | Some msg -> Error msg
+  let violation =
+    match !violation with
+    | Some _ as v -> v
+    | None -> if t.cfg.protocol = Directory then check_directory t else None
+  in
+  match violation with None -> Ok "coherent" | Some msg -> Error msg

@@ -1,15 +1,38 @@
-(** Bus-based MOESI-coherent cache hierarchy, timing model.
+(** Coherent cache hierarchy, timing model — two interchangeable backends.
 
     Matches the paper's memory system (§3, §5.1): per-core private L1
-    instruction and data caches kept coherent by snooping on a shared bus
-    with the MOESI protocol, backed by a shared (banked) L2 and main
+    instruction and data caches backed by a shared (banked) L2 and main
     memory. The model is tag/state + latency only; architectural data lives
     in {!Memory}.
 
-    Timing uses a busy-until bus: a miss acquires the bus no earlier than
-    the previous transaction released it, so cores contend for coherence
-    bandwidth. Instruction fetches occupy a per-core address space disjoint
-    from data (each core's code is its own memory space, §3.2). *)
+    Coherence is a config choice ([protocol]):
+
+    - [Snoop] (the default, the paper's setup): bus-snooped MOESI. A miss
+      acquires a single busy-until bus, snoops every peer L1D and may be
+      served cache-to-cache — cores contend for one global resource.
+    - [Directory]: home-based MESI. Every data line has a home bank
+      ([line mod n_cores]) holding its owner and a sharer bitset; misses
+      go point-to-point to the home, which forwards to the owner (a 3-hop
+      indirection) or serves from L2/memory, and invalidations fan out
+      only to recorded sharers. Each home bank is its own busy-until
+      resource, so coherence bandwidth scales with the core count.
+
+    Both backends drive the same {!Cache} tag arrays (the directory's MESI
+    states are the MOESI subset that never uses O), fire the same access
+    monitor, and expose the same [l1d_line_states]/[check_invariants]
+    introspection — the sanitizer's single-writer oracle and the causal
+    profiler's fill-completion hook are protocol-independent by
+    construction.
+
+    Instruction fetches occupy a per-core address space disjoint from data
+    (each core's code is its own memory space, §3.2). *)
+
+type protocol = Snoop | Directory
+
+val protocol_name : protocol -> string
+(** ["snoop"] / ["directory"]. *)
+
+val protocol_of_string : string -> (protocol, string) result
 
 type config = {
   line_words : int;  (** words per cache line *)
@@ -24,12 +47,21 @@ type config = {
   lat_mem : int;  (** miss served by main memory *)
   lat_c2c : int;  (** miss served cache-to-cache by a peer L1 *)
   lat_upgrade : int;  (** write hit on a shared line (invalidation round) *)
-  bus_occupancy : int;  (** cycles the bus stays busy per transaction *)
+  bus_occupancy : int;  (** [Snoop]: cycles the bus stays busy per transaction *)
+  protocol : protocol;  (** which backend services misses *)
+  dir_lat_lookup : int;  (** [Directory]: directory access at the home bank *)
+  dir_lat_msg : int;  (** [Directory]: one-way requester->home message *)
+  dir_lat_fwd : int;  (** [Directory]: home->owner forward hop (indirection) *)
+  dir_lat_inv : int;  (** [Directory]: invalidation round to sharers (with acks) *)
+  dir_occupancy : int;  (** [Directory]: cycles a home bank stays busy per transaction *)
 }
 
 val default_config : config
 (** The paper's setup: 4 kB 2-way L1 I and D, 128 kB 4-way shared L2,
-    32-byte lines. *)
+    32-byte lines, [protocol = Snoop]. The directory pricing defaults make
+    an uncontended directory miss a few cycles dearer than a snooped one
+    (message + lookup), while a home bank's occupancy is half the bus's —
+    the crossover ingredients. *)
 
 type kind = Ifetch | Dload | Dstore
 
@@ -42,6 +74,13 @@ type stats = {
   mutable upgrades : int;
   mutable writebacks : int;
   mutable bus_wait_cycles : int;
+      (** serialization wait: bus acquisition ([Snoop]) or home-bank
+          acquisition ([Directory]) *)
+  mutable dir_lookups : int;  (** [Directory]: home directory accesses *)
+  mutable dir_invalidations : int;
+      (** [Directory]: per-sharer invalidation messages sent *)
+  mutable dir_indirections : int;
+      (** [Directory]: 3-hop requester->home->owner forwards *)
 }
 
 type t
@@ -52,9 +91,10 @@ val config : t -> config
 val access : t -> now:int -> core:int -> kind -> int -> int
 (** [access t ~now ~core kind addr] simulates the access and returns its
     completion time (strictly greater than [now] only when it misses or
-    needs the bus; an L1 hit completes at [now + lat_l1]). [addr] is a word
-    address: data addresses for [Dload]/[Dstore], the core's bundle address
-    for [Ifetch]. All state (MOESI, LRU, L2, bus busy time) is updated. *)
+    needs the bus/home bank; an L1 hit completes at [now + lat_l1]).
+    [addr] is a word address: data addresses for [Dload]/[Dstore], the
+    core's bundle address for [Ifetch]. All state (MOESI/MESI, LRU, L2,
+    bus or home-bank busy time, directory entries) is updated. *)
 
 val would_hit : t -> core:int -> kind -> int -> bool
 (** Non-destructive hit test (no state update): used by the profiler. *)
@@ -64,20 +104,41 @@ val total_stats : t -> stats
 
 val set_monitor : t -> (core:int -> completion:int -> kind -> int -> unit) -> unit
 (** Attach an access monitor (the runtime sanitizer, the causal
-    profiler): called after every {!access}, once the MOESI transition for
-    that access has fully landed, with the accessing core, the cycle the
-    access completes (the fill time — [completion - now] above the L1 hit
-    latency marks a miss-fill edge), the access kind and the word address.
-    Passive — the callback must not mutate the hierarchy. Unset (the
-    default), the hot path pays a single branch. *)
+    profiler): called after every {!access}, once the coherence transition
+    for that access has fully landed — under either backend — with the
+    accessing core, the cycle the access completes (the fill time —
+    [completion - now] above the L1 hit latency marks a miss-fill edge),
+    the access kind and the word address. Passive — the callback must not
+    mutate the hierarchy. Unset (the default), the hot path pays a single
+    branch. *)
 
 val l1d_line_states : t -> addr:int -> int * (int * Cache.state) list
 (** The data line holding word [addr], and every core whose L1D currently
-    holds that line with its MOESI state — the per-line view the sanitizer
+    holds that line with its state — the per-line view the sanitizer
     checks the single-writer/multiple-reader invariant against after each
-    access. Does not touch LRU. *)
+    access. Protocol-independent (MESI states are a MOESI subset). Does
+    not touch LRU. *)
+
+val dir_sharers : t -> addr:int -> int list
+(** [Directory] introspection (tests): the recorded sharer set for the
+    data line holding word [addr], ascending; [[]] when the directory has
+    no entry. Always [[]] under [Snoop]. *)
+
+val dir_owner : t -> addr:int -> int option
+(** [Directory] introspection (tests): the recorded owner (the core
+    holding the line M/E), if any. *)
+
+val test_inject_stale_sharer : t -> unit
+(** Test backdoor: arm a one-shot protocol bug — the directory skips
+    invalidating the highest-numbered remote sharer on the next write, so
+    a stale S copy coexists with the writer's M copy. Exists to prove the
+    sanitizer's single-writer oracle catches real directory bugs; never
+    set in real runs. *)
 
 val check_invariants : t -> (string, string) result
-(** MOESI safety over every line: at most one cache in M or E and then no
-    other sharer; at most one owner (O); an O line may coexist only with S
-    copies. [Error] describes the first violation. *)
+(** Coherence safety over every line: at most one cache in M or E and then
+    no other sharer; at most one owner (O); an O line may coexist only
+    with S copies. Under [Directory], additionally checks
+    directory-cache agreement: every valid L1D copy is a recorded sharer,
+    every recorded sharer holds a valid copy, and M/E copies are the
+    recorded owner. [Error] describes the first violation. *)

@@ -28,6 +28,9 @@ type cache_counters = {
   upgrades : int;
   writebacks : int;
   bus_wait_cycles : int;
+  dir_lookups : int;
+  dir_invalidations : int;
+  dir_indirections : int;
 }
 
 type net_counters = {
@@ -77,6 +80,9 @@ let zero_cache =
     upgrades = 0;
     writebacks = 0;
     bus_wait_cycles = 0;
+    dir_lookups = 0;
+    dir_invalidations = 0;
+    dir_indirections = 0;
   }
 
 let zero_net =
@@ -109,6 +115,9 @@ let cache_of_stats (s : Coherence.stats) =
     upgrades = s.Coherence.upgrades;
     writebacks = s.Coherence.writebacks;
     bus_wait_cycles = s.Coherence.bus_wait_cycles;
+    dir_lookups = s.Coherence.dir_lookups;
+    dir_invalidations = s.Coherence.dir_invalidations;
+    dir_indirections = s.Coherence.dir_indirections;
   }
 
 let net_of_stats (s : Net.stats) =
@@ -192,6 +201,9 @@ let delta_cache a b =
     upgrades = b.upgrades - a.upgrades;
     writebacks = b.writebacks - a.writebacks;
     bus_wait_cycles = b.bus_wait_cycles - a.bus_wait_cycles;
+    dir_lookups = b.dir_lookups - a.dir_lookups;
+    dir_invalidations = b.dir_invalidations - a.dir_invalidations;
+    dir_indirections = b.dir_indirections - a.dir_indirections;
   }
 
 let delta ~before ~after =
@@ -273,6 +285,9 @@ let counters t =
     ("upgrades", t.cache.upgrades);
     ("writebacks", t.cache.writebacks);
     ("bus_wait_cycles", t.cache.bus_wait_cycles);
+    ("dir_lookups", t.cache.dir_lookups);
+    ("dir_invalidations", t.cache.dir_invalidations);
+    ("dir_indirections", t.cache.dir_indirections);
     ("msgs_sent", t.net.msgs_sent);
     ("net_total_latency", t.net.total_latency);
     ("net_max_occupancy", t.net.max_occupancy);
@@ -349,6 +364,9 @@ let json_of_cache c =
       ("upgrades", Json.Int c.upgrades);
       ("writebacks", Json.Int c.writebacks);
       ("bus_wait_cycles", Json.Int c.bus_wait_cycles);
+      ("dir_lookups", Json.Int c.dir_lookups);
+      ("dir_invalidations", Json.Int c.dir_invalidations);
+      ("dir_indirections", Json.Int c.dir_indirections);
     ]
 
 let to_json t =

@@ -32,7 +32,10 @@ type cache_counters = {
   c2c_transfers : int;
   upgrades : int;
   writebacks : int;
-  bus_wait_cycles : int;
+  bus_wait_cycles : int;  (** bus wait (snoop) or home-bank wait (directory) *)
+  dir_lookups : int;  (** directory backend only; 0 under snoop *)
+  dir_invalidations : int;
+  dir_indirections : int;
 }
 
 type net_counters = {

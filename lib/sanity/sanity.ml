@@ -188,9 +188,14 @@ let record ?core ?addr ?blame t kind =
 (* --- Coherence oracle ------------------------------------------------------ *)
 
 (* Single-writer/multiple-reader over the accessed line, checked after the
-   MOESI transition for the access has landed: at most one M/E copy and
-   then no other sharer, at most one owner. Same rule as the end-of-run
-   [Coherence.check_invariants], applied per line per access. *)
+   protocol's state transition for the access has landed: at most one
+   writable (M/E) copy and then no other sharer, at most one owned (O)
+   copy. The rule is stated over cache states alone, never over protocol
+   messages, so it is backend-independent: it holds verbatim for the snoop
+   bus's MOESI and for the directory's MESI (which simply never produces
+   O). Same rule as the end-of-run [Coherence.check_invariants] — which
+   additionally audits directory/cache agreement on that backend — applied
+   per line per access. *)
 let check_line t ~core addr =
   let line, states = Coherence.l1d_line_states t.hier ~addr in
   let m = ref 0 and e = ref 0 and o = ref 0 and total = ref 0 in

@@ -7,9 +7,12 @@
     machine against its own model every cycle:
 
     - {b Coherence oracle}: after every data access, the accessed line's
-      MOESI states across all L1Ds must satisfy single-writer /
-      multiple-reader (at most one M/E copy and then no other sharer, at
-      most one owner). Independently, a golden last-writer-wins shadow
+      cache states across all L1Ds must satisfy single-writer /
+      multiple-reader (at most one writable M/E copy and then no other
+      sharer, at most one owned copy). The rule is stated over states, not
+      protocol messages, so it applies unchanged to both coherence
+      backends — the snoop bus's MOESI and the directory's MESI.
+      Independently, a golden last-writer-wins shadow
       memory is maintained from the TM's load/store event stream, and
       every read's returned value must equal the shadow's — any
       architecturally visible corruption, whatever layer leaked it, is
@@ -58,7 +61,9 @@ type kind =
   | Coherence_states of {
       line : int;
       states : (int * Voltron_mem.Cache.state) list;
-    }  (** MOESI single-writer/multiple-reader broken after an access *)
+    }
+      (** single-writer/multiple-reader broken after an access (either
+          backend's state vocabulary) *)
   | Coherence_sweep of { msg : string }
       (** the end-of-run whole-hierarchy invariant scan failed *)
   | Read_divergence of { expected : int; got : int }

@@ -8,6 +8,7 @@
 module Gen = Voltron_gen.Gen
 module Campaign = Voltron_gen.Campaign
 module Shrink = Voltron_gen.Shrink
+module Coherence = Voltron_mem.Coherence
 module Run = Voltron.Run
 module Frontend = Voltron_lang.Frontend
 module Parser = Voltron_lang.Parser
@@ -58,14 +59,19 @@ let corpus_files () =
 (* Every checked-in program — fixed-seed generator output and shrunk
    regression reproducers alike — must pass the whole contract: oracle
    checksum agreement, clean checker, fast-forward cycle equality,
-   watchdog-free termination, over all strategies and core counts. *)
+   watchdog-free termination, over all strategies, core counts up to 16
+   and both coherence backends (each cell simulates snoop and directory,
+   fast-forward on and off — the coherence axis rides every replay). *)
 let test_corpus_replay () =
   let files = corpus_files () in
   Alcotest.(check bool) "corpus present" true (List.length files >= 10);
   List.iter
     (fun file ->
       let hir = Frontend.parse_file file in
-      let d = Run.differential hir in
+      let d =
+        Run.differential ~cores:[ 2; 4; 8; 16 ]
+          ~coherence:[ Coherence.Snoop; Coherence.Directory ] hir
+      in
       match d.Run.diff_divergences with
       | [] -> ()
       | div :: _ ->
@@ -98,9 +104,17 @@ let test_corpus_replay_sanitized () =
 
 (* --- Injected divergences: the harness catches what it claims to ----------------- *)
 
-let first_class ?strategies ?cores ?miscompile ?ff_tweak p =
-  let failure, _, _ = Campaign.first_failure ?strategies ?cores ?miscompile ?ff_tweak p in
+let first_class ?strategies ?cores ?coherence ?miscompile ?ff_tweak ?dir_tweak p =
+  let failure, _, _ =
+    Campaign.first_failure ?strategies ?cores ?coherence ?miscompile ?ff_tweak
+      ?dir_tweak p
+  in
   Option.map (fun (cls, _, _) -> cls) failure
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
 
 let seed_ast = Gen.program ~seed:1 ()
 
@@ -136,6 +150,38 @@ let test_catches_ff_divergence () =
     "reference-only latency change is flagged" (Some "ff-cycles")
     (first_class ~strategies:[ `Tlp ] ~cores:[ 2 ] ~ff_tweak seed_ast)
 
+(* A directory-only pathology (here: its simulations stop dead almost
+   immediately) must surface as divergences whose cases all name the
+   directory backend, while the snoop half of every cell stays green —
+   proof the coherence axis is wired into the rig, not just along for
+   the ride. *)
+let dir_sabotage (c : Voltron_machine.Config.t) =
+  { c with Voltron_machine.Config.max_cycles = 10 }
+
+let test_catches_directory_only () =
+  let hir =
+    Frontend.parse_string ~name:seed_ast.Voltron_lang.Ast.prog_name
+      (Gen.render seed_ast)
+  in
+  let d =
+    Run.differential ~strategies:[ `Tlp ] ~cores:[ 2 ] ~dir_tweak:dir_sabotage
+      hir
+  in
+  Alcotest.(check bool) "sabotage is flagged" true
+    (d.Run.diff_divergences <> []);
+  List.iter
+    (fun dv ->
+      (match dv with
+      | Run.Non_completion { nc_case; _ } ->
+        Alcotest.(check bool) "case names the directory backend" true
+          (nc_case.Run.d_coherence = Coherence.Directory)
+      | dv ->
+        Alcotest.failf "unexpected divergence class %s"
+          (Run.divergence_class dv));
+      Alcotest.(check bool) "transcript names the backend" true
+        (contains (Run.divergence_to_string dv) "directory"))
+    d.Run.diff_divergences
+
 let test_clean_program_has_no_finding () =
   Alcotest.(check (option string))
     "seed 1 passes the full matrix" None (first_class seed_ast)
@@ -150,7 +196,7 @@ let test_shrinks_injected_miscompile () =
   let miscompile c =
     { c with Driver.oracle_checksum = c.Driver.oracle_checksum + 1 }
   in
-  let case = { Run.d_strategy = `Tlp; d_cores = 2 } in
+  let case = { Run.d_strategy = `Tlp; d_cores = 2; d_coherence = Coherence.Snoop } in
   let small =
     Campaign.minimize ~strategies:[ `Tlp ] ~cores:[ 2 ] ~miscompile
       ~cls:"checksum" ~case seed_ast
@@ -163,6 +209,26 @@ let test_shrinks_injected_miscompile () =
   Alcotest.(check (option string))
     "shrunk program still fails" (Some "checksum")
     (first_class ~strategies:[ `Tlp ] ~cores:[ 2 ] ~miscompile small)
+
+(* Same bar for the coherence axis: the injected directory-only failure
+   must shrink below 25 lines with both the class and the backend pinned
+   — the minimizer re-runs only the diverging directory cell. *)
+let test_shrinks_directory_miscompile () =
+  let case =
+    { Run.d_strategy = `Tlp; d_cores = 2; d_coherence = Coherence.Directory }
+  in
+  let small =
+    Campaign.minimize ~strategies:[ `Tlp ] ~cores:[ 2 ] ~dir_tweak:dir_sabotage
+      ~cls:"non-completion" ~case seed_ast
+  in
+  let lines = Gen.source_lines small in
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk to %d lines (< 25)" lines)
+    true (lines < 25);
+  Alcotest.(check (option string))
+    "shrunk program still fails on the directory axis" (Some "non-completion")
+    (first_class ~strategies:[ `Tlp ] ~cores:[ 2 ]
+       ~coherence:[ Coherence.Directory ] ~dir_tweak:dir_sabotage small)
 
 let test_shrink_preserves_keep () =
   (* Structural sanity on the shrinker itself: keep = "has at least one
@@ -185,7 +251,7 @@ let test_write_reproducer_reparses () =
       f_index = 3;
       f_seed = 4242;
       f_class = "checksum";
-      f_case = Some { Run.d_strategy = `Hybrid; d_cores = 4 };
+      f_case = Some { Run.d_strategy = `Hybrid; d_cores = 4; d_coherence = Coherence.Directory };
       f_detail = "synthetic finding for reproducer round-trip";
       f_original = seed_ast;
       f_minimized = seed_ast;
@@ -223,6 +289,8 @@ let () =
             test_catches_checker;
           Alcotest.test_case "ff divergence caught" `Quick
             test_catches_ff_divergence;
+          Alcotest.test_case "directory-only divergence caught" `Quick
+            test_catches_directory_only;
           Alcotest.test_case "clean program passes" `Quick
             test_clean_program_has_no_finding;
         ] );
@@ -230,6 +298,8 @@ let () =
         [
           Alcotest.test_case "injected miscompile shrinks small" `Slow
             test_shrinks_injected_miscompile;
+          Alcotest.test_case "directory miscompile shrinks small" `Slow
+            test_shrinks_directory_miscompile;
           Alcotest.test_case "keep preserved" `Quick test_shrink_preserves_keep;
         ] );
       ( "reproducer",

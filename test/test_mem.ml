@@ -130,6 +130,148 @@ let test_coherence_random =
         trace;
       !ok && match Coherence.check_invariants h with Ok _ -> true | Error _ -> false)
 
+(* --- Directory protocol -------------------------------------------------------- *)
+
+(* Hand-computed expectations against the default directory pricing:
+   dir_lat_msg 2, dir_lat_lookup 2, dir_lat_fwd 2, dir_lat_inv 4,
+   lat_l2 8, lat_mem 100, lat_c2c 12 (8-word lines, so addr 0 and 8 are
+   the first two lines, whose homes are cores 0 and 1). *)
+
+let dir_config =
+  { Coherence.default_config with Coherence.protocol = Coherence.Directory }
+
+let mk_dir n = Coherence.create dir_config ~n_cores:n
+
+let states_of h addr =
+  let _, states = Coherence.l1d_line_states h ~addr in
+  states
+
+let sweep_ok h =
+  match Coherence.check_invariants h with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_dir_read_fanout () =
+  let h = mk_dir 4 in
+  (* First reader: nobody holds the line — exclusive grant, request
+     message + directory lookup over a memory fetch. *)
+  let t0 = Coherence.access h ~now:0 ~core:0 Coherence.Dload 0 in
+  Alcotest.(check int) "first reader: msg + lookup + mem" (0 + 2 + 2 + 100) t0;
+  Alcotest.(check bool) "exclusive" true (states_of h 0 = [ (0, Cache.E) ]);
+  Alcotest.(check bool) "owner recorded" true
+    (Coherence.dir_owner h ~addr:0 = Some 0);
+  (* Second reader: the home forwards to the exclusive owner (3-hop
+     indirection); the owner supplies the line and downgrades to S. *)
+  let t1 = Coherence.access h ~now:200 ~core:1 Coherence.Dload 0 in
+  Alcotest.(check int) "second reader: 3-hop c2c" (200 + 2 + 2 + 2 + 12) t1;
+  Alcotest.(check bool) "both shared" true
+    (states_of h 0 = [ (0, Cache.S); (1, Cache.S) ]);
+  Alcotest.(check bool) "ownership cleared" true
+    (Coherence.dir_owner h ~addr:0 = None);
+  Alcotest.(check int) "indirection counted" 1
+    (Coherence.stats h ~core:1).Coherence.dir_indirections;
+  (* Third reader: no owner left, so the home answers from L2. *)
+  let t2 = Coherence.access h ~now:400 ~core:2 Coherence.Dload 0 in
+  Alcotest.(check int) "third reader: home L2 hit" (400 + 2 + 2 + 8) t2;
+  Alcotest.(check (list int)) "sharer fan-out" [ 0; 1; 2 ]
+    (Coherence.dir_sharers h ~addr:0);
+  sweep_ok h
+
+let test_dir_upgrade_invalidations () =
+  let h = mk_dir 4 in
+  ignore (Coherence.access h ~now:0 ~core:0 Coherence.Dload 0);
+  ignore (Coherence.access h ~now:200 ~core:1 Coherence.Dload 0);
+  ignore (Coherence.access h ~now:400 ~core:2 Coherence.Dload 0);
+  (* Write hit on the shared line: targeted invalidations to the two
+     actual remote sharers (no broadcast), one invalidation round. *)
+  let t = Coherence.access h ~now:600 ~core:0 Coherence.Dstore 0 in
+  Alcotest.(check int) "upgrade: msg + lookup + inv round" (600 + 2 + 2 + 4) t;
+  Alcotest.(check int) "upgrade counted" 1
+    (Coherence.stats h ~core:0).Coherence.upgrades;
+  Alcotest.(check int) "one invalidation per remote sharer" 2
+    (Coherence.stats h ~core:0).Coherence.dir_invalidations;
+  Alcotest.(check bool) "writer alone in M" true (states_of h 0 = [ (0, Cache.M) ]);
+  Alcotest.(check (list int)) "sharers collapsed" [ 0 ]
+    (Coherence.dir_sharers h ~addr:0);
+  Alcotest.(check bool) "writer owns" true (Coherence.dir_owner h ~addr:0 = Some 0);
+  sweep_ok h
+
+let test_dir_eviction_writeback () =
+  let small = { dir_config with Coherence.l1d_sets = 1; l1d_ways = 1 } in
+  let h = Coherence.create small ~n_cores:2 in
+  ignore (Coherence.access h ~now:0 ~core:0 Coherence.Dstore 0);
+  Alcotest.(check (list int)) "dirty line tracked" [ 0 ]
+    (Coherence.dir_sharers h ~addr:0);
+  (* Filling line 1 evicts the dirty line: the home is notified (its entry
+     vanishes — precise sharer tracking, no silent evictions) and the
+     data writes back to L2. *)
+  ignore (Coherence.access h ~now:200 ~core:0 Coherence.Dstore 8);
+  Alcotest.(check (list int)) "eviction notified the home" []
+    (Coherence.dir_sharers h ~addr:0);
+  Alcotest.(check bool) "no stale owner" true (Coherence.dir_owner h ~addr:0 = None);
+  Alcotest.(check int) "writeback counted" 1
+    (Coherence.stats h ~core:0).Coherence.writebacks;
+  (* A later reader is served the written-back copy from the home's L2,
+     not routed to a phantom owner. *)
+  let t = Coherence.access h ~now:400 ~core:1 Coherence.Dload 0 in
+  Alcotest.(check int) "refill from home L2" (400 + 2 + 2 + 8) t;
+  sweep_ok h
+
+let test_dir_write_indirection () =
+  let h = mk_dir 4 in
+  ignore (Coherence.access h ~now:0 ~core:0 Coherence.Dstore 0);
+  (* Write miss while a remote core owns the dirty line: the home forwards
+     the request, the owner hands the line over cache-to-cache and
+     invalidates itself — ownership transfers without a memory trip. *)
+  let t = Coherence.access h ~now:200 ~core:1 Coherence.Dstore 0 in
+  Alcotest.(check int) "3-hop ownership transfer" (200 + 2 + 2 + 2 + 12) t;
+  let s1 = Coherence.stats h ~core:1 in
+  Alcotest.(check int) "indirection" 1 s1.Coherence.dir_indirections;
+  Alcotest.(check int) "c2c" 1 s1.Coherence.c2c_transfers;
+  Alcotest.(check int) "old owner invalidated" 1 s1.Coherence.dir_invalidations;
+  Alcotest.(check bool) "ownership transferred" true
+    (Coherence.dir_owner h ~addr:0 = Some 1);
+  Alcotest.(check bool) "writer alone" true (states_of h 0 = [ (1, Cache.M) ]);
+  Alcotest.(check int) "dirty transfer needs no writeback" 0
+    (Coherence.stats h ~core:0).Coherence.writebacks;
+  sweep_ok h
+
+let test_dir_stale_sharer_caught () =
+  let h = mk_dir 2 in
+  ignore (Coherence.access h ~now:0 ~core:0 Coherence.Dload 0);
+  ignore (Coherence.access h ~now:200 ~core:1 Coherence.Dload 0);
+  (* Arm the backdoor: the next invalidation round silently skips the
+     highest-numbered remote sharer, leaving core 1's copy stale. *)
+  Coherence.test_inject_stale_sharer h;
+  ignore (Coherence.access h ~now:400 ~core:0 Coherence.Dstore 0);
+  Alcotest.(check bool) "stale sharer left behind" true
+    (states_of h 0 = [ (0, Cache.M); (1, Cache.S) ]);
+  (* The single-writer oracle — the same sweep the runtime sanitizer runs
+     at finalize (class "coherence-states") — must reject the hierarchy. *)
+  match Coherence.check_invariants h with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stale sharer escaped the invariant sweep"
+
+(* Safety under random traffic, directory edition: same property as the
+   snoop QCheck test, plus the directory/cache agreement audit that
+   [check_invariants] adds on this backend. *)
+let test_dir_random =
+  QCheck.Test.make ~name:"directory invariants under random traffic" ~count:60
+    QCheck.(list (triple (int_bound 3) bool (int_bound 255)))
+    (fun trace ->
+      let h = mk_dir 4 in
+      let now = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (core, write, addr) ->
+          let kind = if write then Coherence.Dstore else Coherence.Dload in
+          let done_ = Coherence.access h ~now:!now ~core kind addr in
+          if done_ <= !now then ok := false;
+          now := !now + 3)
+        trace;
+      !ok
+      && match Coherence.check_invariants h with Ok _ -> true | Error _ -> false)
+
 (* --- Transactional memory ------------------------------------------------------ *)
 
 let test_tm_isolation () =
@@ -237,6 +379,19 @@ let () =
           Alcotest.test_case "upgrade" `Quick test_coherence_upgrade;
           Alcotest.test_case "ifetch space" `Quick test_coherence_ifetch_separate;
           QCheck_alcotest.to_alcotest test_coherence_random;
+        ] );
+      ( "directory",
+        [
+          Alcotest.test_case "read-shared fan-out" `Quick test_dir_read_fanout;
+          Alcotest.test_case "upgrade invalidations" `Quick
+            test_dir_upgrade_invalidations;
+          Alcotest.test_case "eviction writeback" `Quick
+            test_dir_eviction_writeback;
+          Alcotest.test_case "home-node indirection" `Quick
+            test_dir_write_indirection;
+          Alcotest.test_case "stale sharer caught" `Quick
+            test_dir_stale_sharer_caught;
+          QCheck_alcotest.to_alcotest test_dir_random;
         ] );
       ( "tm",
         [

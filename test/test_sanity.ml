@@ -14,6 +14,7 @@ module Machine = Voltron_machine.Machine
 module Net = Voltron_net.Operand_network
 module Memory = Voltron_mem.Memory
 module Tm = Voltron_mem.Tm
+module Coherence = Voltron_mem.Coherence
 module Fault = Voltron_fault.Fault
 module Config = Voltron_machine.Config
 module Suite = Voltron_workloads.Suite
@@ -104,6 +105,39 @@ let test_sanitized_run_is_invisible () =
   Alcotest.(check bool) "same stats" true (plain.Run.stats = sane.Run.stats);
   Alcotest.(check bool) "still verified" true sane.Run.verified;
   Alcotest.(check bool) "clean" true (Sanity.clean (report_exn sane))
+
+(* Same obligation on the directory backend: the oracle states its rule
+   over cache states, not protocol messages, so switching the coherence
+   backend must change neither the numbers nor the verdict. Cycle and
+   stats identity pins that the sanitizer stays architecturally invisible
+   there too. *)
+let test_sanitized_directory_is_invisible () =
+  let p = (Suite.by_name "gsmencode").Suite.build ~scale:0.1 () in
+  let tweak = Config.with_coherence Coherence.Directory in
+  let plain = Run.run ~choice:`Hybrid ~tweak ~n_cores:4 p in
+  let sane = Run.run ~choice:`Hybrid ~tweak ~sanitize:Sanity.Abort ~n_cores:4 p in
+  Alcotest.(check int) "same cycles" plain.Run.cycles sane.Run.cycles;
+  Alcotest.(check bool) "same stats" true (plain.Run.stats = sane.Run.stats);
+  Alcotest.(check bool) "still verified" true sane.Run.verified;
+  Alcotest.(check bool) "clean" true (Sanity.clean (report_exn sane))
+
+(* --- Detection: coherence ------------------------------------------------- *)
+
+(* An injected directory-protocol bug — one invalidation round silently
+   skips a remote sharer, leaving its S copy to coexist with the writer's
+   fresh M copy — must be stopped by the single-writer oracle at the very
+   access that creates the pair. (test_mem drives the same backdoor at
+   the hierarchy level; this is the live-machine proof.) *)
+let test_detects_stale_sharer () =
+  let p = (Suite.by_name "gsmencode").Suite.build ~scale:0.1 () in
+  let prepare _ m = Coherence.test_inject_stale_sharer (Machine.coherence m) in
+  let tweak = Config.with_coherence Coherence.Directory in
+  let m =
+    Run.run ~choice:`Hybrid ~prepare ~tweak ~sanitize:Sanity.Abort ~n_cores:4 p
+  in
+  let r = report_exn m in
+  Alcotest.(check bool) "machine stopped at the violation" true (stopped m);
+  check_class "stale sharer" "coherence-states" r
 
 (* --- Detection: network --------------------------------------------------- *)
 
@@ -260,7 +294,7 @@ let test_recover_degrades_to_completion () =
 (* --- Plumbing: divergence class and JSON ---------------------------------- *)
 
 let test_divergence_class () =
-  let case = { Run.d_strategy = `Tlp; d_cores = 2 } in
+  let case = { Run.d_strategy = `Tlp; d_cores = 2; d_coherence = Coherence.Snoop } in
   let p = Suite.micro_gsm_ilp () in
   let m = Run.run ~choice:`Ilp ~sanitize:Sanity.Abort ~n_cores:2 p in
   let r = report_exn m in
@@ -298,9 +332,13 @@ let () =
           Alcotest.test_case "strategy matrix stays clean" `Slow test_clean_matrix;
           Alcotest.test_case "sanitizer is architecturally invisible" `Quick
             test_sanitized_run_is_invisible;
+          Alcotest.test_case "invisible on the directory backend" `Quick
+            test_sanitized_directory_is_invisible;
         ] );
       ( "detection",
         [
+          Alcotest.test_case "stale sharer stopped" `Quick
+            test_detects_stale_sharer;
           Alcotest.test_case "tampered payload" `Quick test_detects_tampered_payload;
           Alcotest.test_case "dropped message" `Quick test_detects_dropped_message;
           Alcotest.test_case "memory tamper past ECC" `Quick test_detects_mem_tamper;
